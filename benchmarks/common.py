@@ -1,0 +1,103 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark module regenerates one table or figure of the BoolE paper.
+Because the full pipeline is expensive in pure Python, results are cached at
+module level so that different benches (e.g. Figure 4 and Figure 5) can share
+the same BoolE runs, and the default bitwidth sweeps are smaller than the
+paper's 4-128 bit range (see DESIGN.md / EXPERIMENTS.md for the scaling note).
+
+Set the environment variable ``REPRO_BENCH_MAX_WIDTH`` to extend the sweeps.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+from typing import Dict, List, Tuple
+
+from repro.baselines import detect_adder_tree, predict_adder_tree
+from repro.core import BoolEOptions, BoolEPipeline, BoolEResult
+from repro.generators import (
+    MultiplierCircuit,
+    booth_multiplier,
+    csa_multiplier,
+    csa_upper_bound_fa,
+)
+from repro.opt import dch_optimize, post_mapping_flow
+
+MAX_WIDTH = int(os.environ.get("REPRO_BENCH_MAX_WIDTH", "6"))
+
+#: Default bitwidth sweeps (paper: 4..128).
+PRE_MAPPING_WIDTHS = [w for w in (3, 4, 5, 6, 8) if w <= max(MAX_WIDTH, 6)]
+POST_MAPPING_WIDTHS = [w for w in (3, 4, 5, 6) if w <= MAX_WIDTH] or [3, 4]
+VERIFICATION_WIDTHS = [w for w in (4, 5, 6, 8) if w <= max(MAX_WIDTH, 6)]
+
+BOOLE_OPTIONS = BoolEOptions(r1_iterations=3, r2_iterations=3)
+
+
+@lru_cache(maxsize=None)
+def circuit(arch: str, width: int) -> MultiplierCircuit:
+    """Generate (and cache) a benchmark multiplier."""
+    if arch == "csa":
+        return csa_multiplier(width)
+    if arch == "booth":
+        return booth_multiplier(width)
+    raise ValueError(arch)
+
+
+@lru_cache(maxsize=None)
+def mapped_aig(arch: str, width: int):
+    """dch-optimised + technology-mapped netlist (the paper's RQ2 subject)."""
+    return post_mapping_flow(circuit(arch, width).aig)
+
+
+@lru_cache(maxsize=None)
+def dch_aig(arch: str, width: int):
+    """dch-optimised (unmapped) netlist (the Table II subject)."""
+    return dch_optimize(circuit(arch, width).aig)
+
+
+@lru_cache(maxsize=None)
+def boole_on_mapped(arch: str, width: int) -> BoolEResult:
+    """BoolE pipeline result on the mapped netlist (cached across benches)."""
+    return BoolEPipeline(BOOLE_OPTIONS).run(mapped_aig(arch, width))
+
+
+@lru_cache(maxsize=None)
+def boole_on_premapping(arch: str, width: int) -> BoolEResult:
+    """BoolE pipeline result on the pre-mapping netlist (RQ1)."""
+    return BoolEPipeline(BOOLE_OPTIONS).run(circuit(arch, width).aig)
+
+
+def upper_bound(arch: str, width: int) -> int:
+    """Theoretical FA upper bound: analytic for CSA, generator count for Booth."""
+    if arch == "csa":
+        return csa_upper_bound_fa(width)
+    return circuit(arch, width).num_full_adders
+
+
+def fa_row(arch: str, width: int) -> Dict[str, int]:
+    """One Figure-4 row: FA counts of every tool on the mapped netlist."""
+    mapped = mapped_aig(arch, width)
+    abc = detect_adder_tree(mapped)
+    gamora = predict_adder_tree(mapped)
+    boole = boole_on_mapped(arch, width)
+    return {
+        "width": width,
+        "upper_bound": upper_bound(arch, width),
+        "abc_npn": abc.num_npn_fas,
+        "abc_exact": abc.num_exact_fas,
+        "gamora_npn": gamora.num_npn_fas,
+        "boole_npn": boole.num_npn_fas,
+        "boole_exact": boole.num_exact_fas,
+    }
+
+
+def print_table(title: str, rows: List[Dict], columns: List[str]) -> None:
+    """Print a paper-style table of benchmark rows."""
+    print(f"\n=== {title} ===")
+    header = " | ".join(f"{column:>12}" for column in columns)
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(" | ".join(f"{row[column]:>12}" for column in columns))

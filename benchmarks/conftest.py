@@ -1,0 +1,8 @@
+"""Pytest configuration for the benchmark harness."""
+
+import sys
+from pathlib import Path
+
+# Allow the bench modules to import the shared ``common`` helpers regardless
+# of the directory pytest is invoked from.
+sys.path.insert(0, str(Path(__file__).resolve().parent))

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Figure 1 motivating example: the 3-bit CSA multiplier.
+
+Reproduces the paper's Section III walk-through: before mapping, the 3-bit
+CSA multiplier contains 3 full adders and cut enumeration finds all of them;
+after technology mapping, the cut-based detector loses part of the adder tree
+while BoolE rewriting reconstructs additional exact FAs.  The script also
+writes the pre-mapping, post-mapping and BoolE-extracted netlists to AIGER
+files so they can be inspected with external tools.
+"""
+
+from pathlib import Path
+
+from repro.aig import write_aag
+from repro.baselines import detect_adder_tree
+from repro.core import BoolEOptions, BoolEPipeline
+from repro.generators import csa_multiplier
+from repro.opt import post_mapping_flow
+
+
+def main(output_dir: str = "motivating_example_out") -> None:
+    out = Path(output_dir)
+    out.mkdir(exist_ok=True)
+
+    circuit = csa_multiplier(3)
+    print("3-bit CSA multiplier:", circuit.aig.num_gates, "AND gates,",
+          circuit.num_full_adders, "full adders,",
+          circuit.num_half_adders, "half adders")
+    write_aag(circuit.aig, out / "csa3_premapping.aag")
+
+    pre = detect_adder_tree(circuit.aig)
+    print(f"pre-mapping cut enumeration: {pre.num_npn_fas} NPN FAs, "
+          f"{pre.num_npn_has} HAs")
+
+    mapped = post_mapping_flow(circuit.aig)
+    write_aag(mapped, out / "csa3_postmapping.aag")
+    post = detect_adder_tree(mapped)
+    print(f"post-mapping cut enumeration: {post.num_npn_fas} NPN FAs, "
+          f"{post.num_exact_fas} exact FAs  <- structure lost by mapping")
+
+    result = BoolEPipeline(BoolEOptions(r1_iterations=3, r2_iterations=3)).run(mapped)
+    write_aag(result.extracted_aig, out / "csa3_boole_extracted.aag")
+    print(f"BoolE on the mapped netlist: {result.num_npn_fas} NPN FAs, "
+          f"{result.num_exact_fas} exact FAs reconstructed")
+    for index, block in enumerate(result.fa_blocks):
+        print(f"  exact FA {index}: inputs={block.inputs} "
+              f"sum={block.sum_lit} carry={block.carry_lit}")
+    print(f"netlists written to {out}/")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Figure 4 style sweep: compare BoolE, ABC and Gamora across bitwidths.
+
+Usage::
+
+    python examples/reasoning_sweep.py [arch] [max_width]
+
+``arch`` is ``csa`` (default) or ``booth``.  For every bitwidth the script
+applies the post-mapping flow (dch optimisation + technology mapping) and
+reports the NPN/exact full-adder counts of the three reasoning approaches
+against the theoretical upper bound — the data behind Figure 4 of the paper.
+"""
+
+import sys
+
+from repro.baselines import detect_adder_tree, predict_adder_tree
+from repro.core import BoolEOptions, BoolEPipeline
+from repro.generators import generate_multiplier
+from repro.opt import post_mapping_flow
+
+
+def main(arch: str = "csa", max_width: int = 5) -> None:
+    widths = list(range(3, max_width + 1))
+    header = (f"{'width':>5} {'bound':>6} | {'BoolE npn':>9} {'ABC npn':>8} "
+              f"{'Gamora':>7} | {'BoolE ex':>8} {'ABC ex':>7}")
+    print(f"== {arch.upper()} multipliers after dch + technology mapping ==")
+    print(header)
+    print("-" * len(header))
+    pipeline = BoolEPipeline(BoolEOptions(r1_iterations=3, r2_iterations=3))
+    for width in widths:
+        circuit = generate_multiplier(arch, width)
+        mapped = post_mapping_flow(circuit.aig)
+        abc = detect_adder_tree(mapped)
+        gamora = predict_adder_tree(mapped)
+        boole = pipeline.run(mapped)
+        print(f"{width:>5} {circuit.num_full_adders:>6} | {boole.num_npn_fas:>9} "
+              f"{abc.num_npn_fas:>8} {gamora.num_npn_fas:>7} | "
+              f"{boole.num_exact_fas:>8} {abc.num_exact_fas:>7}")
+
+
+if __name__ == "__main__":
+    arch = sys.argv[1] if len(sys.argv) > 1 else "csa"
+    max_width = int(sys.argv[2]) if len(sys.argv) > 2 else 5
+    main(arch, max_width)

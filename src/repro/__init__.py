@@ -1,0 +1,44 @@
+"""repro: a reproduction of BoolE (DAC 2025).
+
+BoolE is an exact symbolic-reasoning framework for Boolean netlists built on
+equality saturation.  This package implements the complete stack described in
+the paper: the AIG substrate, arithmetic benchmark generators, a technology
+mapper and logic optimiser that destroy adder-tree structure, the ABC-style
+cut-enumeration baseline and a Gamora-style learned baseline, a from-scratch
+e-graph engine, the BoolE rewriting/extraction core, and an SCA-based formal
+verification backend (RevSCA-2.0 style).
+
+Typical usage::
+
+    from repro import csa_multiplier
+    from repro.core import BoolEPipeline
+
+    circuit = csa_multiplier(8)
+    result = BoolEPipeline().run(circuit.aig)
+    print(result.num_exact_fas)
+"""
+
+from .aig import AIG, read_aag, write_aag
+from .generators import (
+    MultiplierCircuit,
+    booth_multiplier,
+    csa_multiplier,
+    csa_upper_bound_fa,
+    generate_multiplier,
+    wallace_multiplier,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AIG",
+    "read_aag",
+    "write_aag",
+    "MultiplierCircuit",
+    "booth_multiplier",
+    "csa_multiplier",
+    "csa_upper_bound_fa",
+    "generate_multiplier",
+    "wallace_multiplier",
+    "__version__",
+]

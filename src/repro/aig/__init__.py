@@ -1,0 +1,62 @@
+"""AIG substrate: data structure, AIGER I/O, simulation and truth tables."""
+
+from .aig import (
+    AIG,
+    AndGate,
+    CONST0,
+    CONST1,
+    lit_is_compl,
+    lit_not,
+    lit_regular,
+    lit_var,
+    make_lit,
+)
+from .aiger import from_aag_string, read_aag, to_aag_string, write_aag
+from .simulate import (
+    evaluate_words,
+    multiplier_value_check,
+    random_simulation,
+    simulation_signatures,
+)
+from .truth_table import (
+    AND2_TABLE,
+    MAJ3_TABLE,
+    XOR2_TABLE,
+    XOR3_TABLE,
+    aig_equivalent,
+    cone_truth_table,
+    output_truth_tables,
+    table_mask,
+    table_not,
+    var_table,
+)
+
+__all__ = [
+    "AIG",
+    "AndGate",
+    "CONST0",
+    "CONST1",
+    "lit_is_compl",
+    "lit_not",
+    "lit_regular",
+    "lit_var",
+    "make_lit",
+    "from_aag_string",
+    "read_aag",
+    "to_aag_string",
+    "write_aag",
+    "evaluate_words",
+    "multiplier_value_check",
+    "random_simulation",
+    "simulation_signatures",
+    "AND2_TABLE",
+    "MAJ3_TABLE",
+    "XOR2_TABLE",
+    "XOR3_TABLE",
+    "aig_equivalent",
+    "cone_truth_table",
+    "output_truth_tables",
+    "table_mask",
+    "table_not",
+    "var_table",
+]

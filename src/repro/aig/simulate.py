@@ -1,0 +1,108 @@
+"""Random and exhaustive simulation helpers for AIGs.
+
+These helpers are used by tests (semantic equivalence checks on arithmetic
+circuits) and by the Gamora-style baseline, which consumes simulation
+signatures as node features.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .aig import AIG, lit_is_compl, lit_var
+
+__all__ = [
+    "random_simulation",
+    "simulation_signatures",
+    "evaluate_words",
+    "multiplier_value_check",
+]
+
+
+def random_simulation(aig: AIG, num_patterns: int = 64,
+                      seed: int = 0) -> Dict[int, int]:
+    """Simulate ``num_patterns`` random input patterns.
+
+    Returns a map from every variable to its packed simulation word.
+    """
+    rng = random.Random(seed)
+    mask = (1 << num_patterns) - 1
+    words = {var: rng.getrandbits(num_patterns) for var in aig.inputs}
+    return aig.simulate(words, mask=mask)
+
+
+def simulation_signatures(aig: AIG, num_patterns: int = 64,
+                          seed: int = 0) -> Dict[int, int]:
+    """Return per-variable simulation signatures (same as random_simulation)."""
+    return random_simulation(aig, num_patterns=num_patterns, seed=seed)
+
+
+def evaluate_words(aig: AIG, input_words: Sequence[int],
+                   num_patterns: int) -> List[int]:
+    """Simulate with explicit per-input words and return the output words.
+
+    ``input_words`` must be ordered like ``aig.inputs``.
+    """
+    if len(input_words) != aig.num_inputs:
+        raise ValueError("one word per primary input is required")
+    mask = (1 << num_patterns) - 1
+    words = {var: word & mask for var, word in zip(aig.inputs, input_words)}
+    values = aig.simulate(words, mask=mask)
+    return aig.output_words(values, mask)
+
+
+def multiplier_value_check(aig: AIG, width_a: int, width_b: int,
+                           samples: Optional[Sequence[Tuple[int, int]]] = None,
+                           signed: bool = False,
+                           seed: int = 0,
+                           num_random: int = 32) -> bool:
+    """Check that an AIG computes ``a * b`` on sampled operand pairs.
+
+    The AIG inputs are assumed ordered as ``a0..a{width_a-1}, b0..b{width_b-1}``
+    and outputs as the product bits, least-significant first.
+
+    Args:
+        aig: multiplier AIG.
+        width_a: bitwidth of the first operand.
+        width_b: bitwidth of the second operand.
+        samples: explicit operand pairs to test; random pairs are drawn when
+            omitted.
+        signed: interpret operands and product in two's complement.
+        seed: random seed for sampled operands.
+        num_random: number of random samples when ``samples`` is None.
+
+    Returns:
+        True if every sampled product matches.
+    """
+    if aig.num_inputs != width_a + width_b:
+        raise ValueError("input count does not match the operand widths")
+    rng = random.Random(seed)
+    if samples is None:
+        samples = [(rng.randrange(1 << width_a), rng.randrange(1 << width_b))
+                   for _ in range(num_random)]
+        corner = [0, 1, (1 << width_a) - 1]
+        corner_b = [0, 1, (1 << width_b) - 1]
+        samples = list(samples) + [(x, y) for x in corner for y in corner_b]
+
+    width_out = aig.num_outputs
+    for a_value, b_value in samples:
+        bits: Dict[int, bool] = {}
+        for i in range(width_a):
+            bits[aig.inputs[i]] = bool((a_value >> i) & 1)
+        for i in range(width_b):
+            bits[aig.inputs[width_a + i]] = bool((b_value >> i) & 1)
+        out_bits = aig.evaluate(bits)
+        product = 0
+        for i, bit in enumerate(out_bits):
+            if bit:
+                product |= 1 << i
+        if signed:
+            a_signed = a_value - (1 << width_a) if a_value >> (width_a - 1) else a_value
+            b_signed = b_value - (1 << width_b) if b_value >> (width_b - 1) else b_value
+            expected = (a_signed * b_signed) % (1 << width_out)
+        else:
+            expected = (a_value * b_value) % (1 << width_out)
+        if product != expected:
+            return False
+    return True

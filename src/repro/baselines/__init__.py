@@ -1,0 +1,14 @@
+"""Baseline symbolic-reasoning tools: ABC ``&atree`` and Gamora (simulated)."""
+
+from .abc_atree import AdderTreeReport, FAMatch, HAMatch, detect_adder_tree
+from .gamora import GamoraModel, default_gamora_model, predict_adder_tree
+
+__all__ = [
+    "AdderTreeReport",
+    "FAMatch",
+    "HAMatch",
+    "detect_adder_tree",
+    "GamoraModel",
+    "default_gamora_model",
+    "predict_adder_tree",
+]

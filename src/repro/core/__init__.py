@@ -1,0 +1,44 @@
+"""BoolE core: rulesets, construction, saturation, FA pairing and extraction."""
+
+from .construct import ConstructionResult, aig_to_egraph
+from .extraction import (
+    BoolEExtraction,
+    BoolEExtractor,
+    CostEntry,
+    FABlockRecord,
+    reconstruct_aig,
+)
+from .fa_structure import (
+    FAInsertionReport,
+    FAPair,
+    count_npn_fa_pairs,
+    insert_fa_structures,
+)
+from .pipeline import BoolEOptions, BoolEPipeline, BoolEResult, run_boole
+from .rules_basic import basic_rules, full_basic_rules, lightweight_basic_rules
+from .rules_xor_maj import identification_rules, maj_rules, ruleset_summary, xor_rules
+
+__all__ = [
+    "ConstructionResult",
+    "aig_to_egraph",
+    "BoolEExtraction",
+    "BoolEExtractor",
+    "CostEntry",
+    "FABlockRecord",
+    "reconstruct_aig",
+    "FAInsertionReport",
+    "FAPair",
+    "count_npn_fa_pairs",
+    "insert_fa_structures",
+    "BoolEOptions",
+    "BoolEPipeline",
+    "BoolEResult",
+    "run_boole",
+    "basic_rules",
+    "full_basic_rules",
+    "lightweight_basic_rules",
+    "identification_rules",
+    "maj_rules",
+    "ruleset_summary",
+    "xor_rules",
+]

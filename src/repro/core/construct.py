@@ -1,0 +1,108 @@
+"""AIG → e-graph construction (Algorithm 1 of the paper).
+
+Nodes are inserted in topological order (leaves first) so that every child
+e-class exists before its parent e-node, exactly as Algorithm 1 requires.
+The construction records the correspondence between e-classes and original
+netlist literals so downstream consumers (reports, the verification bridge)
+can map recovered structures back to circuit signals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..aig import AIG, lit_is_compl, lit_not, lit_var
+from ..egraph import EGraph, ENode, Op
+
+__all__ = ["ConstructionResult", "aig_to_egraph"]
+
+
+@dataclass
+class ConstructionResult:
+    """The e-graph built from an AIG plus signal bookkeeping.
+
+    Attributes:
+        egraph: the constructed e-graph.
+        aig: the source netlist.
+        class_of_var: map from AIG variable index to its e-class id (as
+            created; call ``egraph.find`` before using after saturation).
+        output_classes: e-class ids of the primary-output signals, in output
+            order (complemented outputs get an explicit NOT class).
+        literal_classes: map from AIG literal to the e-class created for it
+            (positive literals always present; complemented ones when used).
+    """
+
+    egraph: EGraph
+    aig: AIG
+    class_of_var: Dict[int, int] = field(default_factory=dict)
+    output_classes: List[int] = field(default_factory=list)
+    literal_classes: Dict[int, int] = field(default_factory=dict)
+
+    def class_of_literal(self, lit: int) -> int:
+        """Return (creating if needed) the e-class of an AIG literal."""
+        existing = self.literal_classes.get(lit)
+        if existing is not None:
+            return self.egraph.find(existing)
+        var_class = self.egraph.find(self.class_of_var[lit_var(lit)])
+        if not lit_is_compl(lit):
+            return var_class
+        not_class = self.egraph.add(ENode(Op.NOT, (var_class,)))
+        self.literal_classes[lit] = not_class
+        return not_class
+
+    def literal_of_class(self, class_id: int) -> Optional[int]:
+        """Return an original AIG literal equivalent to ``class_id``, if any."""
+        target = self.egraph.find(class_id)
+        for lit, recorded in self.literal_classes.items():
+            if self.egraph.find(recorded) == target:
+                return lit
+        return None
+
+
+def aig_to_egraph(aig: AIG) -> ConstructionResult:
+    """Build an e-graph from an AIG (Algorithm 1).
+
+    Every AND gate becomes an ``&`` e-node whose children are the fanin
+    classes (with explicit ``~`` e-nodes for complemented fanin edges);
+    primary inputs become variable leaves and the constant becomes a constant
+    leaf.
+    """
+    egraph = EGraph()
+    result = ConstructionResult(egraph=egraph, aig=aig)
+
+    const_class = egraph.const(False)
+    result.class_of_var[0] = const_class
+    result.literal_classes[0] = const_class
+    result.literal_classes[1] = egraph.add(ENode(Op.NOT, (const_class,)))
+
+    for var in aig.inputs:
+        class_id = egraph.var(aig.input_names[var])
+        result.class_of_var[var] = class_id
+        result.literal_classes[2 * var] = class_id
+
+    def literal_class(lit: int) -> int:
+        positive = 2 * lit_var(lit)
+        base = result.literal_classes[positive]
+        if not lit_is_compl(lit):
+            return base
+        key = lit_not(positive)
+        existing = result.literal_classes.get(key)
+        if existing is None:
+            existing = egraph.add(ENode(Op.NOT, (base,)))
+            result.literal_classes[key] = existing
+        return existing
+
+    # Insert gates from leaves to roots (creation order is topological).
+    for gate in aig.topological_gates():
+        child0 = literal_class(gate.fanin0)
+        child1 = literal_class(gate.fanin1)
+        class_id = egraph.add(ENode(Op.AND, (child0, child1)))
+        result.class_of_var[gate.out_var] = class_id
+        result.literal_classes[2 * gate.out_var] = class_id
+
+    for lit in aig.outputs:
+        result.output_classes.append(literal_class(lit))
+
+    egraph.rebuild()
+    return result

@@ -1,0 +1,238 @@
+"""BoolE's DAG-based exact extraction (Algorithm 2) and netlist reconstruction.
+
+The extractor chooses one e-node per reachable e-class so that the number of
+distinct exact full adders in the extracted DAG is maximised (the paper's
+cost function assigns -1 to every exact-FA node); ties are broken towards
+smaller expressions.  Shared full adders are counted once because the cost of
+a class carries the *set* of FA classes used underneath it, not a scalar —
+this is the "DAG based extraction" that prevents double counting.
+
+``fa``/``fst``/``snd`` triples are atomic: the projection nodes have zero own
+cost and simply propagate the FA set of the tuple node, so selecting a sum
+projection always selects the full adder it belongs to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..aig import AIG
+from ..egraph import EGraph, ENode, Op
+from .construct import ConstructionResult
+
+__all__ = ["CostEntry", "BoolEExtraction", "BoolEExtractor", "FABlockRecord",
+           "reconstruct_aig"]
+
+_SIZE_CAP = 10**9
+
+
+@dataclass
+class CostEntry:
+    """Best known extraction choice for one e-class."""
+
+    fa_classes: FrozenSet[int]
+    size: int
+    node: ENode
+
+    def key(self) -> Tuple[int, int]:
+        """Lexicographic cost: maximise FAs, then minimise size."""
+        return (-len(self.fa_classes), self.size)
+
+
+@dataclass
+class BoolEExtraction:
+    """Result of the DAG extraction: one cost entry per reachable e-class."""
+
+    egraph: EGraph
+    entries: Dict[int, CostEntry] = field(default_factory=dict)
+
+    def entry(self, class_id: int) -> CostEntry:
+        """Return the entry for (the canonical class of) ``class_id``."""
+        return self.entries[self.egraph.find(class_id)]
+
+    def has_entry(self, class_id: int) -> bool:
+        """True if the extraction reached ``class_id``."""
+        return self.egraph.find(class_id) in self.entries
+
+    def num_exact_fas(self, roots: Sequence[int]) -> int:
+        """Number of distinct FAs used by the extraction of ``roots``."""
+        fa_classes: Set[int] = set()
+        for root in roots:
+            if self.has_entry(root):
+                fa_classes.update(self.entry(root).fa_classes)
+        return len(fa_classes)
+
+
+class BoolEExtractor:
+    """DAG cost extractor maximising the number of exact full adders."""
+
+    def __init__(self, node_cost: Optional[Dict[str, int]] = None) -> None:
+        self.node_cost = node_cost or {
+            Op.VAR: 0, Op.CONST: 0, Op.FST: 0, Op.SND: 0,
+            Op.NOT: 1, Op.AND: 1, Op.OR: 1, Op.XOR: 1, Op.XNOR: 1,
+            Op.NAND: 1, Op.NOR: 1, Op.XOR3: 2, Op.MAJ: 2, Op.FA: 2, Op.HA: 1,
+        }
+
+    def extract(self, egraph: EGraph,
+                roots: Optional[Sequence[int]] = None) -> BoolEExtraction:
+        """Run the bottom-up cost propagation (Algorithm 2).
+
+        The queue is seeded with every class; whenever a class's cost
+        improves, the classes whose e-nodes reference it are re-examined.
+        """
+        egraph.rebuild()
+        extraction = BoolEExtraction(egraph=egraph)
+        entries = extraction.entries
+
+        # parent map: child class -> classes containing a node that uses it.
+        parents: Dict[int, Set[int]] = {}
+        class_nodes: Dict[int, List[ENode]] = {}
+        for eclass in egraph.classes():
+            class_id = egraph.find(eclass.id)
+            nodes = egraph.enodes(class_id)
+            class_nodes[class_id] = nodes
+            for node in nodes:
+                for child in node.children:
+                    parents.setdefault(egraph.find(child), set()).add(class_id)
+
+        pending: Set[int] = set(class_nodes.keys())
+        queue: List[int] = list(class_nodes.keys())
+        while queue:
+            class_id = queue.pop()
+            pending.discard(class_id)
+            best = entries.get(class_id)
+            improved = False
+            for node in class_nodes[class_id]:
+                child_entries = []
+                feasible = True
+                for child in node.children:
+                    child_entry = entries.get(egraph.find(child))
+                    if child_entry is None:
+                        feasible = False
+                        break
+                    child_entries.append(child_entry)
+                if not feasible:
+                    continue
+                fa_classes: FrozenSet[int] = frozenset().union(
+                    *[entry.fa_classes for entry in child_entries]) \
+                    if child_entries else frozenset()
+                if node.op == Op.FA:
+                    fa_classes = fa_classes | {class_id}
+                size = min(_SIZE_CAP, self.node_cost.get(node.op, 1)
+                           + sum(entry.size for entry in child_entries))
+                candidate = CostEntry(fa_classes=fa_classes, size=size, node=node)
+                if best is None or candidate.key() < best.key():
+                    best = candidate
+                    improved = True
+            if improved and best is not None:
+                entries[class_id] = best
+                for parent in parents.get(class_id, ()):
+                    if parent not in pending:
+                        pending.add(parent)
+                        queue.append(parent)
+        return extraction
+
+
+@dataclass(frozen=True)
+class FABlockRecord:
+    """An exact full adder materialised in the reconstructed netlist.
+
+    Attributes:
+        inputs: literals (in the reconstructed AIG) of the three FA inputs.
+        sum_lit: literal of the sum output.
+        carry_lit: literal of the carry output.
+    """
+
+    inputs: Tuple[int, int, int]
+    sum_lit: int
+    carry_lit: int
+
+
+def reconstruct_aig(construction: ConstructionResult,
+                    extraction: BoolEExtraction,
+                    name: str = "") -> Tuple[AIG, List[FABlockRecord]]:
+    """Materialise the extracted expressions of all primary outputs as an AIG.
+
+    Full-adder tuple nodes become explicit sum/carry cones (recorded in the
+    returned block list) so the output netlist exposes the reconstructed adder
+    tree to downstream tools such as the SCA verifier.
+    """
+    egraph = extraction.egraph
+    source = construction.aig
+    aig = AIG(name=name or f"{source.name}_boole")
+    input_literal: Dict[str, int] = {}
+    for var in source.inputs:
+        input_literal[source.input_names[var]] = aig.add_input(source.input_names[var])
+
+    literal_memo: Dict[int, int] = {}
+    fa_memo: Dict[int, Tuple[int, int]] = {}
+    blocks: List[FABlockRecord] = []
+
+    def materialize_fa(class_id: int, visiting: Set[int]) -> Tuple[int, int]:
+        class_id = egraph.find(class_id)
+        if class_id in fa_memo:
+            return fa_memo[class_id]
+        node = extraction.entry(class_id).node
+        inputs = tuple(materialize(child, visiting) for child in node.children)
+        sum_lit, carry_lit = aig.full_adder(*inputs)
+        fa_memo[class_id] = (sum_lit, carry_lit)
+        blocks.append(FABlockRecord(inputs=inputs, sum_lit=sum_lit,
+                                    carry_lit=carry_lit))
+        return sum_lit, carry_lit
+
+    def materialize(class_id: int, visiting: Set[int]) -> int:
+        class_id = egraph.find(class_id)
+        if class_id in literal_memo:
+            return literal_memo[class_id]
+        if class_id in visiting:
+            raise RuntimeError("cyclic extraction choice encountered")
+        if not extraction.has_entry(class_id):
+            raise RuntimeError(f"extraction did not reach class {class_id}")
+        node = extraction.entry(class_id).node
+        visiting = visiting | {class_id}
+        literal = _materialize_node(node, class_id, visiting)
+        literal_memo[class_id] = literal
+        return literal
+
+    def _materialize_node(node: ENode, class_id: int, visiting: Set[int]) -> int:
+        if node.op == Op.VAR:
+            return input_literal[node.payload]
+        if node.op == Op.CONST:
+            return aig.const(bool(node.payload))
+        if node.op == Op.FST:
+            return materialize_fa(node.children[0], visiting)[1]
+        if node.op == Op.SND:
+            return materialize_fa(node.children[0], visiting)[0]
+        children = [materialize(child, visiting) for child in node.children]
+        if node.op == Op.NOT:
+            return aig.not_(children[0])
+        if node.op == Op.AND:
+            return aig.and_(children[0], children[1])
+        if node.op == Op.OR:
+            return aig.or_(children[0], children[1])
+        if node.op == Op.NAND:
+            return aig.nand_(children[0], children[1])
+        if node.op == Op.NOR:
+            return aig.nor_(children[0], children[1])
+        if node.op == Op.XOR:
+            return aig.xor_(children[0], children[1])
+        if node.op == Op.XNOR:
+            return aig.xnor_(children[0], children[1])
+        if node.op == Op.XOR3:
+            return aig.xor3_(children[0], children[1], children[2])
+        if node.op == Op.MAJ:
+            return aig.maj3_(children[0], children[1], children[2])
+        if node.op == Op.HA:
+            sum_lit, _carry = aig.half_adder(children[0], children[1])
+            return sum_lit
+        if node.op == Op.FA:
+            raise RuntimeError("FA tuple class reached outside FST/SND projection")
+        raise RuntimeError(f"cannot materialise operator {node.op!r}")
+
+    for class_id, lit, name_ in zip(construction.output_classes,
+                                    construction.aig.outputs,
+                                    construction.aig.output_names):
+        literal = materialize(class_id, set())
+        aig.add_output(literal, name_)
+    return aig, blocks

@@ -1,0 +1,136 @@
+"""Multi-output full-adder structure insertion and counting.
+
+Standard e-graphs only support single-output operators.  BoolE models the
+multi-output full adder by pairing XOR3 and MAJ e-nodes that share exactly
+the same input e-classes: an ``fa`` tuple node is inserted, and ``fst`` /
+``snd`` projection nodes are unioned with the carry (MAJ) and sum (XOR3)
+classes respectively (Figure 3 of the paper).  Extraction then treats the
+``fa``/``fst``/``snd`` triple as an atomic unit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..egraph import EGraph, ENode, Op
+
+__all__ = ["FAPair", "FAInsertionReport", "insert_fa_structures", "count_npn_fa_pairs"]
+
+
+@dataclass(frozen=True)
+class FAPair:
+    """A paired XOR3/MAJ discovery forming one exact full adder.
+
+    Attributes:
+        inputs: the three shared input e-class ids (sorted, canonical at
+            insertion time).
+        sum_class: e-class holding the XOR3 (sum) signal.
+        carry_class: e-class holding the MAJ (carry) signal.
+        fa_class: e-class of the inserted ``fa`` tuple node.
+    """
+
+    inputs: Tuple[int, int, int]
+    sum_class: int
+    carry_class: int
+    fa_class: int
+
+
+@dataclass
+class FAInsertionReport:
+    """Result of the FA pairing pass."""
+
+    pairs: List[FAPair] = field(default_factory=list)
+
+    @property
+    def num_exact_fas(self) -> int:
+        """Number of exact FA structures inserted into the e-graph."""
+        return len(self.pairs)
+
+
+def insert_fa_structures(egraph: EGraph) -> FAInsertionReport:
+    """Pair XOR3/MAJ e-nodes with identical inputs and insert FA structures.
+
+    Returns the list of inserted pairs.  The e-graph is rebuilt afterwards.
+    """
+    egraph.rebuild()
+    xor_by_inputs: Dict[Tuple[int, ...], int] = {}
+    maj_by_inputs: Dict[Tuple[int, ...], int] = {}
+    for eclass in list(egraph.classes()):
+        class_id = egraph.find(eclass.id)
+        for node in egraph.enodes(class_id):
+            if node.op not in (Op.XOR3, Op.MAJ):
+                continue
+            key = tuple(sorted(egraph.find(child) for child in node.children))
+            if len(set(key)) != 3:
+                continue  # degenerate (repeated input) blocks are not FAs
+            if node.op == Op.XOR3:
+                xor_by_inputs.setdefault(key, class_id)
+            else:
+                maj_by_inputs.setdefault(key, class_id)
+
+    report = FAInsertionReport()
+    for key, sum_class in xor_by_inputs.items():
+        carry_class = maj_by_inputs.get(key)
+        if carry_class is None:
+            continue
+        fa_class = egraph.add(ENode(Op.FA, key))
+        fst_class = egraph.add(ENode(Op.FST, (fa_class,)))
+        snd_class = egraph.add(ENode(Op.SND, (fa_class,)))
+        egraph.union(fst_class, carry_class)
+        egraph.union(snd_class, sum_class)
+        report.pairs.append(FAPair(
+            inputs=key,
+            sum_class=egraph.find(sum_class),
+            carry_class=egraph.find(carry_class),
+            fa_class=egraph.find(fa_class),
+        ))
+    egraph.rebuild()
+    return report
+
+
+def _complement_map(egraph: EGraph) -> Dict[int, int]:
+    """Map each e-class to the class of its complement (where one exists)."""
+    complements: Dict[int, int] = {}
+    for eclass in egraph.classes():
+        class_id = egraph.find(eclass.id)
+        for node in egraph.enodes(class_id):
+            if node.op == Op.NOT:
+                child = egraph.find(node.children[0])
+                complements[class_id] = child
+                complements.setdefault(child, class_id)
+    return complements
+
+
+def count_npn_fa_pairs(egraph: EGraph) -> int:
+    """Count FA structures up to NPN equivalence of their inputs.
+
+    Two discoveries whose input classes agree modulo complementation (an input
+    arriving in the opposite polarity) describe the same NPN full adder; this
+    is the quantity Figure 4 reports as "NPN FAs" for BoolE.
+    """
+    egraph.rebuild()
+    complements = _complement_map(egraph)
+
+    def canonical_input(class_id: int) -> int:
+        other = complements.get(class_id)
+        if other is None:
+            return class_id
+        return min(class_id, other)
+
+    xor_keys: Set[Tuple[int, ...]] = set()
+    maj_keys: Set[Tuple[int, ...]] = set()
+    for eclass in egraph.classes():
+        class_id = egraph.find(eclass.id)
+        for node in egraph.enodes(class_id):
+            if node.op not in (Op.XOR3, Op.MAJ):
+                continue
+            key = tuple(sorted(canonical_input(egraph.find(child))
+                               for child in node.children))
+            if len(set(key)) != 3:
+                continue
+            if node.op == Op.XOR3:
+                xor_keys.add(key)
+            else:
+                maj_keys.add(key)
+    return len(xor_keys & maj_keys)

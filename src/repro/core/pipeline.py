@@ -1,0 +1,207 @@
+"""The end-to-end BoolE pipeline (Figure 2 of the paper).
+
+``BoolEPipeline.run`` takes a gate-level AIG and performs:
+
+1. e-graph construction (Algorithm 1),
+2. two-phase incremental saturation — R1 basic Boolean rules followed by R2
+   XOR/MAJ identification rules (optimisation trick 2),
+3. redundancy pruning of permuted XOR3/MAJ/FA e-nodes (trick 3),
+4. multi-output FA structure insertion (Figure 3),
+5. DAG-based exact extraction (Algorithm 2) and
+6. reconstruction of the extracted netlist as an AIG exposing the recovered
+   full adders.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..aig import AIG
+from ..egraph import Op, Runner, RunnerLimits, RunnerReport
+from .construct import ConstructionResult, aig_to_egraph
+from .extraction import (
+    BoolEExtraction,
+    BoolEExtractor,
+    FABlockRecord,
+    reconstruct_aig,
+)
+from .fa_structure import FAInsertionReport, count_npn_fa_pairs, insert_fa_structures
+from .rules_basic import basic_rules
+from .rules_xor_maj import identification_rules
+
+__all__ = ["BoolEOptions", "BoolEResult", "BoolEPipeline", "run_boole"]
+
+
+@dataclass
+class BoolEOptions:
+    """Configuration of the BoolE pipeline.
+
+    Attributes:
+        r1_iterations: iteration budget for the basic-rule phase (the paper
+            uses 10; smaller values already saturate the lightweight ruleset).
+        r2_iterations: iteration budget for the identification phase (paper: 3).
+        lightweight_rules: use the pruned R1 subset (paper trick 1).
+        include_rule_variants: generate the input-negation variants of R2.
+        max_nodes: e-graph node limit per phase.
+        time_limit: wall-clock limit (seconds) per phase.
+        max_matches_per_rule: per-rule match cap per iteration.
+        prune_redundant: delete duplicate permuted XOR3/MAJ/FA e-nodes after
+            saturation (paper trick 3).
+        extract: run DAG extraction and netlist reconstruction.
+        count_npn: count NPN FA pairs on the saturated e-graph.
+    """
+
+    r1_iterations: int = 6
+    r2_iterations: int = 4
+    lightweight_rules: bool = True
+    include_rule_variants: bool = True
+    max_nodes: int = 400_000
+    time_limit: float = 120.0
+    max_matches_per_rule: Optional[int] = 100_000
+    prune_redundant: bool = True
+    extract: bool = True
+    count_npn: bool = True
+
+
+@dataclass
+class BoolEResult:
+    """Everything the pipeline produces for one input netlist."""
+
+    source: AIG
+    construction: ConstructionResult
+    r1_report: RunnerReport
+    r2_report: RunnerReport
+    fa_report: FAInsertionReport
+    extraction: Optional[BoolEExtraction] = None
+    extracted_aig: Optional[AIG] = None
+    fa_blocks: List[FABlockRecord] = field(default_factory=list)
+    num_npn_fas: int = 0
+    timings: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def num_exact_fas(self) -> int:
+        """Exact FAs present in the extracted netlist (distinct FA blocks)."""
+        return len(self.fa_blocks)
+
+    @property
+    def num_paired_fas(self) -> int:
+        """Exact FA structures paired in the e-graph (before extraction)."""
+        return self.fa_report.num_exact_fas
+
+    @property
+    def total_runtime(self) -> float:
+        """End-to-end runtime in seconds."""
+        return self.timings.get("total", 0.0)
+
+    @property
+    def egraph_classes(self) -> int:
+        """Number of e-classes after saturation."""
+        return self.construction.egraph.num_classes
+
+    @property
+    def egraph_nodes(self) -> int:
+        """Number of e-nodes after saturation."""
+        return self.construction.egraph.num_nodes
+
+    def summary(self) -> Dict[str, float]:
+        """Compact numeric summary used by the benchmark harness."""
+        return {
+            "aig_nodes": self.source.num_gates,
+            "egraph_classes": self.egraph_classes,
+            "egraph_nodes": self.egraph_nodes,
+            "exact_fas": self.num_exact_fas,
+            "paired_fas": self.num_paired_fas,
+            "npn_fas": self.num_npn_fas,
+            "runtime": self.total_runtime,
+        }
+
+
+class BoolEPipeline:
+    """Exact symbolic reasoning for Boolean netlists via equality saturation."""
+
+    def __init__(self, options: Optional[BoolEOptions] = None) -> None:
+        self.options = options or BoolEOptions()
+        self._r1 = basic_rules(lightweight=self.options.lightweight_rules)
+        self._r2 = identification_rules(self.options.include_rule_variants)
+
+    @property
+    def num_rules(self) -> Dict[str, int]:
+        """Rule counts of the two phases."""
+        return {"R1": len(self._r1), "R2": len(self._r2)}
+
+    def run(self, aig: AIG) -> BoolEResult:
+        """Run the full BoolE flow on an AIG and return the result bundle."""
+        options = self.options
+        timings: Dict[str, float] = {}
+        start = time.perf_counter()
+
+        t0 = time.perf_counter()
+        construction = aig_to_egraph(aig)
+        timings["construct"] = time.perf_counter() - t0
+        egraph = construction.egraph
+
+        limits = RunnerLimits(
+            max_iterations=options.r1_iterations,
+            max_nodes=options.max_nodes,
+            time_limit=options.time_limit,
+            max_matches_per_rule=options.max_matches_per_rule,
+        )
+        t0 = time.perf_counter()
+        r1_report = Runner(limits).run(egraph, self._r1)
+        timings["r1"] = time.perf_counter() - t0
+
+        limits = RunnerLimits(
+            max_iterations=options.r2_iterations,
+            max_nodes=options.max_nodes,
+            time_limit=options.time_limit,
+            max_matches_per_rule=options.max_matches_per_rule,
+        )
+        t0 = time.perf_counter()
+        r2_report = Runner(limits).run(egraph, self._r2)
+        timings["r2"] = time.perf_counter() - t0
+
+        if options.prune_redundant:
+            t0 = time.perf_counter()
+            egraph.prune_duplicates({Op.XOR3, Op.MAJ, Op.FA, Op.XOR, Op.AND, Op.OR})
+            timings["prune"] = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        fa_report = insert_fa_structures(egraph)
+        timings["fa_pairing"] = time.perf_counter() - t0
+
+        num_npn = 0
+        if options.count_npn:
+            t0 = time.perf_counter()
+            num_npn = count_npn_fa_pairs(egraph)
+            timings["npn_count"] = time.perf_counter() - t0
+
+        result = BoolEResult(
+            source=aig,
+            construction=construction,
+            r1_report=r1_report,
+            r2_report=r2_report,
+            fa_report=fa_report,
+            num_npn_fas=num_npn,
+            timings=timings,
+        )
+
+        if options.extract:
+            t0 = time.perf_counter()
+            extraction = BoolEExtractor().extract(egraph)
+            timings["extract"] = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            extracted, blocks = reconstruct_aig(construction, extraction)
+            timings["reconstruct"] = time.perf_counter() - t0
+            result.extraction = extraction
+            result.extracted_aig = extracted
+            result.fa_blocks = blocks
+
+        timings["total"] = time.perf_counter() - start
+        return result
+
+
+def run_boole(aig: AIG, options: Optional[BoolEOptions] = None) -> BoolEResult:
+    """Convenience wrapper: run the BoolE pipeline with ``options`` on ``aig``."""
+    return BoolEPipeline(options).run(aig)

@@ -1,0 +1,111 @@
+"""Ruleset R1: basic Boolean-algebra rewrite rules.
+
+The paper's R1 contains 68 basic Boolean rules (commutativity, associativity,
+De Morgan, identities, absorption, distributivity, consensus, ...) whose job
+is to expand the e-graph with functionally equivalent forms before the
+XOR/MAJ identification rules of R2 run.  BoolE also ships a *lightweight*
+subset, pruned for scalability on large benchmarks (optimisation trick 1 in
+Section IV-A2); the same split is provided here.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..egraph import Rewrite
+
+__all__ = ["basic_rules", "lightweight_basic_rules", "full_basic_rules"]
+
+
+def _directed(name: str, lhs: str, rhs: str) -> List[Rewrite]:
+    return [Rewrite.parse(name, lhs, rhs, group="R1")]
+
+
+def _both(name: str, lhs: str, rhs: str) -> List[Rewrite]:
+    return [Rewrite.parse(f"{name}-lr", lhs, rhs, group="R1"),
+            Rewrite.parse(f"{name}-rl", rhs, lhs, group="R1")]
+
+
+def _core_rules() -> List[Rewrite]:
+    """Rules that are always active (lightweight subset).
+
+    The lightweight profile keeps the e-graph growth roughly linear: De
+    Morgan is applied in the direction that introduces OR views of the
+    AND/NOT netlist (the form the R2 identification patterns use), and the
+    explosive regrouping rules (AND/OR associativity, distributivity) are
+    reserved for the full profile.
+    """
+    rules: List[Rewrite] = []
+    # Commutativity.
+    rules += _directed("and-comm", "(& ?a ?b)", "(& ?b ?a)")
+    rules += _directed("or-comm", "(| ?a ?b)", "(| ?b ?a)")
+    # Double negation.
+    rules += _directed("not-not", "(~ (~ ?a))", "?a")
+    # De Morgan, applied towards the OR view of the netlist.
+    rules += _directed("demorgan-and", "(~ (& ?a ?b))", "(| (~ ?a) (~ ?b))")
+    rules += _directed("or-intro", "(~ (& (~ ?a) (~ ?b)))", "(| ?a ?b)")
+    rules += _directed("nor-intro", "(& (~ ?a) (~ ?b))", "(~ (| ?a ?b))")
+    # Identity / annihilator.
+    rules += _directed("and-true", "(& ?a 1)", "?a")
+    rules += _directed("and-false", "(& ?a 0)", "0")
+    rules += _directed("or-false", "(| ?a 0)", "?a")
+    rules += _directed("or-true", "(| ?a 1)", "1")
+    # Idempotence and complement.
+    rules += _directed("and-idem", "(& ?a ?a)", "?a")
+    rules += _directed("or-idem", "(| ?a ?a)", "?a")
+    rules += _directed("and-compl", "(& ?a (~ ?a))", "0")
+    rules += _directed("or-compl", "(| ?a (~ ?a))", "1")
+    # Absorption.
+    rules += _directed("and-absorb", "(& ?a (| ?a ?b))", "?a")
+    rules += _directed("or-absorb", "(| ?a (& ?a ?b))", "?a")
+    return rules
+
+
+def _extended_rules() -> List[Rewrite]:
+    """Rules only enabled in the full (non-lightweight) R1 configuration."""
+    rules: List[Rewrite] = []
+    # Reverse De Morgan directions.
+    rules += _directed("demorgan-and-rl", "(| (~ ?a) (~ ?b))", "(~ (& ?a ?b))")
+    rules += _both("demorgan-or", "(~ (| ?a ?b))", "(& (~ ?a) (~ ?b))")
+    # Associativity (explosive: every regrouping of every AND/OR tree).
+    rules += _both("and-assoc", "(& (& ?a ?b) ?c)", "(& ?a (& ?b ?c))")
+    rules += _both("or-assoc", "(| (| ?a ?b) ?c)", "(| ?a (| ?b ?c))")
+    rules += _directed("and-assoc-swap", "(& (& ?a ?b) ?c)", "(& (& ?a ?c) ?b)")
+    rules += _directed("or-assoc-swap", "(| (| ?a ?b) ?c)", "(| (| ?a ?c) ?b)")
+    # Distributivity (both directions; expensive, excluded from lightweight).
+    rules += _both("and-over-or", "(& ?a (| ?b ?c))", "(| (& ?a ?b) (& ?a ?c))")
+    rules += _both("or-over-and", "(| ?a (& ?b ?c))", "(& (| ?a ?b) (| ?a ?c))")
+    # Absorption variants.
+    rules += _directed("and-absorb-neg", "(& ?a (| (~ ?a) ?b))", "(& ?a ?b)")
+    rules += _directed("or-absorb-neg", "(| ?a (& (~ ?a) ?b))", "(| ?a ?b)")
+    # Consensus.
+    rules += _directed("consensus",
+                       "(| (| (& ?a ?b) (& (~ ?a) ?c)) (& ?b ?c))",
+                       "(| (& ?a ?b) (& (~ ?a) ?c))")
+    # Redundant literal removal.
+    rules += _directed("and-or-same", "(& (| ?a ?b) (| ?a (~ ?b)))", "?a")
+    rules += _directed("or-and-same", "(| (& ?a ?b) (& ?a (~ ?b)))", "?a")
+    # Constant propagation through NOT.
+    rules += _directed("not-true", "(~ 1)", "0")
+    rules += _directed("not-false", "(~ 0)", "1")
+    # NAND/NOR style regroupings that show up after technology mapping.
+    rules += _directed("nand-nand", "(~ (& (~ (& ?a ?b)) (~ (& ?a ?c))))",
+                       "(& ?a (| ?b ?c))")
+    rules += _directed("nor-nor", "(~ (| (~ (| ?a ?b)) (~ (| ?a ?c))))",
+                       "(| ?a (& ?b ?c))")
+    return rules
+
+
+def lightweight_basic_rules() -> List[Rewrite]:
+    """The pruned R1 used by default on large benchmarks."""
+    return _core_rules()
+
+
+def full_basic_rules() -> List[Rewrite]:
+    """The complete R1 ruleset."""
+    return _core_rules() + _extended_rules()
+
+
+def basic_rules(lightweight: bool = True) -> List[Rewrite]:
+    """Return R1, either the lightweight subset or the full set."""
+    return lightweight_basic_rules() if lightweight else full_basic_rules()

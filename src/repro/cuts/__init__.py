@@ -1,0 +1,26 @@
+"""Cut enumeration and NPN classification (ABC-style structural substrate)."""
+
+from .enumeration import Cut, CutSet, cut_function, enumerate_cuts
+from .npn import (
+    MAJ3_NPN_CANON,
+    XOR3_NPN_CANON,
+    apply_input_negation,
+    apply_permutation,
+    npn_canonical,
+    npn_class_of,
+    npn_equivalent,
+)
+
+__all__ = [
+    "Cut",
+    "CutSet",
+    "cut_function",
+    "enumerate_cuts",
+    "MAJ3_NPN_CANON",
+    "XOR3_NPN_CANON",
+    "apply_input_negation",
+    "apply_permutation",
+    "npn_canonical",
+    "npn_class_of",
+    "npn_equivalent",
+]

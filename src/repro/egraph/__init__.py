@@ -1,0 +1,59 @@
+"""A from-scratch e-graph / equality-saturation engine (egg substitute)."""
+
+from .egraph import EClass, EGraph
+from .enode import ENode, Op, OPERATOR_ARITIES, is_leaf_op
+from .extract import (
+    DEFAULT_OP_COSTS,
+    ExtractionChoice,
+    ExtractionResult,
+    TreeCostExtractor,
+    count_ops,
+    default_cost,
+    expr_of,
+)
+from .pattern import (
+    Pattern,
+    PatternNode,
+    PatternVar,
+    ematch,
+    instantiate,
+    match_in_class,
+    parse_pattern,
+    pattern_vars,
+)
+from .rewrite import Rewrite, RuleStats, apply_rules
+from .runner import IterationReport, Runner, RunnerLimits, RunnerReport, StopReason
+from .unionfind import UnionFind
+
+__all__ = [
+    "EClass",
+    "EGraph",
+    "ENode",
+    "Op",
+    "OPERATOR_ARITIES",
+    "is_leaf_op",
+    "DEFAULT_OP_COSTS",
+    "ExtractionChoice",
+    "ExtractionResult",
+    "TreeCostExtractor",
+    "count_ops",
+    "default_cost",
+    "expr_of",
+    "Pattern",
+    "PatternNode",
+    "PatternVar",
+    "ematch",
+    "instantiate",
+    "match_in_class",
+    "parse_pattern",
+    "pattern_vars",
+    "Rewrite",
+    "RuleStats",
+    "apply_rules",
+    "IterationReport",
+    "Runner",
+    "RunnerLimits",
+    "RunnerReport",
+    "StopReason",
+    "UnionFind",
+]

@@ -1,0 +1,288 @@
+"""The e-graph data structure: hash-consed e-nodes grouped into e-classes.
+
+This is a from-scratch Python implementation of the data structure described
+in the egg paper (Willsey et al., POPL 2021), providing the operations BoolE
+needs: insertion with hash-consing, union, deferred rebuilding (congruence
+closure), per-operator indexing for e-matching, and pruning helpers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Set, Tuple
+
+from .enode import ENode, Op, is_leaf_op
+from .unionfind import UnionFind
+
+__all__ = ["EClass", "EGraph"]
+
+
+@dataclass
+class EClass:
+    """An equivalence class of e-nodes.
+
+    Attributes:
+        id: canonical id of the class (kept in sync by the e-graph).
+        nodes: the e-nodes belonging to this class (children may be stale
+            between rebuilds; they are canonicalised lazily).
+        parents: list of ``(parent_enode, parent_class_id)`` pairs used for
+            congruence repair during rebuilding.
+    """
+
+    id: int
+    nodes: Set[ENode] = field(default_factory=set)
+    parents: List[Tuple[ENode, int]] = field(default_factory=list)
+
+
+class EGraph:
+    """A congruence-closed e-graph over :class:`~repro.egraph.enode.ENode`.
+
+    The public API mirrors egg: :meth:`add`, :meth:`union`, :meth:`rebuild`,
+    :meth:`find`, plus convenience constructors for Boolean terms.
+    """
+
+    def __init__(self) -> None:
+        self._union_find = UnionFind()
+        self._classes: Dict[int, EClass] = {}
+        self._hashcons: Dict[ENode, int] = {}
+        self._pending: List[int] = []
+        self._clean = True
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+    @property
+    def num_classes(self) -> int:
+        """Number of (canonical) e-classes."""
+        return len(self._classes)
+
+    @property
+    def num_nodes(self) -> int:
+        """Total number of e-nodes across all classes."""
+        return sum(len(cls.nodes) for cls in self._classes.values())
+
+    @property
+    def is_clean(self) -> bool:
+        """True when the congruence invariant holds (no pending unions)."""
+        return self._clean
+
+    def find(self, class_id: int) -> int:
+        """Return the canonical id of an e-class."""
+        return self._union_find.find(class_id)
+
+    def classes(self) -> Iterator[EClass]:
+        """Iterate over the canonical e-classes."""
+        return iter(self._classes.values())
+
+    def eclass(self, class_id: int) -> EClass:
+        """Return the canonical :class:`EClass` containing ``class_id``."""
+        return self._classes[self.find(class_id)]
+
+    def enodes(self, class_id: int) -> List[ENode]:
+        """Return the canonicalised e-nodes of a class."""
+        return [node.canonicalize(self.find) for node in self.eclass(class_id).nodes]
+
+    def __contains__(self, node: ENode) -> bool:
+        return node.canonicalize(self.find) in self._hashcons
+
+    def lookup(self, node: ENode) -> Optional[int]:
+        """Return the class id of ``node`` if it is already present."""
+        canonical = node.canonicalize(self.find)
+        found = self._hashcons.get(canonical)
+        return None if found is None else self.find(found)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add(self, node: ENode) -> int:
+        """Insert an e-node and return its (canonical) e-class id."""
+        canonical = node.canonicalize(self.find)
+        existing = self._hashcons.get(canonical)
+        if existing is not None:
+            return self.find(existing)
+        class_id = self._union_find.make_set()
+        eclass = EClass(id=class_id)
+        eclass.nodes.add(canonical)
+        self._classes[class_id] = eclass
+        self._hashcons[canonical] = class_id
+        for child in canonical.children:
+            self._classes[self.find(child)].parents.append((canonical, class_id))
+        return class_id
+
+    def add_leaf(self, op: str, payload: Hashable) -> int:
+        """Insert a leaf node (variable or constant)."""
+        return self.add(ENode(op, (), payload))
+
+    def var(self, name: str) -> int:
+        """Insert (or look up) the variable ``name``."""
+        return self.add_leaf(Op.VAR, name)
+
+    def const(self, value: bool) -> int:
+        """Insert (or look up) a Boolean constant."""
+        return self.add_leaf(Op.CONST, bool(value))
+
+    def add_term(self, op: str, *children: int) -> int:
+        """Insert an operator node over existing class ids."""
+        return self.add(ENode(op, tuple(children)))
+
+    def add_expr(self, expr) -> int:
+        """Insert a nested tuple expression.
+
+        ``expr`` is either a string (variable name), a bool/int constant, or a
+        tuple ``(op, child_expr...)``.  Returns the e-class id of the root.
+        """
+        if isinstance(expr, bool):
+            return self.const(expr)
+        if isinstance(expr, int):
+            return self.const(bool(expr))
+        if isinstance(expr, str):
+            return self.var(expr)
+        if isinstance(expr, tuple) and expr:
+            op = expr[0]
+            children = [self.add_expr(child) for child in expr[1:]]
+            return self.add_term(op, *children)
+        raise TypeError(f"cannot interpret expression {expr!r}")
+
+    # ------------------------------------------------------------------
+    # Union and rebuilding
+    # ------------------------------------------------------------------
+    def union(self, a: int, b: int) -> bool:
+        """Assert that classes ``a`` and ``b`` are equivalent.
+
+        Returns True if the e-graph changed (the classes were distinct).
+        """
+        root_a = self.find(a)
+        root_b = self.find(b)
+        if root_a == root_b:
+            return False
+        # Keep the class with more parents as the leader to move less data.
+        if len(self._classes[root_a].parents) < len(self._classes[root_b].parents):
+            root_a, root_b = root_b, root_a
+        self._union_find.union(root_a, root_b)
+        class_a = self._classes[root_a]
+        class_b = self._classes.pop(root_b)
+        class_a.nodes.update(class_b.nodes)
+        class_a.parents.extend(class_b.parents)
+        self._pending.append(root_a)
+        self._clean = False
+        return True
+
+    def rebuild(self) -> int:
+        """Restore the congruence invariant; returns the number of repairs."""
+        repairs = 0
+        while self._pending:
+            todo = {self.find(class_id) for class_id in self._pending}
+            self._pending.clear()
+            for class_id in todo:
+                repairs += self._repair(class_id)
+        self._clean = True
+        return repairs
+
+    def _repair(self, class_id: int) -> int:
+        class_id = self.find(class_id)
+        eclass = self._classes.get(class_id)
+        if eclass is None:
+            return 0
+        repairs = 0
+
+        # Re-canonicalise the parents and detect congruent duplicates.
+        seen: Dict[ENode, int] = {}
+        new_parents: List[Tuple[ENode, int]] = []
+        for parent_node, parent_class in eclass.parents:
+            canonical = parent_node.canonicalize(self.find)
+            stale = self._hashcons.pop(parent_node, None)
+            if stale is not None and parent_node != canonical:
+                # keep hashcons keyed by canonical form
+                pass
+            existing = seen.get(canonical)
+            parent_root = self.find(parent_class)
+            if existing is not None:
+                if self.find(existing) != parent_root:
+                    self.union(existing, parent_root)
+                    repairs += 1
+                parent_root = self.find(existing)
+            else:
+                seen[canonical] = parent_root
+            previous = self._hashcons.get(canonical)
+            if previous is not None and self.find(previous) != parent_root:
+                self.union(previous, parent_root)
+                repairs += 1
+                parent_root = self.find(previous)
+            self._hashcons[canonical] = parent_root
+            new_parents.append((canonical, parent_root))
+
+        root = self.find(class_id)
+        current = self._classes.get(root)
+        if current is None:
+            return repairs
+        if root == class_id:
+            current.parents = new_parents
+        else:
+            # The class was merged away during repair (self-referential
+            # union); its parents were already moved by ``union``.
+            current.parents.extend(new_parents)
+
+        # Canonicalise the nodes stored in the (possibly merged) class.
+        current.nodes = {node.canonicalize(self.find) for node in current.nodes}
+        return repairs
+
+    # ------------------------------------------------------------------
+    # Indexing and maintenance helpers
+    # ------------------------------------------------------------------
+    def op_index(self) -> Dict[str, List[Tuple[int, ENode]]]:
+        """Build a snapshot index mapping operator -> [(class_id, enode)].
+
+        The e-graph should be clean (rebuilt) before taking a snapshot.
+        """
+        index: Dict[str, List[Tuple[int, ENode]]] = {}
+        for eclass in self._classes.values():
+            class_id = eclass.id
+            for node in eclass.nodes:
+                canonical = node.canonicalize(self.find)
+                index.setdefault(canonical.op, []).append((class_id, canonical))
+        return index
+
+    def class_ids(self) -> List[int]:
+        """Return the list of canonical class ids."""
+        return list(self._classes.keys())
+
+    def prune_duplicates(self, ops: Iterable[str]) -> int:
+        """Drop redundant e-nodes that differ only by child permutation.
+
+        For commutative/symmetric operators (the paper prunes ``XOR``, ``MAJ``
+        and ``FA`` variants produced by commutativity) only one representative
+        per multiset of children is kept inside each e-class.  Returns the
+        number of removed e-nodes.
+        """
+        ops = set(ops)
+        removed = 0
+        for eclass in self._classes.values():
+            kept: Dict[Tuple, ENode] = {}
+            new_nodes: Set[ENode] = set()
+            for node in eclass.nodes:
+                canonical = node.canonicalize(self.find)
+                if canonical.op in ops:
+                    key = (canonical.op, tuple(sorted(canonical.children)),
+                           canonical.payload)
+                    if key in kept:
+                        removed += 1
+                        continue
+                    kept[key] = canonical
+                new_nodes.add(canonical)
+            eclass.nodes = new_nodes
+        return removed
+
+    def total_size(self) -> Tuple[int, int]:
+        """Return ``(num_classes, num_nodes)``."""
+        return self.num_classes, self.num_nodes
+
+    def dump(self, limit: int = 50) -> str:  # pragma: no cover - debugging aid
+        """Return a human-readable dump of the first ``limit`` classes."""
+        lines = []
+        for count, eclass in enumerate(self._classes.values()):
+            if count >= limit:
+                lines.append("...")
+                break
+            nodes = ", ".join(str(node) for node in eclass.nodes)
+            lines.append(f"class {eclass.id}: {nodes}")
+        return "\n".join(lines)

@@ -1,0 +1,176 @@
+"""Generic e-graph extraction: pick one representative e-node per e-class.
+
+Two extractors are provided here:
+
+* :class:`TreeCostExtractor` — the classic egg-style bottom-up extractor with
+  an additive scalar cost per operator (tree cost, shared sub-expressions are
+  counted once per use).
+* helpers to materialise the chosen representatives into ordinary nested
+  expressions and to count operators.
+
+The BoolE-specific DAG extractor that maximises the number of exact full
+adders lives in :mod:`repro.core.extraction`; it reuses the utilities here.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .egraph import EGraph
+from .enode import ENode, Op
+
+__all__ = [
+    "CostFunction",
+    "ExtractionChoice",
+    "ExtractionResult",
+    "TreeCostExtractor",
+    "DEFAULT_OP_COSTS",
+    "default_cost",
+    "expr_of",
+    "count_ops",
+]
+
+CostFunction = Callable[[ENode, Sequence[float]], float]
+
+#: Default per-operator costs used by the tree extractor.  Structural
+#: operators that BoolE wants to surface (FA, XOR3, MAJ) are slightly cheaper
+#: than re-expressing them through AND/NOT gates.
+DEFAULT_OP_COSTS: Dict[str, float] = {
+    Op.VAR: 0.0,
+    Op.CONST: 0.0,
+    Op.NOT: 0.25,
+    Op.AND: 1.0,
+    Op.OR: 1.0,
+    Op.NAND: 1.0,
+    Op.NOR: 1.0,
+    Op.XOR: 1.0,
+    Op.XNOR: 1.0,
+    Op.XOR3: 1.5,
+    Op.MAJ: 1.5,
+    Op.FA: 0.5,
+    Op.HA: 0.5,
+    Op.FST: 0.0,
+    Op.SND: 0.0,
+}
+
+
+def default_cost(node: ENode, child_costs: Sequence[float]) -> float:
+    """Additive cost: per-op weight plus the cost of the chosen children."""
+    return DEFAULT_OP_COSTS.get(node.op, 1.0) + sum(child_costs)
+
+
+@dataclass
+class ExtractionChoice:
+    """The selected e-node and cost for one e-class."""
+
+    cost: float
+    node: ENode
+
+
+@dataclass
+class ExtractionResult:
+    """Result of extraction: one chosen e-node per reachable e-class."""
+
+    egraph: EGraph
+    choices: Dict[int, ExtractionChoice] = field(default_factory=dict)
+
+    def choice(self, class_id: int) -> ExtractionChoice:
+        """Return the choice for (the canonical class of) ``class_id``."""
+        return self.choices[self.egraph.find(class_id)]
+
+    def has_choice(self, class_id: int) -> bool:
+        """True if extraction reached ``class_id``."""
+        return self.egraph.find(class_id) in self.choices
+
+    def node_of(self, class_id: int) -> ENode:
+        """Return the chosen e-node of a class."""
+        return self.choice(class_id).node
+
+    def cost_of(self, class_id: int) -> float:
+        """Return the extraction cost of a class."""
+        return self.choice(class_id).cost
+
+    def reachable_classes(self, roots: Sequence[int]) -> List[int]:
+        """Return all classes reachable from ``roots`` through chosen nodes."""
+        seen: List[int] = []
+        seen_set = set()
+        stack = [self.egraph.find(root) for root in roots]
+        while stack:
+            class_id = stack.pop()
+            if class_id in seen_set:
+                continue
+            seen_set.add(class_id)
+            seen.append(class_id)
+            node = self.node_of(class_id)
+            for child in node.children:
+                stack.append(self.egraph.find(child))
+        return seen
+
+
+class TreeCostExtractor:
+    """Classic bottom-up extractor minimising an additive tree cost."""
+
+    def __init__(self, cost_function: Optional[CostFunction] = None) -> None:
+        self.cost_function = cost_function or default_cost
+
+    def extract(self, egraph: EGraph,
+                roots: Optional[Sequence[int]] = None) -> ExtractionResult:
+        """Compute the minimum-cost representative for every e-class.
+
+        ``roots`` is accepted for interface parity with the DAG extractor but
+        the computation is global (costs are per-class).
+        """
+        egraph.rebuild()
+        result = ExtractionResult(egraph=egraph)
+        choices = result.choices
+
+        changed = True
+        while changed:
+            changed = False
+            for eclass in egraph.classes():
+                class_id = egraph.find(eclass.id)
+                best = choices.get(class_id)
+                for node in egraph.enodes(class_id):
+                    child_choices = []
+                    feasible = True
+                    for child in node.children:
+                        child_choice = choices.get(egraph.find(child))
+                        if child_choice is None:
+                            feasible = False
+                            break
+                        child_choices.append(child_choice.cost)
+                    if not feasible:
+                        continue
+                    cost = self.cost_function(node, child_choices)
+                    if best is None or cost < best.cost - 1e-12:
+                        best = ExtractionChoice(cost=cost, node=node)
+                        choices[class_id] = best
+                        changed = True
+        return result
+
+
+def expr_of(result: ExtractionResult, class_id: int, _depth: int = 0):
+    """Materialise the extracted expression of ``class_id`` as nested tuples.
+
+    Variables become their name string, constants become booleans, and
+    operator nodes become ``(op, child_expr, ...)`` tuples.  Shared structure
+    is duplicated (tree view); use :meth:`ExtractionResult.reachable_classes`
+    for DAG-aware processing.
+    """
+    node = result.node_of(class_id)
+    if node.op == Op.VAR:
+        return node.payload
+    if node.op == Op.CONST:
+        return bool(node.payload)
+    return tuple([node.op] + [expr_of(result, child) for child in node.children])
+
+
+def count_ops(result: ExtractionResult, roots: Sequence[int]) -> Dict[str, int]:
+    """Count chosen operators over the DAG reachable from ``roots``."""
+    counts: Dict[str, int] = {}
+    for class_id in result.reachable_classes(roots):
+        op = result.node_of(class_id).op
+        counts[op] = counts.get(op, 0) + 1
+    return counts

@@ -1,0 +1,186 @@
+"""Pattern language for e-matching and rule right-hand sides.
+
+Patterns are written as s-expressions, e.g. ``"(& ?a (~ ?b))"``.  Tokens
+starting with ``?`` are pattern variables; ``0``/``1`` are Boolean constants;
+any other bare token is a concrete named variable (rarely needed in rules).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from .egraph import EGraph
+from .enode import ENode, Op
+
+__all__ = ["Pattern", "PatternVar", "PatternNode", "parse_pattern", "Subst"]
+
+Subst = Dict[str, int]
+
+
+@dataclass(frozen=True)
+class PatternVar:
+    """A pattern variable such as ``?a``."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class PatternNode:
+    """An operator pattern with child patterns."""
+
+    op: str
+    children: Tuple["Pattern", ...] = ()
+    payload: Optional[object] = None
+
+    def __str__(self) -> str:
+        if self.op == Op.VAR:
+            return str(self.payload)
+        if self.op == Op.CONST:
+            return "1" if self.payload else "0"
+        inner = " ".join(str(child) for child in self.children)
+        return f"({self.op} {inner})" if inner else f"({self.op})"
+
+
+Pattern = Union[PatternVar, PatternNode]
+
+
+def _tokenize(text: str) -> List[str]:
+    return text.replace("(", " ( ").replace(")", " ) ").split()
+
+
+def _parse_tokens(tokens: List[str], position: int) -> Tuple[Pattern, int]:
+    token = tokens[position]
+    if token == "(":
+        op = tokens[position + 1]
+        position += 2
+        children: List[Pattern] = []
+        while tokens[position] != ")":
+            child, position = _parse_tokens(tokens, position)
+            children.append(child)
+        return PatternNode(op, tuple(children)), position + 1
+    if token == ")":
+        raise ValueError("unexpected ')' in pattern")
+    position += 1
+    if token.startswith("?"):
+        return PatternVar(token), position
+    if token in ("0", "false"):
+        return PatternNode(Op.CONST, (), False), position
+    if token in ("1", "true"):
+        return PatternNode(Op.CONST, (), True), position
+    return PatternNode(Op.VAR, (), token), position
+
+
+def parse_pattern(text: str) -> Pattern:
+    """Parse an s-expression pattern string."""
+    tokens = _tokenize(text)
+    if not tokens:
+        raise ValueError("empty pattern")
+    pattern, position = _parse_tokens(tokens, 0)
+    if position != len(tokens):
+        raise ValueError(f"trailing tokens in pattern {text!r}")
+    return pattern
+
+
+def pattern_vars(pattern: Pattern) -> List[str]:
+    """Return the pattern variables appearing in ``pattern`` (in order)."""
+    result: List[str] = []
+
+    def walk(node: Pattern) -> None:
+        if isinstance(node, PatternVar):
+            if node.name not in result:
+                result.append(node.name)
+        else:
+            for child in node.children:
+                walk(child)
+
+    walk(pattern)
+    return result
+
+
+def match_in_class(egraph: EGraph, pattern: Pattern, class_id: int,
+                   subst: Subst) -> Iterator[Subst]:
+    """Yield all substitutions matching ``pattern`` against an e-class."""
+    class_id = egraph.find(class_id)
+    if isinstance(pattern, PatternVar):
+        bound = subst.get(pattern.name)
+        if bound is None:
+            new_subst = dict(subst)
+            new_subst[pattern.name] = class_id
+            yield new_subst
+        elif egraph.find(bound) == class_id:
+            yield subst
+        return
+
+    for node in egraph.enodes(class_id):
+        if node.op != pattern.op:
+            continue
+        if pattern.op in (Op.VAR, Op.CONST):
+            if node.payload == pattern.payload:
+                yield subst
+            continue
+        if len(node.children) != len(pattern.children):
+            continue
+        yield from _match_children(egraph, pattern.children, node.children, 0, subst)
+
+
+def _match_children(egraph: EGraph, patterns: Sequence[Pattern],
+                    children: Sequence[int], index: int,
+                    subst: Subst) -> Iterator[Subst]:
+    if index == len(patterns):
+        yield subst
+        return
+    for partial in match_in_class(egraph, patterns[index], children[index], subst):
+        yield from _match_children(egraph, patterns, children, index + 1, partial)
+
+
+def ematch(egraph: EGraph, pattern: Pattern,
+           op_index: Optional[Dict[str, List[Tuple[int, ENode]]]] = None
+           ) -> List[Tuple[int, Subst]]:
+    """Find all matches of ``pattern`` in the e-graph.
+
+    Returns a list of ``(class_id, substitution)`` pairs.  When an operator
+    snapshot index is supplied (see :meth:`EGraph.op_index`), the search is
+    restricted to classes that contain the root operator, which is the main
+    e-matching optimisation.
+    """
+    matches: List[Tuple[int, Subst]] = []
+    if isinstance(pattern, PatternVar):
+        for class_id in egraph.class_ids():
+            matches.append((class_id, {pattern.name: class_id}))
+        return matches
+
+    if op_index is not None:
+        candidates = op_index.get(pattern.op, ())
+        seen_roots = set()
+        for class_id, _node in candidates:
+            root = egraph.find(class_id)
+            if root in seen_roots:
+                continue
+            seen_roots.add(root)
+            for subst in match_in_class(egraph, pattern, root, {}):
+                matches.append((root, subst))
+        return matches
+
+    for class_id in egraph.class_ids():
+        for subst in match_in_class(egraph, pattern, class_id, {}):
+            matches.append((class_id, subst))
+    return matches
+
+
+def instantiate(egraph: EGraph, pattern: Pattern, subst: Subst) -> int:
+    """Insert the instantiation of ``pattern`` under ``subst`` into the e-graph."""
+    if isinstance(pattern, PatternVar):
+        try:
+            return subst[pattern.name]
+        except KeyError as error:
+            raise KeyError(
+                f"pattern variable {pattern.name} unbound during instantiation"
+            ) from error
+    if pattern.op in (Op.VAR, Op.CONST):
+        return egraph.add(ENode(pattern.op, (), pattern.payload))
+    children = tuple(instantiate(egraph, child, subst) for child in pattern.children)
+    return egraph.add(ENode(pattern.op, children))

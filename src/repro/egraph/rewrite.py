@@ -1,0 +1,133 @@
+"""Rewrite rules and their application to an e-graph."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .egraph import EGraph
+from .enode import ENode
+from .pattern import (
+    Pattern,
+    Subst,
+    ematch,
+    instantiate,
+    parse_pattern,
+    pattern_vars,
+)
+
+__all__ = ["Rewrite", "RuleStats", "apply_rules"]
+
+
+@dataclass
+class Rewrite:
+    """A directed rewrite rule ``lhs => rhs``.
+
+    Attributes:
+        name: rule name used in statistics and reports.
+        lhs: left-hand-side pattern (searched).
+        rhs: right-hand-side pattern (instantiated and unioned with the match).
+        bidirectional: if True, the rule is also applied right-to-left.
+        condition: optional predicate ``f(egraph, class_id, subst) -> bool``
+            filtering matches before application.
+        group: free-form tag (e.g. ``"R1"`` / ``"R2-xor"`` / ``"R2-maj"``).
+        applier: optional callable ``f(egraph, subst) -> class_id`` used instead
+            of instantiating ``rhs``; used by BoolE to insert symmetric
+            operators (XOR3/MAJ) with canonically sorted children so that
+            congruent discoveries merge without permutation rules.
+    """
+
+    name: str
+    lhs: Pattern
+    rhs: Pattern
+    bidirectional: bool = False
+    condition: Optional[Callable[[EGraph, int, Subst], bool]] = None
+    group: str = ""
+    applier: Optional[Callable[[EGraph, Subst], int]] = None
+
+    @classmethod
+    def parse(cls, name: str, lhs: str, rhs: str, *, bidirectional: bool = False,
+              group: str = "", condition=None) -> "Rewrite":
+        """Build a rule from s-expression strings.
+
+        Raises ValueError if the right-hand side uses a pattern variable that
+        does not occur on the left-hand side.
+        """
+        lhs_pattern = parse_pattern(lhs)
+        rhs_pattern = parse_pattern(rhs)
+        missing = set(pattern_vars(rhs_pattern)) - set(pattern_vars(lhs_pattern))
+        if missing:
+            raise ValueError(
+                f"rule {name}: rhs variables {sorted(missing)} not bound by lhs")
+        return cls(name=name, lhs=lhs_pattern, rhs=rhs_pattern,
+                   bidirectional=bidirectional, group=group, condition=condition)
+
+    @classmethod
+    def with_applier(cls, name: str, lhs: str,
+                     applier: Callable[[EGraph, Subst], int], *,
+                     group: str = "", condition=None) -> "Rewrite":
+        """Build a rule whose right-hand side is a custom applier callable."""
+        lhs_pattern = parse_pattern(lhs)
+        return cls(name=name, lhs=lhs_pattern, rhs=lhs_pattern, group=group,
+                   condition=condition, applier=applier)
+
+    def searchers(self) -> List[Tuple[Pattern, Pattern]]:
+        """Return the (search, build) pattern pairs of this rule."""
+        pairs = [(self.lhs, self.rhs)]
+        if self.bidirectional:
+            pairs.append((self.rhs, self.lhs))
+        return pairs
+
+    def __str__(self) -> str:
+        arrow = "<=>" if self.bidirectional else "=>"
+        return f"{self.name}: {self.lhs} {arrow} {self.rhs}"
+
+
+@dataclass
+class RuleStats:
+    """Per-rule application statistics for one runner iteration."""
+
+    matches: int = 0
+    applications: int = 0
+    unions: int = 0
+
+
+def apply_rules(egraph: EGraph, rules: Sequence[Rewrite],
+                max_matches_per_rule: Optional[int] = None
+                ) -> Dict[str, RuleStats]:
+    """Apply one round of every rule to the e-graph.
+
+    All rules are matched against the same snapshot (the e-graph is rebuilt
+    first), then all instantiations and unions are performed, then the e-graph
+    is rebuilt again.  Returns per-rule statistics.
+    """
+    if not egraph.is_clean:
+        egraph.rebuild()
+    snapshot = egraph.op_index()
+
+    stats: Dict[str, RuleStats] = {}
+    planned: List[Tuple[Rewrite, Pattern, int, Subst]] = []
+    for rule in rules:
+        rule_stats = stats.setdefault(rule.name, RuleStats())
+        for search, build in rule.searchers():
+            matches = ematch(egraph, search, snapshot)
+            if max_matches_per_rule is not None and len(matches) > max_matches_per_rule:
+                matches = matches[:max_matches_per_rule]
+            rule_stats.matches += len(matches)
+            for class_id, subst in matches:
+                if rule.condition is not None and not rule.condition(egraph, class_id, subst):
+                    continue
+                planned.append((rule, build, class_id, subst))
+
+    for rule, build, class_id, subst in planned:
+        rule_stats = stats[rule.name]
+        if rule.applier is not None:
+            new_class = rule.applier(egraph, subst)
+        else:
+            new_class = instantiate(egraph, build, subst)
+        rule_stats.applications += 1
+        if egraph.union(class_id, new_class):
+            rule_stats.unions += 1
+
+    egraph.rebuild()
+    return stats

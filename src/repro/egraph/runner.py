@@ -1,0 +1,122 @@
+"""Saturation runner: applies rewrite rules until convergence or limits."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from .egraph import EGraph
+from .rewrite import Rewrite, RuleStats, apply_rules
+
+__all__ = ["RunnerLimits", "IterationReport", "RunnerReport", "Runner", "StopReason"]
+
+
+class StopReason:
+    """Why a saturation run stopped."""
+
+    SATURATED = "saturated"
+    ITERATION_LIMIT = "iteration_limit"
+    NODE_LIMIT = "node_limit"
+    TIME_LIMIT = "time_limit"
+
+
+@dataclass
+class RunnerLimits:
+    """Resource limits for a saturation run.
+
+    Attributes:
+        max_iterations: maximum number of rewrite iterations.
+        max_nodes: stop when the e-graph exceeds this many e-nodes.
+        max_classes: stop when the e-graph exceeds this many e-classes.
+        time_limit: wall-clock budget in seconds.
+        max_matches_per_rule: cap on matches applied per rule per iteration
+            (a simple back-off scheduler preventing explosive rules from
+            dominating an iteration).
+    """
+
+    max_iterations: int = 10
+    max_nodes: int = 200_000
+    max_classes: int = 100_000
+    time_limit: float = 120.0
+    max_matches_per_rule: Optional[int] = 20_000
+
+
+@dataclass
+class IterationReport:
+    """Statistics for a single saturation iteration."""
+
+    index: int
+    num_classes: int
+    num_nodes: int
+    unions: int
+    elapsed: float
+    rule_stats: Dict[str, RuleStats] = field(default_factory=dict)
+
+
+@dataclass
+class RunnerReport:
+    """Summary of a saturation run."""
+
+    stop_reason: str
+    iterations: List[IterationReport] = field(default_factory=list)
+    total_time: float = 0.0
+
+    @property
+    def num_iterations(self) -> int:
+        """Number of completed iterations."""
+        return len(self.iterations)
+
+    @property
+    def saturated(self) -> bool:
+        """True if the run stopped because no rule produced a new union."""
+        return self.stop_reason == StopReason.SATURATED
+
+    def total_unions(self) -> int:
+        """Total number of e-class merges performed by the run."""
+        return sum(report.unions for report in self.iterations)
+
+
+class Runner:
+    """Equality-saturation driver, analogous to egg's ``Runner``.
+
+    Example::
+
+        runner = Runner(limits=RunnerLimits(max_iterations=5))
+        report = runner.run(egraph, rules)
+    """
+
+    def __init__(self, limits: Optional[RunnerLimits] = None) -> None:
+        self.limits = limits or RunnerLimits()
+
+    def run(self, egraph: EGraph, rules: Sequence[Rewrite]) -> RunnerReport:
+        """Apply ``rules`` to ``egraph`` until saturation or a limit is hit."""
+        limits = self.limits
+        start = time.perf_counter()
+        report = RunnerReport(stop_reason=StopReason.ITERATION_LIMIT)
+        egraph.rebuild()
+        for iteration in range(limits.max_iterations):
+            if time.perf_counter() - start > limits.time_limit:
+                report.stop_reason = StopReason.TIME_LIMIT
+                break
+            iter_start = time.perf_counter()
+            stats = apply_rules(egraph, rules,
+                                max_matches_per_rule=limits.max_matches_per_rule)
+            unions = sum(stat.unions for stat in stats.values())
+            num_classes, num_nodes = egraph.total_size()
+            report.iterations.append(IterationReport(
+                index=iteration,
+                num_classes=num_classes,
+                num_nodes=num_nodes,
+                unions=unions,
+                elapsed=time.perf_counter() - iter_start,
+                rule_stats=stats,
+            ))
+            if unions == 0:
+                report.stop_reason = StopReason.SATURATED
+                break
+            if num_nodes > limits.max_nodes or num_classes > limits.max_classes:
+                report.stop_reason = StopReason.NODE_LIMIT
+                break
+        report.total_time = time.perf_counter() - start
+        return report

@@ -1,0 +1,54 @@
+"""Union-find (disjoint-set) structure used by the e-graph."""
+
+from __future__ import annotations
+
+from typing import List
+
+__all__ = ["UnionFind"]
+
+
+class UnionFind:
+    """A union-find over dense integer ids with path compression.
+
+    Ids are allocated sequentially with :meth:`make_set`.  Union does not use
+    rank/size balancing on purpose: the e-graph needs to control which id
+    becomes the canonical representative (egg keeps the first argument as the
+    leader so that e-class metadata can be merged deterministically).
+    """
+
+    def __init__(self) -> None:
+        self._parent: List[int] = []
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def make_set(self) -> int:
+        """Allocate a fresh singleton set and return its id."""
+        new_id = len(self._parent)
+        self._parent.append(new_id)
+        return new_id
+
+    def find(self, item: int) -> int:
+        """Return the canonical representative of ``item`` (with compression)."""
+        parent = self._parent
+        root = item
+        while parent[root] != root:
+            root = parent[root]
+        while parent[item] != root:
+            parent[item], item = root, parent[item]
+        return root
+
+    def union(self, keep: int, merge: int) -> int:
+        """Merge the set of ``merge`` into the set of ``keep``.
+
+        Returns the canonical id (the root of ``keep``).
+        """
+        keep_root = self.find(keep)
+        merge_root = self.find(merge)
+        if keep_root != merge_root:
+            self._parent[merge_root] = keep_root
+        return keep_root
+
+    def in_same_set(self, a: int, b: int) -> bool:
+        """Return True if ``a`` and ``b`` are currently equivalent."""
+        return self.find(a) == self.find(b)

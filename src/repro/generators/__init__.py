@@ -1,0 +1,33 @@
+"""Arithmetic circuit generators (adders, CSA/Booth/Wallace multipliers)."""
+
+from .adders import (
+    FABlock,
+    booth_upper_bound_fa,
+    build_ripple_carry_adder,
+    carry_save_reduce,
+    csa_upper_bound_fa,
+    ripple_carry_adder,
+    ripple_carry_sum,
+)
+from .multipliers import (
+    MultiplierCircuit,
+    booth_multiplier,
+    csa_multiplier,
+    generate_multiplier,
+    wallace_multiplier,
+)
+
+__all__ = [
+    "FABlock",
+    "booth_upper_bound_fa",
+    "build_ripple_carry_adder",
+    "carry_save_reduce",
+    "csa_upper_bound_fa",
+    "ripple_carry_adder",
+    "ripple_carry_sum",
+    "MultiplierCircuit",
+    "booth_multiplier",
+    "csa_multiplier",
+    "generate_multiplier",
+    "wallace_multiplier",
+]

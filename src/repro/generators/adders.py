@@ -1,0 +1,173 @@
+"""Adder building blocks and adder-tree circuits.
+
+The generators in this module return fresh :class:`~repro.aig.AIG` objects or
+emit logic into an existing AIG builder.  They provide the ground-truth adder
+structures that BoolE and the baselines try to recover from mapped/optimised
+netlists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..aig import AIG
+
+__all__ = [
+    "FABlock",
+    "ripple_carry_adder",
+    "carry_save_reduce",
+    "ripple_carry_sum",
+    "build_ripple_carry_adder",
+    "csa_upper_bound_fa",
+    "booth_upper_bound_fa",
+]
+
+
+@dataclass(frozen=True)
+class FABlock:
+    """Record of one adder cell instantiated by a generator.
+
+    Attributes:
+        kind: ``"FA"`` for a full adder or ``"HA"`` for a half adder.
+        inputs: the input literals of the cell.
+        sum_lit: literal of the sum output.
+        carry_lit: literal of the carry output.
+    """
+
+    kind: str
+    inputs: Tuple[int, ...]
+    sum_lit: int
+    carry_lit: int
+
+
+def ripple_carry_sum(aig: AIG, a_bits: Sequence[int], b_bits: Sequence[int],
+                     carry_in: int = 0,
+                     blocks: List[FABlock] | None = None) -> List[int]:
+    """Add two bit-vectors inside ``aig`` with a ripple-carry chain.
+
+    Args:
+        aig: target AIG builder.
+        a_bits: literals of the first operand, LSB first.
+        b_bits: literals of the second operand, LSB first (same length as a).
+        carry_in: literal of the incoming carry (defaults to constant 0).
+        blocks: optional list collecting the instantiated FA/HA blocks.
+
+    Returns:
+        The sum literals, LSB first, with one extra bit for the final carry.
+    """
+    if len(a_bits) != len(b_bits):
+        raise ValueError("operands must have equal width")
+    carry = carry_in
+    sums: List[int] = []
+    for a, b in zip(a_bits, b_bits):
+        operands = [lit for lit in (a, b, carry) if lit != 0]
+        if len(operands) == 3:
+            s, c = aig.full_adder(*operands)
+            if blocks is not None:
+                blocks.append(FABlock("FA", tuple(operands), s, c))
+        elif len(operands) == 2:
+            s, c = aig.half_adder(*operands)
+            if blocks is not None:
+                blocks.append(FABlock("HA", tuple(operands), s, c))
+        elif len(operands) == 1:
+            s, c = operands[0], 0
+        else:
+            s, c = 0, 0
+        sums.append(s)
+        carry = c
+    sums.append(carry)
+    return sums
+
+
+def carry_save_reduce(aig: AIG, columns: List[List[int]],
+                      blocks: List[FABlock] | None = None) -> List[List[int]]:
+    """Perform one level of 3:2 carry-save reduction on partial-product columns.
+
+    Each column is a list of literals with the same weight.  Groups of three
+    literals in a column are replaced by a full adder (sum stays in the same
+    column, carry moves to the next column); a leftover pair becomes a half
+    adder.
+
+    Returns:
+        The reduced column structure.
+    """
+    width = len(columns)
+    reduced: List[List[int]] = [[] for _ in range(width + 1)]
+    for weight, column in enumerate(columns):
+        index = 0
+        while len(column) - index >= 3:
+            a, b, c = column[index], column[index + 1], column[index + 2]
+            s, carry = aig.full_adder(a, b, c)
+            if blocks is not None:
+                blocks.append(FABlock("FA", (a, b, c), s, carry))
+            reduced[weight].append(s)
+            reduced[weight + 1].append(carry)
+            index += 3
+        if len(column) - index == 2:
+            a, b = column[index], column[index + 1]
+            s, carry = aig.half_adder(a, b)
+            if blocks is not None:
+                blocks.append(FABlock("HA", (a, b), s, carry))
+            reduced[weight].append(s)
+            reduced[weight + 1].append(carry)
+            index += 2
+        elif len(column) - index == 1:
+            reduced[weight].append(column[index])
+            index += 1
+    while reduced and not reduced[-1]:
+        reduced.pop()
+    return reduced
+
+
+def ripple_carry_adder(width: int, name: str = "") -> Tuple[AIG, List[FABlock]]:
+    """Build a standalone ``width``-bit ripple-carry adder AIG.
+
+    Inputs are ``a0..a{width-1}, b0..b{width-1}, cin``; outputs are the sum
+    bits and the final carry.
+
+    Returns:
+        ``(aig, blocks)`` where blocks records every instantiated FA.
+    """
+    aig = AIG(name=name or f"rca_{width}")
+    a_bits = [aig.add_input(f"a{i}") for i in range(width)]
+    b_bits = [aig.add_input(f"b{i}") for i in range(width)]
+    carry_in = aig.add_input("cin")
+    blocks: List[FABlock] = []
+    sums = ripple_carry_sum(aig, a_bits, b_bits, carry_in=carry_in, blocks=blocks)
+    for i, lit in enumerate(sums[:-1]):
+        aig.add_output(lit, f"s{i}")
+    aig.add_output(sums[-1], "cout")
+    return aig, blocks
+
+
+def build_ripple_carry_adder(width: int) -> AIG:
+    """Convenience wrapper returning only the ripple-carry adder AIG."""
+    aig, _ = ripple_carry_adder(width)
+    return aig
+
+
+def csa_upper_bound_fa(width: int) -> int:
+    """Theoretical upper bound on FA count in an ``n``-bit CSA multiplier.
+
+    The paper states the bound ``(n - 1)^2 - 1`` for an n-bit carry-save array
+    multiplier (Section V, RQ1).
+    """
+    if width < 2:
+        return 0
+    return (width - 1) ** 2 - 1
+
+
+def booth_upper_bound_fa(width: int) -> int:
+    """Upper bound on FA count for the radix-4 Booth multiplier generator.
+
+    Booth encoding roughly halves the number of partial products, so the adder
+    tree contains roughly half the FAs of the CSA array.  The bound used here
+    matches what exhaustive cut enumeration reports on our pre-mapping Booth
+    netlists (see ``repro.baselines.abc_atree``); it is the reproduction
+    analogue of the paper's Booth upper-bound curve.
+    """
+    if width < 2:
+        return 0
+    num_pp = width // 2 + 1
+    return max(0, (num_pp - 1) * width - num_pp)

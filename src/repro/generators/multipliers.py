@@ -1,0 +1,254 @@
+"""Multiplier generators: carry-save-array (CSA) and radix-4 Booth multipliers.
+
+These are the benchmark circuits of the BoolE paper.  Each generator returns
+the AIG together with the list of adder blocks it instantiated, which serves
+as the ground-truth adder tree (the theoretical upper bound on recoverable
+full adders).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..aig import AIG, CONST0, lit_not
+from .adders import FABlock, carry_save_reduce, ripple_carry_sum
+
+__all__ = [
+    "MultiplierCircuit",
+    "csa_multiplier",
+    "booth_multiplier",
+    "wallace_multiplier",
+    "generate_multiplier",
+]
+
+
+@dataclass
+class MultiplierCircuit:
+    """A generated multiplier together with its ground-truth adder tree.
+
+    Attributes:
+        aig: the generated AIG.
+        width: operand bitwidth.
+        architecture: ``"csa"``, ``"booth"`` or ``"wallace"``.
+        signed: True for two's-complement semantics (Booth).
+        blocks: FA/HA blocks instantiated by the generator (ground truth).
+    """
+
+    aig: AIG
+    width: int
+    architecture: str
+    signed: bool
+    blocks: List[FABlock]
+
+    @property
+    def num_full_adders(self) -> int:
+        """Number of ground-truth full adders in the generated netlist."""
+        return sum(1 for block in self.blocks if block.kind == "FA")
+
+    @property
+    def num_half_adders(self) -> int:
+        """Number of ground-truth half adders in the generated netlist."""
+        return sum(1 for block in self.blocks if block.kind == "HA")
+
+
+def csa_multiplier(width: int, name: str = "") -> MultiplierCircuit:
+    """Build an unsigned ``width``-bit carry-save-array multiplier.
+
+    The construction is the textbook CSA array: ``width`` rows of partial
+    products are accumulated row by row in carry-save form, followed by a
+    ripple-carry vector-merge adder.  The resulting circuit contains exactly
+    ``(width - 1)**2 - 1`` full adders, matching the theoretical upper bound
+    quoted in the paper.
+
+    Inputs are named ``a0..a{n-1}, b0..b{n-1}``; outputs ``p0..p{2n-1}``.
+    """
+    if width < 1:
+        raise ValueError("width must be positive")
+    aig = AIG(name=name or f"csa_mult_{width}")
+    a_bits = [aig.add_input(f"a{i}") for i in range(width)]
+    b_bits = [aig.add_input(f"b{i}") for i in range(width)]
+    blocks: List[FABlock] = []
+
+    # Partial products pp[i][j] = a_j & b_i, weight i + j.
+    pp = [[aig.and_(a_bits[j], b_bits[i]) for j in range(width)]
+          for i in range(width)]
+
+    if width == 1:
+        aig.add_output(pp[0][0], "p0")
+        aig.add_output(CONST0, "p1")
+        return MultiplierCircuit(aig, width, "csa", False, blocks)
+
+    product: List[Optional[int]] = [None] * (2 * width)
+    product[0] = pp[0][0]
+
+    # Row-by-row carry-save accumulation.  ``sums``/``carries`` hold the
+    # partial-sum and carry vectors leaving the previous adder row.
+    sums = pp[0][:]            # weights 0..width-1
+    carries = [CONST0] * width  # aligned with the *next* row's weights
+    for i in range(1, width):
+        new_sums: List[int] = [CONST0] * width
+        new_carries: List[int] = [CONST0] * width
+        for j in range(width):
+            p_bit = pp[i][j]
+            s_prev = sums[j + 1] if j + 1 < width else CONST0
+            c_prev = carries[j]
+            operands = [lit for lit in (p_bit, s_prev, c_prev) if lit != CONST0]
+            if len(operands) == 3:
+                s, c = aig.full_adder(*operands)
+                blocks.append(FABlock("FA", tuple(operands), s, c))
+            elif len(operands) == 2:
+                s, c = aig.half_adder(*operands)
+                blocks.append(FABlock("HA", tuple(operands), s, c))
+            elif len(operands) == 1:
+                s, c = operands[0], CONST0
+            else:
+                s, c = CONST0, CONST0
+            new_sums[j] = s
+            new_carries[j] = c
+        product[i] = new_sums[0]
+        sums = new_sums
+        carries = new_carries
+
+    # Vector-merge: add the remaining sum and carry vectors with ripple carry.
+    merge_a = [sums[j + 1] if j + 1 < width else CONST0 for j in range(width)]
+    merge_b = carries[:width]
+    merged = ripple_carry_sum(aig, merge_a, merge_b, carry_in=CONST0,
+                              blocks=blocks)
+    for j in range(width):
+        product[width + j] = merged[j]
+    # ``merged`` has one extra carry bit but for width x width multiplication
+    # the product fits in 2*width bits; the final carry is always zero here
+    # because merge_a[width-1] is the constant 0.
+
+    for position in range(2 * width):
+        lit = product[position]
+        aig.add_output(CONST0 if lit is None else lit, f"p{position}")
+    return MultiplierCircuit(aig, width, "csa", False, blocks)
+
+
+def _booth_digit(aig: AIG, b2: int, b1: int, b0: int) -> Tuple[int, int, int]:
+    """Decode one radix-4 Booth digit from bits ``(b2, b1, b0)``.
+
+    Returns ``(one, two, neg)`` control literals: ``one`` selects ±A,
+    ``two`` selects ±2A, and ``neg`` selects the negative versions.
+    """
+    one = aig.xor_(b1, b0)
+    two = aig.or_(aig.and_(b2, aig.and_(lit_not(b1), lit_not(b0))),
+                  aig.and_(lit_not(b2), aig.and_(b1, b0)))
+    neg = b2
+    return one, two, neg
+
+
+def booth_multiplier(width: int, name: str = "") -> MultiplierCircuit:
+    """Build a signed ``width``-bit radix-4 Booth-encoded multiplier.
+
+    Operands and the ``2*width``-bit product use two's-complement encoding.
+    Partial products are generated with radix-4 Booth recoding (digits in
+    {-2,-1,0,1,2}), sign-extended to the full product width, and reduced with
+    a carry-save adder tree followed by a ripple-carry vector-merge adder.
+    """
+    if width < 2:
+        raise ValueError("booth multiplier requires width >= 2")
+    aig = AIG(name=name or f"booth_mult_{width}")
+    a_bits = [aig.add_input(f"a{i}") for i in range(width)]
+    b_bits = [aig.add_input(f"b{i}") for i in range(width)]
+    blocks: List[FABlock] = []
+    out_width = 2 * width
+
+    def b_at(index: int) -> int:
+        if index < 0:
+            return CONST0
+        if index >= width:
+            return b_bits[width - 1]  # sign extension of the multiplier
+        return b_bits[index]
+
+    def a_at(index: int) -> int:
+        if index >= width:
+            return a_bits[width - 1]  # sign extension of the multiplicand
+        return a_bits[index]
+
+    num_digits = (width + 2) // 2
+    columns: List[List[int]] = [[] for _ in range(out_width)]
+
+    for digit_index in range(num_digits):
+        base = 2 * digit_index
+        one, two, neg = _booth_digit(aig, b_at(base + 1), b_at(base), b_at(base - 1))
+        # Partial product bits: (one ? A : 0) | (two ? A << 1 : 0), then
+        # conditionally inverted; the +1 of two's complement negation is a
+        # separate correction bit added into column ``base``.
+        for position in range(base, out_width):
+            rel = position - base
+            bit_one = aig.and_(one, a_at(rel))
+            bit_two = aig.and_(two, a_at(rel - 1)) if rel >= 1 else CONST0
+            raw = aig.or_(bit_one, bit_two)
+            pp_bit = aig.xor_(raw, neg)
+            columns[position].append(pp_bit)
+        # Two's-complement correction bit (+1 whenever the digit is negated;
+        # for the all-ones "digit 0 with neg=1" case this exactly cancels the
+        # all-ones partial product).
+        columns[base].append(neg)
+
+    # Reduce the partial-product columns to two rows with 3:2 compressors.
+    while max(len(column) for column in columns) > 2:
+        columns = carry_save_reduce(aig, columns, blocks=blocks)
+        columns = columns[:out_width]
+        while len(columns) < out_width:
+            columns.append([])
+
+    row_a = [column[0] if len(column) >= 1 else CONST0 for column in columns]
+    row_b = [column[1] if len(column) >= 2 else CONST0 for column in columns]
+    merged = ripple_carry_sum(aig, row_a, row_b, carry_in=CONST0, blocks=blocks)
+    for position in range(out_width):
+        aig.add_output(merged[position], f"p{position}")
+    return MultiplierCircuit(aig, width, "booth", True, blocks)
+
+
+def wallace_multiplier(width: int, name: str = "") -> MultiplierCircuit:
+    """Build an unsigned Wallace-tree multiplier (column-wise 3:2 reduction).
+
+    Included as an additional architecture beyond the paper's two benchmark
+    families; useful for extension experiments.
+    """
+    if width < 1:
+        raise ValueError("width must be positive")
+    aig = AIG(name=name or f"wallace_mult_{width}")
+    a_bits = [aig.add_input(f"a{i}") for i in range(width)]
+    b_bits = [aig.add_input(f"b{i}") for i in range(width)]
+    blocks: List[FABlock] = []
+    out_width = 2 * width
+
+    columns: List[List[int]] = [[] for _ in range(out_width)]
+    for i in range(width):
+        for j in range(width):
+            columns[i + j].append(aig.and_(a_bits[j], b_bits[i]))
+
+    while max((len(column) for column in columns), default=0) > 2:
+        columns = carry_save_reduce(aig, columns, blocks=blocks)
+        columns = columns[:out_width]
+        while len(columns) < out_width:
+            columns.append([])
+
+    row_a = [column[0] if len(column) >= 1 else CONST0 for column in columns]
+    row_b = [column[1] if len(column) >= 2 else CONST0 for column in columns]
+    merged = ripple_carry_sum(aig, row_a, row_b, carry_in=CONST0, blocks=blocks)
+    for position in range(out_width):
+        aig.add_output(merged[position], f"p{position}")
+    return MultiplierCircuit(aig, width, "wallace", False, blocks)
+
+
+def generate_multiplier(architecture: str, width: int) -> MultiplierCircuit:
+    """Dispatch helper used by the benchmark harness.
+
+    Args:
+        architecture: ``"csa"``, ``"booth"`` or ``"wallace"``.
+        width: operand bitwidth.
+    """
+    architecture = architecture.lower()
+    if architecture == "csa":
+        return csa_multiplier(width)
+    if architecture == "booth":
+        return booth_multiplier(width)
+    if architecture == "wallace":
+        return wallace_multiplier(width)
+    raise ValueError(f"unknown multiplier architecture: {architecture!r}")

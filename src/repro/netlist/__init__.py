@@ -1,0 +1,16 @@
+"""Standard-cell library, technology mapper and mapped-netlist utilities."""
+
+from .library import Cell, CellLibrary, default_library
+from .mapper import MappingOptions, map_and_blast, technology_map
+from .netlist import CellInstance, CellNetlist
+
+__all__ = [
+    "Cell",
+    "CellLibrary",
+    "default_library",
+    "MappingOptions",
+    "map_and_blast",
+    "technology_map",
+    "CellInstance",
+    "CellNetlist",
+]

@@ -1,0 +1,189 @@
+"""Cut-based technology mapping of AIGs onto the standard-cell library.
+
+The mapper mirrors the role ASAP7 mapping plays in the paper: it re-expresses
+the netlist through library cells (mostly inverting ones), moving logic
+boundaries and polarities so that the original adder-tree structure is no
+longer visible to structural detectors.  Functional correctness is preserved
+(and checked in the test suite by re-blasting and equivalence checking).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..aig import AIG, CONST0, CONST1, lit_is_compl, lit_var
+from ..cuts import cut_function, enumerate_cuts
+from .library import Cell, CellLibrary, default_library
+from .netlist import CellInstance, CellNetlist
+
+__all__ = ["MappingOptions", "technology_map", "map_and_blast"]
+
+CONST0_NET = "__const0__"
+CONST1_NET = "__const1__"
+
+
+@dataclass
+class MappingOptions:
+    """Knobs controlling the technology mapper.
+
+    Attributes:
+        cut_size: maximum cut size considered for matching (<= 4).
+        max_cuts_per_node: priority-cut budget per node.
+        prefer_large_cuts: prefer matches that cover more logic (ABC's default
+            area-oriented behaviour); this is what moves logic boundaries.
+        prefer_inverting: break ties in favour of inverting cells, mirroring
+            their area advantage in CMOS libraries and churning polarities.
+    """
+
+    cut_size: int = 4
+    max_cuts_per_node: int = 8
+    prefer_large_cuts: bool = True
+    prefer_inverting: bool = True
+
+
+def _match_score(cut_size: int, cell: Cell, inverted: bool,
+                 options: MappingOptions) -> Tuple:
+    size_term = -cut_size if options.prefer_large_cuts else cut_size
+    invert_term = 0 if (cell.inverting == options.prefer_inverting) else 1
+    return (size_term, cell.area, invert_term, cell.name)
+
+
+def technology_map(aig: AIG, library: Optional[CellLibrary] = None,
+                   options: Optional[MappingOptions] = None) -> CellNetlist:
+    """Map an AIG onto the cell library, returning a cell-level netlist."""
+    library = library or default_library()
+    options = options or MappingOptions()
+    match_index = library.match_table(max_arity=options.cut_size)
+    cuts = enumerate_cuts(aig, k=options.cut_size,
+                          max_cuts_per_node=options.max_cuts_per_node)
+
+    # Fanout counts (primary outputs count as fanout) determine which cuts are
+    # admissible: a cut may not swallow a node whose value is needed
+    # elsewhere, otherwise the mapper would have to duplicate logic.
+    fanout_count: Dict[int, int] = {var: 0 for var in range(aig.num_vars)}
+    for gate in aig.gates:
+        for fanin in gate.fanin_vars():
+            fanout_count[fanin] = fanout_count.get(fanin, 0) + 1
+    for lit in aig.outputs:
+        fanout_count[lit_var(lit)] = fanout_count.get(lit_var(lit), 0) + 1
+
+    def cut_is_admissible(root: int, leaves: frozenset) -> bool:
+        """True if no internal cone node (other than the root) has external fanout."""
+        stack = [root]
+        seen = set()
+        while stack:
+            var = stack.pop()
+            if var in seen:
+                continue
+            seen.add(var)
+            if var != root and var not in leaves:
+                if fanout_count.get(var, 0) > 1:
+                    return False
+            if var in leaves or not aig.is_gate_var(var):
+                continue
+            stack.extend(aig.gate_of(var).fanin_vars())
+        return True
+
+    # ------------------------------------------------------------------
+    # Phase 1 (reverse topological): choose a cell implementation for every
+    # node that is required by an output or by a chosen cell's cut leaves.
+    # A decision is (cell, input_literals, output_inverted): input literals
+    # refer to AIG variables with a phase, output_inverted says the instance
+    # drives the complement of the node's function.
+    # ------------------------------------------------------------------
+    decisions: Dict[int, Tuple[Cell, Tuple[int, ...], bool]] = {}
+    needed: set = set()
+    for lit in aig.outputs:
+        var = lit_var(lit)
+        if aig.is_gate_var(var):
+            needed.add(var)
+
+    for gate in reversed(aig.gates):
+        var = gate.out_var
+        if var not in needed:
+            continue
+        best = None
+        best_score = None
+        for cut in cuts.get(var, ()):
+            if cut.size < 2 or 0 in cut.leaves or var in cut.leaves:
+                continue
+            if not cut_is_admissible(var, cut.leaves):
+                continue
+            leaves = cut.sorted_leaves()
+            table = cut_function(aig, cut)
+            for cell, perm, inverted in match_index.get((cut.size, table), ()):
+                score = _match_score(cut.size, cell, inverted, options)
+                if best_score is None or score < best_score:
+                    # The match table guarantees cut_tt(leaves) equals the
+                    # cell function when pin ``i`` is driven by leaf
+                    # ``perm[i]`` (see CellLibrary.match_table).
+                    pins = tuple(2 * leaves[perm[pin]] for pin in range(cell.num_inputs))
+                    best = (cell, pins, inverted)
+                    best_score = score
+        if best is None:
+            # Fallback: implement the bare AND gate (with input phases).
+            cell = library.cell("NAND2")
+            best = (cell, (gate.fanin0, gate.fanin1), True)
+        decisions[var] = best
+        for input_lit in best[1]:
+            input_var = lit_var(input_lit)
+            if aig.is_gate_var(input_var):
+                needed.add(input_var)
+
+    # ------------------------------------------------------------------
+    # Phase 2 (forward topological): emit instances, inserting inverters when
+    # a consumer needs the opposite phase of what an instance produces.
+    # ------------------------------------------------------------------
+    netlist = CellNetlist(name=f"{aig.name}_mapped")
+    netlist.inputs = [aig.input_names[var] for var in aig.inputs]
+
+    produced: Dict[int, Tuple[str, bool]] = {}   # var -> (net, inverted?)
+    inverted_nets: Dict[str, str] = {}           # net -> its INV net
+    inv_cell = library.cell("INV")
+    counter = 0
+
+    for var in aig.inputs:
+        produced[var] = (aig.input_names[var], False)
+
+    def net_for_literal(lit: int) -> str:
+        nonlocal counter
+        if lit == CONST0:
+            return CONST0_NET
+        if lit == CONST1:
+            return CONST1_NET
+        var = lit_var(lit)
+        net, inverted = produced[var]
+        want_inverted = lit_is_compl(lit)
+        if want_inverted == inverted:
+            return net
+        if net not in inverted_nets:
+            counter += 1
+            inv_net = f"{net}_inv{counter}"
+            netlist.instances.append(CellInstance(inv_cell.name, (net,), inv_net))
+            inverted_nets[net] = inv_net
+        return inverted_nets[net]
+
+    for gate in aig.gates:
+        var = gate.out_var
+        decision = decisions.get(var)
+        if decision is None:
+            continue
+        cell, input_lits, inverted = decision
+        input_nets = tuple(net_for_literal(lit) for lit in input_lits)
+        out_net = f"w{var}"
+        netlist.instances.append(CellInstance(cell.name, input_nets, out_net))
+        produced[var] = (out_net, inverted)
+
+    for lit, name in zip(aig.outputs, aig.output_names):
+        netlist.outputs.append((net_for_literal(lit), name))
+    return netlist
+
+
+def map_and_blast(aig: AIG, library: Optional[CellLibrary] = None,
+                  options: Optional[MappingOptions] = None) -> AIG:
+    """Technology-map ``aig`` and bit-blast the result back into an AIG."""
+    library = library or default_library()
+    netlist = technology_map(aig, library=library, options=options)
+    mapped = netlist.to_aig(library=library)
+    return mapped.cleanup()

@@ -1,0 +1,98 @@
+"""Mapped (cell-level) netlist representation and conversion back to AIG."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..aig import AIG
+from .library import CellLibrary, default_library
+
+__all__ = ["CellInstance", "CellNetlist"]
+
+
+@dataclass(frozen=True)
+class CellInstance:
+    """One cell instance: a cell name, input net names and an output net name."""
+
+    cell: str
+    inputs: Tuple[str, ...]
+    output: str
+
+
+@dataclass
+class CellNetlist:
+    """A technology-mapped netlist.
+
+    Nets are referenced by name.  Primary inputs are nets named after the
+    original AIG inputs; every instance drives exactly one new net; outputs
+    point at existing nets.  Instances are stored in topological order.
+    """
+
+    name: str = "mapped"
+    inputs: List[str] = field(default_factory=list)
+    outputs: List[Tuple[str, str]] = field(default_factory=list)  # (net, port name)
+    instances: List[CellInstance] = field(default_factory=list)
+
+    @property
+    def num_instances(self) -> int:
+        """Number of cell instances."""
+        return len(self.instances)
+
+    def cell_histogram(self) -> Dict[str, int]:
+        """Return a map from cell name to its number of instances."""
+        histogram: Dict[str, int] = {}
+        for instance in self.instances:
+            histogram[instance.cell] = histogram.get(instance.cell, 0) + 1
+        return histogram
+
+    def area(self, library: Optional[CellLibrary] = None) -> float:
+        """Total area of the mapped netlist."""
+        library = library or default_library()
+        return sum(library.cell(instance.cell).area for instance in self.instances)
+
+    def to_aig(self, library: Optional[CellLibrary] = None) -> AIG:
+        """Bit-blast the mapped netlist back into an AIG.
+
+        Each cell is expanded with its library decomposition; the resulting
+        AIG is structurally hashed on the fly (as ABC does when reading a
+        mapped netlist back in), so shared logic is merged.
+        """
+        library = library or default_library()
+        aig = AIG(name=f"{self.name}_aig")
+        net_lit: Dict[str, int] = {"__const0__": 0, "__const1__": 1}
+        for input_name in self.inputs:
+            net_lit[input_name] = aig.add_input(input_name)
+        for instance in self.instances:
+            cell = library.cell(instance.cell)
+            try:
+                input_lits = [net_lit[net] for net in instance.inputs]
+            except KeyError as error:
+                raise ValueError(
+                    f"instance {instance} references an undriven net") from error
+            net_lit[instance.output] = cell.blast(aig, input_lits)
+        for net, port in self.outputs:
+            if net not in net_lit:
+                raise ValueError(f"output {port} references undriven net {net}")
+            aig.add_output(net_lit[net], port)
+        return aig
+
+    def validate(self, library: Optional[CellLibrary] = None) -> None:
+        """Check structural sanity (driven nets, known cells, arity match)."""
+        library = library or default_library()
+        driven = set(self.inputs) | {"__const0__", "__const1__"}
+        for instance in self.instances:
+            cell = library.cell(instance.cell)
+            if len(instance.inputs) != cell.num_inputs:
+                raise ValueError(
+                    f"instance of {cell.name} has {len(instance.inputs)} inputs, "
+                    f"expected {cell.num_inputs}")
+            for net in instance.inputs:
+                if net not in driven:
+                    raise ValueError(f"net {net} used before being driven")
+            if instance.output in driven:
+                raise ValueError(f"net {instance.output} has multiple drivers")
+            driven.add(instance.output)
+        for net, port in self.outputs:
+            if net not in driven:
+                raise ValueError(f"output {port} references undriven net {net}")

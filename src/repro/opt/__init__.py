@@ -1,0 +1,19 @@
+"""Logic optimisation passes (dch-style restructuring)."""
+
+from .dch import DchOptions, dch_optimize, post_mapping_flow
+from .restructure import (
+    RestructureOptions,
+    rebalance_and_trees,
+    restructure_majorities,
+    restructure_xor_trees,
+)
+
+__all__ = [
+    "DchOptions",
+    "dch_optimize",
+    "post_mapping_flow",
+    "RestructureOptions",
+    "rebalance_and_trees",
+    "restructure_majorities",
+    "restructure_xor_trees",
+]

@@ -1,0 +1,62 @@
+"""The ``dch``-style optimisation script and the post-mapping flow helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..aig import AIG
+from ..netlist import MappingOptions, map_and_blast
+from .restructure import (
+    RestructureOptions,
+    rebalance_and_trees,
+    restructure_majorities,
+    restructure_xor_trees,
+)
+
+__all__ = ["DchOptions", "dch_optimize", "post_mapping_flow"]
+
+
+@dataclass
+class DchOptions:
+    """Options for the dch-style optimisation script.
+
+    Attributes:
+        restructure: options shared by the XOR/MAJ restructuring passes.
+        rebalance: run the AND-tree balancing pass.
+        rounds: number of times the script is repeated.
+    """
+
+    restructure: RestructureOptions = field(default_factory=RestructureOptions)
+    rebalance: bool = True
+    rounds: int = 1
+
+
+def dch_optimize(aig: AIG, options: Optional[DchOptions] = None) -> AIG:
+    """Run the dch-style optimisation script on an AIG.
+
+    The script chains XOR-tree flattening/rebalancing, majority re-expression
+    and AND-tree balancing.  It preserves functionality while fragmenting the
+    adder-tree structure (Table II's "dch-optimised" configuration).
+    """
+    options = options or DchOptions()
+    result = aig
+    for _ in range(max(1, options.rounds)):
+        result = restructure_xor_trees(result, options.restructure)
+        result = restructure_majorities(result, options.restructure)
+        if options.rebalance:
+            result = rebalance_and_trees(result)
+    return result
+
+
+def post_mapping_flow(aig: AIG, optimize: bool = True,
+                      dch_options: Optional[DchOptions] = None,
+                      mapping_options: Optional[MappingOptions] = None) -> AIG:
+    """The paper's post-mapping benchmark flow.
+
+    Optionally runs dch-style optimisation, then technology-maps the netlist
+    onto the ASAP7-like library and bit-blasts it back into an AIG — the
+    representation every reasoning tool (ABC baseline, Gamora, BoolE) consumes.
+    """
+    result = dch_optimize(aig, dch_options) if optimize else aig
+    return map_and_blast(result, options=mapping_options)

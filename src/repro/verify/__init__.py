@@ -1,0 +1,23 @@
+"""Formal verification backend: polynomial algebra and SCA backward rewriting."""
+
+from .bridge import (
+    VerificationRun,
+    blocks_from_boole,
+    blocks_from_cut_report,
+    verify_baseline,
+    verify_with_boole,
+)
+from .polynomial import Polynomial
+from .sca import AdderBlockSpec, MultiplierVerifier, VerificationResult
+
+__all__ = [
+    "VerificationRun",
+    "blocks_from_boole",
+    "blocks_from_cut_report",
+    "verify_baseline",
+    "verify_with_boole",
+    "Polynomial",
+    "AdderBlockSpec",
+    "MultiplierVerifier",
+    "VerificationResult",
+]

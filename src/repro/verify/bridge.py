@@ -1,0 +1,132 @@
+"""Bridges between symbolic-reasoning front-ends and the SCA verifier.
+
+Two configurations from Table II of the paper are provided:
+
+* **Baseline** — RevSCA-2.0 style: run cut-enumeration block detection on the
+  netlist under verification and hand the (few) exact blocks it finds to the
+  backward-rewriting engine.
+* **BoolE** — run the BoolE pipeline first, verify the *extracted* netlist
+  (functionally equivalent, with the reconstructed full adders exposed as
+  explicit blocks), and hand every reconstructed FA to the engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..aig import AIG, lit_var, make_lit
+from ..aig.truth_table import AND2_TABLE, MAJ3_TABLE, XOR2_TABLE, XOR3_TABLE, table_mask
+from ..baselines import AdderTreeReport, detect_adder_tree
+from ..core import BoolEOptions, BoolEPipeline, BoolEResult
+from ..cuts import Cut, cut_function
+from .sca import AdderBlockSpec, MultiplierVerifier, VerificationResult
+
+__all__ = [
+    "blocks_from_cut_report",
+    "blocks_from_boole",
+    "VerificationRun",
+    "verify_baseline",
+    "verify_with_boole",
+]
+
+
+def _phased_literal(aig: AIG, var: int, leaves: Tuple[int, ...], positive_table: int,
+                    num_vars: int) -> Optional[int]:
+    """Return the literal of ``var`` computing ``positive_table`` over leaves."""
+    table = cut_function(aig, Cut(var, frozenset(leaves)))
+    if table == positive_table:
+        return make_lit(var)
+    if table == (~positive_table & table_mask(num_vars)):
+        return make_lit(var, True)
+    return None
+
+
+def blocks_from_cut_report(aig: AIG, report: AdderTreeReport,
+                           include_half_adders: bool = True) -> List[AdderBlockSpec]:
+    """Convert exact FA/HA matches of the cut-based detector into verifier blocks."""
+    blocks: List[AdderBlockSpec] = []
+    for fa in report.full_adders:
+        if not fa.exact:
+            continue
+        sum_lit = _phased_literal(aig, fa.sum_var, fa.leaves, XOR3_TABLE, 3)
+        carry_lit = _phased_literal(aig, fa.carry_var, fa.leaves, MAJ3_TABLE, 3)
+        if sum_lit is None or carry_lit is None:
+            continue
+        inputs = tuple(make_lit(leaf) for leaf in fa.leaves)
+        blocks.append(AdderBlockSpec(inputs=inputs, sum_lit=sum_lit,
+                                     carry_lit=carry_lit))
+    if include_half_adders:
+        for ha in report.half_adders:
+            if not ha.exact:
+                continue
+            sum_lit = _phased_literal(aig, ha.sum_var, ha.leaves, XOR2_TABLE, 2)
+            carry_lit = _phased_literal(aig, ha.carry_var, ha.leaves, AND2_TABLE, 2)
+            if sum_lit is None or carry_lit is None:
+                continue
+            inputs = tuple(make_lit(leaf) for leaf in ha.leaves)
+            blocks.append(AdderBlockSpec(inputs=inputs, sum_lit=sum_lit,
+                                         carry_lit=carry_lit))
+    return blocks
+
+
+def blocks_from_boole(result: BoolEResult) -> List[AdderBlockSpec]:
+    """Convert the FA blocks of a BoolE extraction into verifier blocks."""
+    blocks: List[AdderBlockSpec] = []
+    for record in result.fa_blocks:
+        blocks.append(AdderBlockSpec(inputs=record.inputs,
+                                     sum_lit=record.sum_lit,
+                                     carry_lit=record.carry_lit))
+    return blocks
+
+
+@dataclass
+class VerificationRun:
+    """One Table II row entry: verification result plus reasoning statistics."""
+
+    result: VerificationResult
+    num_exact_fas: int
+    reasoning_runtime: float
+    verified_aig_nodes: int
+
+    @property
+    def end_to_end_runtime(self) -> float:
+        """Reasoning plus verification runtime (seconds)."""
+        return self.reasoning_runtime + self.result.runtime
+
+
+def verify_baseline(aig: AIG, width_a: int, width_b: int, signed: bool = False,
+                    verifier: Optional[MultiplierVerifier] = None) -> VerificationRun:
+    """Table II "Baseline": cut-based block detection + backward rewriting."""
+    import time
+
+    verifier = verifier or MultiplierVerifier()
+    t0 = time.perf_counter()
+    report = detect_adder_tree(aig)
+    blocks = blocks_from_cut_report(aig, report)
+    reasoning_runtime = time.perf_counter() - t0
+    result = verifier.verify(aig, width_a, width_b, blocks=blocks, signed=signed)
+    return VerificationRun(result=result,
+                           num_exact_fas=report.num_exact_fas,
+                           reasoning_runtime=reasoning_runtime,
+                           verified_aig_nodes=aig.num_gates)
+
+
+def verify_with_boole(aig: AIG, width_a: int, width_b: int, signed: bool = False,
+                      options: Optional[BoolEOptions] = None,
+                      verifier: Optional[MultiplierVerifier] = None,
+                      boole_result: Optional[BoolEResult] = None) -> VerificationRun:
+    """Table II "BoolE": rewrite with BoolE, verify the extracted netlist."""
+    verifier = verifier or MultiplierVerifier()
+    if boole_result is None:
+        boole_result = BoolEPipeline(options).run(aig)
+    extracted = boole_result.extracted_aig
+    if extracted is None:
+        raise ValueError("BoolE result does not contain an extracted netlist")
+    blocks = blocks_from_boole(boole_result)
+    result = verifier.verify(extracted, width_a, width_b, blocks=blocks,
+                             signed=signed)
+    return VerificationRun(result=result,
+                           num_exact_fas=boole_result.num_exact_fas,
+                           reasoning_runtime=boole_result.total_runtime,
+                           verified_aig_nodes=extracted.num_gates)

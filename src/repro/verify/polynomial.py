@@ -1,0 +1,178 @@
+"""Sparse integer-coefficient polynomials over Boolean (0/1) variables.
+
+This is the algebra underneath symbolic-computer-algebra (SCA) multiplier
+verification: every circuit signal is modelled as a 0/1 integer variable, a
+gate relates its output to its inputs by a polynomial identity (e.g.
+``out = x * y`` for AND), and backward rewriting substitutes these identities
+into the output signature until only primary inputs remain.
+
+A polynomial is a mapping ``monomial -> coefficient`` where a monomial is a
+frozenset of variable ids (Boolean variables are idempotent: x^2 = x, so
+exponents are unnecessary).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Optional, Tuple
+
+__all__ = ["Polynomial"]
+
+Monomial = FrozenSet[int]
+_EMPTY: Monomial = frozenset()
+
+
+class Polynomial:
+    """A sparse multilinear polynomial with integer coefficients."""
+
+    __slots__ = ("_terms",)
+
+    def __init__(self, terms: Optional[Mapping[Monomial, int]] = None) -> None:
+        self._terms: Dict[Monomial, int] = {}
+        if terms:
+            for monomial, coefficient in terms.items():
+                if coefficient:
+                    self._terms[frozenset(monomial)] = coefficient
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def zero(cls) -> "Polynomial":
+        """The zero polynomial."""
+        return cls()
+
+    @classmethod
+    def constant(cls, value: int) -> "Polynomial":
+        """A constant polynomial."""
+        return cls({_EMPTY: value}) if value else cls()
+
+    @classmethod
+    def variable(cls, var: int) -> "Polynomial":
+        """The polynomial consisting of a single Boolean variable."""
+        return cls({frozenset({var}): 1})
+
+    @classmethod
+    def from_literal(cls, var: int, negated: bool) -> "Polynomial":
+        """The polynomial of a signal: ``v`` or ``1 - v`` when negated."""
+        if negated:
+            return cls({_EMPTY: 1, frozenset({var}): -1})
+        return cls.variable(var)
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def num_monomials(self) -> int:
+        """Number of monomials with non-zero coefficients."""
+        return len(self._terms)
+
+    def is_zero(self) -> bool:
+        """True if the polynomial is identically zero."""
+        return not self._terms
+
+    def coefficient(self, monomial: Iterable[int]) -> int:
+        """Return the coefficient of ``monomial`` (0 if absent)."""
+        return self._terms.get(frozenset(monomial), 0)
+
+    def terms(self) -> Iterator[Tuple[Monomial, int]]:
+        """Iterate over ``(monomial, coefficient)`` pairs."""
+        return iter(self._terms.items())
+
+    def variables(self) -> FrozenSet[int]:
+        """Return the set of variables appearing in the polynomial."""
+        result: set = set()
+        for monomial in self._terms:
+            result |= monomial
+        return frozenset(result)
+
+    def contains_variable(self, var: int) -> bool:
+        """True if ``var`` occurs in any monomial."""
+        return any(var in monomial for monomial in self._terms)
+
+    def linear_coefficient(self, var: int) -> Optional[int]:
+        """Coefficient of the singleton monomial ``{var}`` if ``var`` appears
+        *only* linearly; None if ``var`` occurs inside larger monomials."""
+        coefficient = 0
+        for monomial, value in self._terms.items():
+            if var in monomial:
+                if len(monomial) != 1:
+                    return None
+                coefficient = value
+        return coefficient
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other: "Polynomial") -> "Polynomial":
+        result = dict(self._terms)
+        for monomial, coefficient in other._terms.items():
+            updated = result.get(monomial, 0) + coefficient
+            if updated:
+                result[monomial] = updated
+            else:
+                result.pop(monomial, None)
+        return Polynomial(result)
+
+    def __sub__(self, other: "Polynomial") -> "Polynomial":
+        return self + other.scale(-1)
+
+    def scale(self, factor: int) -> "Polynomial":
+        """Multiply every coefficient by ``factor``."""
+        if factor == 0:
+            return Polynomial()
+        return Polynomial({monomial: coefficient * factor
+                           for monomial, coefficient in self._terms.items()})
+
+    def __mul__(self, other: "Polynomial") -> "Polynomial":
+        result: Dict[Monomial, int] = {}
+        for mono_a, coeff_a in self._terms.items():
+            for mono_b, coeff_b in other._terms.items():
+                monomial = mono_a | mono_b  # Boolean idempotence: x*x = x
+                updated = result.get(monomial, 0) + coeff_a * coeff_b
+                if updated:
+                    result[monomial] = updated
+                else:
+                    result.pop(monomial, None)
+        return Polynomial(result)
+
+    def substitute(self, var: int, replacement: "Polynomial") -> "Polynomial":
+        """Replace every occurrence of ``var`` by ``replacement``."""
+        untouched: Dict[Monomial, int] = {}
+        rewritten = Polynomial()
+        for monomial, coefficient in self._terms.items():
+            if var not in monomial:
+                untouched[monomial] = untouched.get(monomial, 0) + coefficient
+                continue
+            rest = Polynomial({monomial - {var}: coefficient})
+            rewritten = rewritten + rest * replacement
+        return Polynomial(untouched) + rewritten
+
+    def evaluate(self, assignment: Mapping[int, int]) -> int:
+        """Evaluate under a 0/1 assignment of every variable."""
+        total = 0
+        for monomial, coefficient in self._terms.items():
+            product = coefficient
+            for var in monomial:
+                product *= assignment[var]
+                if product == 0:
+                    break
+            total += product
+        return total
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Polynomial):
+            return NotImplemented
+        return self._terms == other._terms
+
+    def __hash__(self) -> int:  # pragma: no cover - polynomials rarely hashed
+        return hash(frozenset(self._terms.items()))
+
+    def __repr__(self) -> str:
+        if not self._terms:
+            return "0"
+        parts = []
+        for monomial, coefficient in sorted(self._terms.items(),
+                                            key=lambda item: (len(item[0]), sorted(item[0]))):
+            names = "*".join(f"v{var}" for var in sorted(monomial)) or "1"
+            parts.append(f"{coefficient}*{names}")
+        return " + ".join(parts)

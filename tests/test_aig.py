@@ -1,0 +1,259 @@
+"""Unit tests for the AIG data structure, simulation and AIGER I/O."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aig import (
+    AIG,
+    CONST0,
+    CONST1,
+    aig_equivalent,
+    cone_truth_table,
+    from_aag_string,
+    lit_is_compl,
+    lit_not,
+    lit_var,
+    make_lit,
+    output_truth_tables,
+    to_aag_string,
+    table_mask,
+    var_table,
+)
+
+
+class TestLiterals:
+    def test_make_lit_positive(self):
+        assert make_lit(5) == 10
+
+    def test_make_lit_complemented(self):
+        assert make_lit(5, True) == 11
+
+    def test_lit_var_roundtrip(self):
+        assert lit_var(make_lit(7, True)) == 7
+
+    def test_lit_not_toggles(self):
+        assert lit_not(10) == 11
+        assert lit_not(11) == 10
+
+    def test_lit_is_compl(self):
+        assert not lit_is_compl(10)
+        assert lit_is_compl(11)
+
+
+class TestAIGConstruction:
+    def test_inputs_get_names(self):
+        aig = AIG()
+        lit = aig.add_input("x")
+        assert aig.input_name(lit_var(lit)) == "x"
+
+    def test_and_constant_false(self):
+        aig = AIG()
+        a = aig.add_input()
+        assert aig.and_(a, CONST0) == CONST0
+
+    def test_and_constant_true(self):
+        aig = AIG()
+        a = aig.add_input()
+        assert aig.and_(a, CONST1) == a
+
+    def test_and_idempotent(self):
+        aig = AIG()
+        a = aig.add_input()
+        assert aig.and_(a, a) == a
+
+    def test_and_complement_is_false(self):
+        aig = AIG()
+        a = aig.add_input()
+        assert aig.and_(a, aig.not_(a)) == CONST0
+
+    def test_structural_hashing_reuses_gates(self):
+        aig = AIG()
+        a = aig.add_input()
+        b = aig.add_input()
+        first = aig.and_(a, b)
+        second = aig.and_(b, a)
+        assert first == second
+        assert aig.num_gates == 1
+
+    def test_or_via_de_morgan(self):
+        aig = AIG()
+        a = aig.add_input()
+        b = aig.add_input()
+        aig.add_output(aig.or_(a, b))
+        assert output_truth_tables(aig)[0] == 0b1110
+
+    def test_xor_truth_table(self):
+        aig = AIG()
+        a = aig.add_input()
+        b = aig.add_input()
+        aig.add_output(aig.xor_(a, b))
+        assert output_truth_tables(aig)[0] == 0b0110
+
+    def test_mux_truth_table(self):
+        aig = AIG()
+        s = aig.add_input()
+        t = aig.add_input()
+        e = aig.add_input()
+        aig.add_output(aig.mux_(s, t, e))
+        # minterm order: s=var0, t=var1, e=var2
+        expected = 0
+        for m in range(8):
+            s_v, t_v, e_v = m & 1, (m >> 1) & 1, (m >> 2) & 1
+            if (t_v if s_v else e_v):
+                expected |= 1 << m
+        assert output_truth_tables(aig)[0] == expected
+
+    def test_full_adder_outputs(self):
+        aig = AIG()
+        a, b, c = (aig.add_input() for _ in range(3))
+        s, carry = aig.full_adder(a, b, c)
+        aig.add_output(s)
+        aig.add_output(carry)
+        sum_tt, carry_tt = output_truth_tables(aig)
+        assert sum_tt == 0b10010110
+        assert carry_tt == 0b11101000
+
+    def test_levels_and_depth(self):
+        aig = AIG()
+        a = aig.add_input()
+        b = aig.add_input()
+        c = aig.add_input()
+        out = aig.and_(aig.and_(a, b), c)
+        aig.add_output(out)
+        assert aig.depth() == 2
+        assert aig.levels()[lit_var(a)] == 0
+
+    def test_unknown_literal_rejected(self):
+        aig = AIG()
+        with pytest.raises(ValueError):
+            aig.and_(2, 100)
+
+
+class TestCleanupAndCopy:
+    def test_cleanup_removes_dangling(self):
+        aig = AIG()
+        a = aig.add_input()
+        b = aig.add_input()
+        aig.and_(a, b)          # dangling
+        keep = aig.or_(a, b)
+        aig.add_output(keep)
+        cleaned = aig.cleanup()
+        assert cleaned.num_gates < aig.num_gates
+        assert aig_equivalent(aig, cleaned)
+
+    def test_copy_is_equivalent(self):
+        aig = AIG()
+        a = aig.add_input()
+        b = aig.add_input()
+        aig.add_output(aig.xor_(a, b))
+        assert aig_equivalent(aig, aig.copy())
+
+
+class TestSimulation:
+    def test_simulate_single_pattern(self):
+        aig = AIG()
+        a = aig.add_input()
+        b = aig.add_input()
+        aig.add_output(aig.and_(a, b))
+        assert aig.evaluate({lit_var(a): True, lit_var(b): True}) == [True]
+        assert aig.evaluate({lit_var(a): True, lit_var(b): False}) == [False]
+
+    def test_bit_parallel_matches_single(self):
+        aig = AIG()
+        a = aig.add_input()
+        b = aig.add_input()
+        aig.add_output(aig.xor_(a, b))
+        words = {lit_var(a): 0b0101, lit_var(b): 0b0011}
+        values = aig.simulate(words, mask=0b1111)
+        assert aig.output_words(values, 0b1111)[0] == 0b0110
+
+
+class TestTruthTables:
+    def test_var_table_patterns(self):
+        assert var_table(0, 2) == 0b1010
+        assert var_table(1, 2) == 0b1100
+
+    def test_table_mask(self):
+        assert table_mask(3) == 0xFF
+
+    def test_cone_truth_table_xor(self):
+        aig = AIG()
+        a = aig.add_input()
+        b = aig.add_input()
+        x = aig.xor_(a, b)
+        table = cone_truth_table(aig, lit_var(x), (lit_var(a), lit_var(b)))
+        # the node itself computes XNOR (the XOR literal is complemented)
+        assert table in (0b0110, 0b1001)
+
+    def test_cone_depends_outside_leaves_raises(self):
+        aig = AIG()
+        a = aig.add_input()
+        b = aig.add_input()
+        c = aig.add_input()
+        node = aig.and_(aig.and_(a, b), c)
+        with pytest.raises(ValueError):
+            cone_truth_table(aig, lit_var(node), (lit_var(a), lit_var(b)))
+
+
+class TestAiger:
+    def test_roundtrip_preserves_function(self):
+        aig = AIG(name="rt")
+        a = aig.add_input("a")
+        b = aig.add_input("b")
+        c = aig.add_input("c")
+        aig.add_output(aig.maj3_(a, b, c), "maj")
+        aig.add_output(aig.xor3_(a, b, c), "sum")
+        text = to_aag_string(aig)
+        parsed = from_aag_string(text)
+        assert parsed.num_inputs == 3
+        assert parsed.num_outputs == 2
+        assert aig_equivalent(aig, parsed)
+
+    def test_header_validation(self):
+        with pytest.raises(ValueError):
+            from_aag_string("not an aiger file")
+
+    def test_latches_rejected(self):
+        with pytest.raises(ValueError):
+            from_aag_string("aag 1 0 1 0 0\n2\n")
+
+    def test_write_read_file(self, tmp_path):
+        from repro.aig import read_aag, write_aag
+        aig = AIG(name="file")
+        a = aig.add_input("a")
+        b = aig.add_input("b")
+        aig.add_output(aig.and_(a, b), "y")
+        path = write_aag(aig, tmp_path / "test.aag")
+        loaded = read_aag(path)
+        assert aig_equivalent(aig, loaded)
+
+
+class TestPropertyBased:
+    @given(st.integers(min_value=0, max_value=255), st.integers(min_value=0, max_value=255))
+    @settings(max_examples=50, deadline=None)
+    def test_random_expression_equivalence(self, seed_a, seed_b):
+        """AND/OR/XOR built from AIG primitives obey integer semantics."""
+        aig = AIG()
+        a = aig.add_input()
+        b = aig.add_input()
+        aig.add_output(aig.and_(a, b))
+        aig.add_output(aig.or_(a, b))
+        aig.add_output(aig.xor_(a, b))
+        bit_a = bool(seed_a & 1)
+        bit_b = bool(seed_b & 1)
+        out = aig.evaluate({lit_var(a): bit_a, lit_var(b): bit_b})
+        assert out == [bit_a and bit_b, bit_a or bit_b, bit_a ^ bit_b]
+
+    @given(st.lists(st.booleans(), min_size=3, max_size=3))
+    @settings(max_examples=20, deadline=None)
+    def test_full_adder_semantics(self, bits):
+        aig = AIG()
+        ins = [aig.add_input() for _ in range(3)]
+        s, c = aig.full_adder(*ins)
+        aig.add_output(s)
+        aig.add_output(c)
+        out = aig.evaluate({lit_var(lit): bit for lit, bit in zip(ins, bits)})
+        total = sum(bits)
+        assert out[0] == bool(total & 1)
+        assert out[1] == bool(total >> 1)

@@ -1,0 +1,92 @@
+"""Tests for the ABC-style and Gamora-style baselines."""
+
+import pytest
+
+from repro.baselines import (
+    GamoraModel,
+    detect_adder_tree,
+    default_gamora_model,
+    predict_adder_tree,
+)
+from repro.generators import booth_multiplier, csa_multiplier, csa_upper_bound_fa, ripple_carry_adder
+from repro.opt import post_mapping_flow
+
+
+class TestAbcAtree:
+    @pytest.mark.parametrize("width", [3, 4, 6, 8])
+    def test_premapping_csa_reaches_upper_bound(self, width):
+        """RQ1: on pre-mapping netlists cut enumeration finds every NPN FA."""
+        circuit = csa_multiplier(width)
+        report = detect_adder_tree(circuit.aig)
+        assert report.num_npn_fas == csa_upper_bound_fa(width)
+
+    def test_ripple_carry_adder_fas_detected(self):
+        aig, blocks = ripple_carry_adder(6)
+        report = detect_adder_tree(aig)
+        expected = sum(1 for block in blocks if block.kind == "FA")
+        assert report.num_npn_fas == expected
+
+    def test_exact_subset_of_npn(self):
+        circuit = csa_multiplier(6)
+        report = detect_adder_tree(circuit.aig)
+        assert report.num_exact_fas <= report.num_npn_fas
+
+    def test_half_adders_detected(self):
+        circuit = csa_multiplier(4)
+        report = detect_adder_tree(circuit.aig)
+        assert report.num_npn_has > 0
+
+    def test_postmapping_detection_degrades(self):
+        """RQ2 motivation: mapping hides part of the adder tree from ABC."""
+        circuit = csa_multiplier(8)
+        mapped = post_mapping_flow(circuit.aig)
+        pre = detect_adder_tree(circuit.aig)
+        post = detect_adder_tree(mapped)
+        assert post.num_npn_fas < pre.num_npn_fas
+
+    def test_empty_netlist(self):
+        from repro.aig import AIG
+        aig = AIG()
+        aig.add_input("a")
+        report = detect_adder_tree(aig)
+        assert report.num_npn_fas == 0
+
+    def test_fa_matches_reference_distinct_nodes(self):
+        circuit = csa_multiplier(5)
+        report = detect_adder_tree(circuit.aig)
+        for fa in report.full_adders:
+            assert fa.sum_var != fa.carry_var
+            assert len(fa.leaves) == 3
+
+
+class TestGamora:
+    def test_default_model_is_cached(self):
+        assert default_gamora_model() is default_gamora_model()
+
+    def test_training_collects_shapes(self):
+        model = GamoraModel(depth=3).fit([csa_multiplier(4).aig])
+        assert model.num_trained_shapes > 0
+
+    @pytest.mark.parametrize("width", [4, 6])
+    def test_premapping_recall_is_high(self, width):
+        circuit = csa_multiplier(width)
+        prediction = predict_adder_tree(circuit.aig)
+        assert prediction.num_npn_fas >= 0.9 * circuit.num_full_adders
+
+    def test_postmapping_recall_below_abc(self):
+        """The paper's ordering on mapped netlists: Gamora <= ABC."""
+        circuit = csa_multiplier(8)
+        mapped = post_mapping_flow(circuit.aig)
+        abc = detect_adder_tree(mapped)
+        gamora = predict_adder_tree(mapped)
+        assert gamora.num_npn_fas <= abc.num_npn_fas
+
+    def test_predictions_are_not_marked_exact(self):
+        circuit = csa_multiplier(4)
+        prediction = predict_adder_tree(circuit.aig)
+        assert all(not fa.exact for fa in prediction.full_adders)
+
+    def test_untrained_model_predicts_nothing(self):
+        model = GamoraModel(depth=3)
+        prediction = model.predict(csa_multiplier(4).aig)
+        assert prediction.num_npn_fas == 0

@@ -1,0 +1,111 @@
+"""Tests for cut enumeration and NPN classification."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aig import AIG, MAJ3_TABLE, XOR3_TABLE, XOR2_TABLE, lit_var
+from repro.cuts import (
+    MAJ3_NPN_CANON,
+    XOR3_NPN_CANON,
+    Cut,
+    cut_function,
+    enumerate_cuts,
+    npn_canonical,
+    npn_equivalent,
+)
+
+
+def _xor3_maj3_aig():
+    aig = AIG()
+    a, b, c = (aig.add_input(name) for name in "abc")
+    s, carry = aig.full_adder(a, b, c)
+    aig.add_output(s, "sum")
+    aig.add_output(carry, "carry")
+    return aig, (a, b, c), s, carry
+
+
+class TestCutEnumeration:
+    def test_inputs_have_trivial_cut(self):
+        aig, (a, b, c), _, _ = _xor3_maj3_aig()
+        cuts = enumerate_cuts(aig, k=3)
+        assert cuts[lit_var(a)][0].leaves == frozenset({lit_var(a)})
+
+    def test_fa_sum_has_three_leaf_cut(self):
+        aig, (a, b, c), s, _ = _xor3_maj3_aig()
+        cuts = enumerate_cuts(aig, k=3)
+        leaves = frozenset(lit_var(x) for x in (a, b, c))
+        sum_cuts = {cut.leaves for cut in cuts[lit_var(s)]}
+        assert leaves in sum_cuts
+
+    def test_cut_size_limit_respected(self):
+        aig, _, s, carry = _xor3_maj3_aig()
+        cuts = enumerate_cuts(aig, k=3)
+        for node_cuts in cuts.values():
+            for cut in node_cuts:
+                assert cut.size <= 3
+
+    def test_priority_limit_bounds_cut_count(self):
+        aig, _, _, _ = _xor3_maj3_aig()
+        cuts = enumerate_cuts(aig, k=3, max_cuts_per_node=2)
+        for node_cuts in cuts.values():
+            # +1 for the always-included trivial cut
+            assert len(node_cuts) <= 3
+
+    def test_cut_function_of_sum_is_xor3(self):
+        aig, (a, b, c), s, carry = _xor3_maj3_aig()
+        leaves = tuple(sorted(lit_var(x) for x in (a, b, c)))
+        cut = Cut(lit_var(s), frozenset(leaves))
+        table = cut_function(aig, cut)
+        # The positive node of the sum literal is XNOR3 (xor_ returns the
+        # complemented edge); either phase is in the XOR3 NPN class.
+        assert npn_canonical(table, 3) == XOR3_NPN_CANON
+
+    def test_cut_function_of_carry_is_maj(self):
+        aig, (a, b, c), s, carry = _xor3_maj3_aig()
+        leaves = tuple(sorted(lit_var(x) for x in (a, b, c)))
+        table = cut_function(aig, Cut(lit_var(carry), frozenset(leaves)))
+        assert npn_canonical(table, 3) == MAJ3_NPN_CANON
+
+
+class TestNPN:
+    def test_xor3_and_xnor3_equivalent(self):
+        assert npn_equivalent(XOR3_TABLE, ~XOR3_TABLE & 0xFF, 3)
+
+    def test_maj_and_minority_equivalent(self):
+        assert npn_equivalent(MAJ3_TABLE, ~MAJ3_TABLE & 0xFF, 3)
+
+    def test_xor3_not_equivalent_to_maj(self):
+        assert not npn_equivalent(XOR3_TABLE, MAJ3_TABLE, 3)
+
+    def test_and_or_same_class(self):
+        and2 = 0b1000
+        or2 = 0b1110
+        assert npn_equivalent(and2, or2, 2)
+
+    def test_xor2_not_in_and_class(self):
+        assert not npn_equivalent(XOR2_TABLE, 0b1000, 2)
+
+    def test_canonical_is_idempotent(self):
+        canon = npn_canonical(MAJ3_TABLE, 3)
+        assert npn_canonical(canon, 3) == canon
+
+    @given(st.integers(min_value=0, max_value=255),
+           st.integers(min_value=0, max_value=7))
+    @settings(max_examples=60, deadline=None)
+    def test_input_negation_preserves_class(self, table, mask):
+        from repro.cuts import apply_input_negation
+        negated = apply_input_negation(table, mask, 3)
+        assert npn_canonical(table, 3) == npn_canonical(negated, 3)
+
+    @given(st.integers(min_value=0, max_value=255))
+    @settings(max_examples=60, deadline=None)
+    def test_output_negation_preserves_class(self, table):
+        assert npn_canonical(table, 3) == npn_canonical(~table & 0xFF, 3)
+
+    @given(st.integers(min_value=0, max_value=255))
+    @settings(max_examples=30, deadline=None)
+    def test_permutation_preserves_class(self, table):
+        from repro.cuts import apply_permutation
+        permuted = apply_permutation(table, (2, 0, 1), 3)
+        assert npn_canonical(table, 3) == npn_canonical(permuted, 3)

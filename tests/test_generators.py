@@ -1,0 +1,126 @@
+"""Tests for the arithmetic circuit generators (adders and multipliers)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aig import lit_var, multiplier_value_check
+from repro.generators import (
+    booth_multiplier,
+    csa_multiplier,
+    csa_upper_bound_fa,
+    generate_multiplier,
+    ripple_carry_adder,
+    wallace_multiplier,
+)
+
+
+class TestRippleCarryAdder:
+    @pytest.mark.parametrize("width", [1, 2, 4, 8])
+    def test_adds_correctly(self, width):
+        aig, _blocks = ripple_carry_adder(width)
+        for a in (0, 1, (1 << width) - 1, 0b1010 & ((1 << width) - 1)):
+            for b in (0, 1, (1 << width) - 1):
+                for cin in (0, 1):
+                    bits = {}
+                    for i in range(width):
+                        bits[lit_var(aig.inputs[i])] = bool((a >> i) & 1)
+                        bits[lit_var(2 * aig.inputs[width + i])] = bool((b >> i) & 1)
+                    # inputs list holds vars already
+                    bits = {aig.inputs[i]: bool((a >> i) & 1) for i in range(width)}
+                    bits.update({aig.inputs[width + i]: bool((b >> i) & 1)
+                                 for i in range(width)})
+                    bits[aig.inputs[2 * width]] = bool(cin)
+                    out = aig.evaluate(bits)
+                    value = sum(1 << i for i, bit in enumerate(out) if bit)
+                    assert value == a + b + cin
+
+    def test_block_count(self):
+        _aig, blocks = ripple_carry_adder(8)
+        assert len(blocks) == 8
+        assert all(block.kind == "FA" for block in blocks)
+
+
+class TestCSAMultiplier:
+    @pytest.mark.parametrize("width", [2, 3, 4, 6])
+    def test_functional_correctness(self, width):
+        circuit = csa_multiplier(width)
+        assert multiplier_value_check(circuit.aig, width, width)
+
+    @pytest.mark.parametrize("width", [2, 3, 4, 6, 8, 10])
+    def test_fa_count_matches_paper_upper_bound(self, width):
+        """The CSA array contains exactly (n-1)^2 - 1 full adders (RQ1)."""
+        circuit = csa_multiplier(width)
+        assert circuit.num_full_adders == csa_upper_bound_fa(width)
+
+    def test_io_counts(self):
+        circuit = csa_multiplier(5)
+        assert circuit.aig.num_inputs == 10
+        assert circuit.aig.num_outputs == 10
+
+    def test_width_one(self):
+        circuit = csa_multiplier(1)
+        assert multiplier_value_check(circuit.aig, 1, 1)
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            csa_multiplier(0)
+
+    @given(st.integers(min_value=0, max_value=15), st.integers(min_value=0, max_value=15))
+    @settings(max_examples=30, deadline=None)
+    def test_exhaustive_4bit_products(self, a, b):
+        circuit = csa_multiplier(4)
+        assert multiplier_value_check(circuit.aig, 4, 4, samples=[(a, b)])
+
+
+class TestBoothMultiplier:
+    @pytest.mark.parametrize("width", [2, 3, 4, 5, 6])
+    def test_signed_correctness(self, width):
+        circuit = booth_multiplier(width)
+        assert multiplier_value_check(circuit.aig, width, width, signed=True)
+
+    def test_exhaustive_small(self):
+        circuit = booth_multiplier(3)
+        samples = [(a, b) for a in range(8) for b in range(8)]
+        assert multiplier_value_check(circuit.aig, 3, 3, signed=True, samples=samples)
+
+    def test_has_full_adders(self):
+        circuit = booth_multiplier(6)
+        assert circuit.num_full_adders > 0
+        assert circuit.architecture == "booth"
+        assert circuit.signed
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            booth_multiplier(1)
+
+
+class TestWallaceMultiplier:
+    @pytest.mark.parametrize("width", [2, 3, 4])
+    def test_unsigned_correctness(self, width):
+        circuit = wallace_multiplier(width)
+        assert multiplier_value_check(circuit.aig, width, width)
+
+
+class TestDispatch:
+    @pytest.mark.parametrize("arch", ["csa", "booth", "wallace"])
+    def test_generate_multiplier(self, arch):
+        circuit = generate_multiplier(arch, 4)
+        assert circuit.architecture == arch
+
+    def test_unknown_architecture(self):
+        with pytest.raises(ValueError):
+            generate_multiplier("dadda", 4)
+
+
+class TestGroundTruthBlocks:
+    def test_blocks_reference_real_literals(self):
+        circuit = csa_multiplier(4)
+        max_var = circuit.aig.num_vars
+        for block in circuit.blocks:
+            for lit in block.inputs + (block.sum_lit, block.carry_lit):
+                assert 0 <= lit < 2 * max_var
+
+    def test_half_adders_present(self):
+        circuit = csa_multiplier(4)
+        assert circuit.num_half_adders > 0

@@ -1,0 +1,184 @@
+"""Tests for the cell library, technology mapper and dch-style optimiser."""
+
+import pytest
+
+from repro.aig import AIG, aig_equivalent, multiplier_value_check, output_truth_tables
+from repro.generators import booth_multiplier, csa_multiplier
+from repro.netlist import (
+    CellNetlist,
+    MappingOptions,
+    default_library,
+    map_and_blast,
+    technology_map,
+)
+from repro.opt import (
+    DchOptions,
+    RestructureOptions,
+    dch_optimize,
+    post_mapping_flow,
+    rebalance_and_trees,
+    restructure_majorities,
+    restructure_xor_trees,
+)
+
+
+class TestCellLibrary:
+    def test_cell_truth_tables(self):
+        library = default_library()
+        assert library.cell("NAND2").function == 0b0111
+        assert library.cell("NOR2").function == 0b0001
+        assert library.cell("XOR2").function == 0b0110
+        assert library.cell("INV").function == 0b01
+
+    def test_aoi21_function(self):
+        library = default_library()
+        # AOI21 = ~((a & b) | c); a=var0, b=var1, c=var2
+        expected = 0
+        for m in range(8):
+            a, b, c = m & 1, (m >> 1) & 1, (m >> 2) & 1
+            if not ((a and b) or c):
+                expected |= 1 << m
+        assert library.cell("AOI21").function == expected
+
+    def test_inverting_cells_marked(self):
+        library = default_library()
+        assert library.cell("NAND2").inverting
+        assert not library.cell("AND2").inverting
+
+    def test_match_table_covers_both_phases(self):
+        library = default_library()
+        table = library.match_table(max_arity=2)
+        and2 = 0b1000
+        nand2 = 0b0111
+        assert (2, and2) in table
+        assert (2, nand2) in table
+
+    def test_blast_matches_function(self):
+        """Every cell's blast decomposition must implement its truth table."""
+        library = default_library()
+        for cell in library:
+            aig = AIG()
+            inputs = [aig.add_input(f"x{i}") for i in range(cell.num_inputs)]
+            aig.add_output(cell.blast(aig, inputs))
+            assert output_truth_tables(aig)[0] == cell.function, cell.name
+
+    def test_library_size(self):
+        assert len(default_library()) >= 20
+
+
+class TestTechnologyMapper:
+    @pytest.mark.parametrize("width", [3, 4])
+    def test_mapping_preserves_function_csa(self, width):
+        circuit = csa_multiplier(width)
+        mapped = map_and_blast(circuit.aig)
+        assert multiplier_value_check(mapped, width, width)
+
+    @pytest.mark.parametrize("width", [3, 4])
+    def test_mapping_preserves_function_booth(self, width):
+        circuit = booth_multiplier(width)
+        mapped = map_and_blast(circuit.aig)
+        assert multiplier_value_check(mapped, width, width, signed=True)
+
+    def test_netlist_structure_valid(self):
+        circuit = csa_multiplier(4)
+        netlist = technology_map(circuit.aig)
+        netlist.validate()
+        assert netlist.num_instances > 0
+        assert set(netlist.cell_histogram()) <= set(default_library().names())
+
+    def test_mapping_uses_complex_cells(self):
+        circuit = csa_multiplier(4)
+        netlist = technology_map(circuit.aig)
+        histogram = netlist.cell_histogram()
+        complex_cells = [name for name in histogram
+                         if name not in ("INV", "BUF", "NAND2", "AND2")]
+        assert complex_cells, "mapping should use multi-input cells"
+
+    def test_small_cut_option(self):
+        circuit = csa_multiplier(3)
+        mapped = map_and_blast(circuit.aig, options=MappingOptions(cut_size=2))
+        assert multiplier_value_check(mapped, 3, 3)
+
+    def test_area_positive(self):
+        circuit = csa_multiplier(3)
+        netlist = technology_map(circuit.aig)
+        assert netlist.area() > 0
+
+    def test_undriven_net_rejected(self):
+        from repro.netlist import CellInstance
+        netlist = CellNetlist(inputs=["a"],
+                              instances=[CellInstance("INV", ("missing",), "y")],
+                              outputs=[("y", "o")])
+        with pytest.raises(ValueError):
+            netlist.validate()
+
+
+class TestRestructuring:
+    @pytest.mark.parametrize("width", [3, 4, 5])
+    def test_xor_restructure_preserves_function(self, width):
+        circuit = csa_multiplier(width)
+        options = RestructureOptions(merge_fraction=1.0)
+        restructured = restructure_xor_trees(circuit.aig, options)
+        assert multiplier_value_check(restructured, width, width)
+
+    @pytest.mark.parametrize("width", [3, 4])
+    def test_maj_restructure_preserves_function(self, width):
+        circuit = csa_multiplier(width)
+        restructured = restructure_majorities(circuit.aig)
+        assert multiplier_value_check(restructured, width, width)
+
+    @pytest.mark.parametrize("width", [3, 4])
+    def test_rebalance_preserves_function(self, width):
+        circuit = csa_multiplier(width)
+        rebalanced = rebalance_and_trees(circuit.aig)
+        assert multiplier_value_check(rebalanced, width, width)
+
+    def test_dch_preserves_function_booth(self):
+        circuit = booth_multiplier(4)
+        optimized = dch_optimize(circuit.aig)
+        assert multiplier_value_check(optimized, 4, 4, signed=True)
+
+    def test_dch_changes_structure(self):
+        circuit = csa_multiplier(6)
+        optimized = dch_optimize(circuit.aig)
+        assert optimized.num_gates != circuit.aig.num_gates
+
+    def test_merge_fraction_zero_keeps_block_boundaries(self):
+        """With merging disabled the cut detector still sees every FA."""
+        from repro.baselines import detect_adder_tree
+        circuit = csa_multiplier(5)
+        options = DchOptions(restructure=RestructureOptions(merge_fraction=0.0))
+        optimized = dch_optimize(circuit.aig, options)
+        report = detect_adder_tree(optimized)
+        assert report.num_npn_fas == circuit.num_full_adders
+
+    def test_merge_fraction_one_hides_blocks(self):
+        """Aggressive merging makes some FAs invisible to cut enumeration."""
+        from repro.baselines import detect_adder_tree
+        circuit = csa_multiplier(5)
+        options = DchOptions(restructure=RestructureOptions(merge_fraction=1.0))
+        optimized = dch_optimize(circuit.aig, options)
+        report = detect_adder_tree(optimized)
+        assert report.num_npn_fas < circuit.num_full_adders
+
+
+class TestPostMappingFlow:
+    @pytest.mark.parametrize("width", [3, 4])
+    def test_flow_preserves_function(self, width):
+        circuit = csa_multiplier(width)
+        mapped = post_mapping_flow(circuit.aig)
+        assert multiplier_value_check(mapped, width, width)
+
+    def test_flow_without_optimisation(self):
+        circuit = csa_multiplier(3)
+        mapped = post_mapping_flow(circuit.aig, optimize=False)
+        assert multiplier_value_check(mapped, 3, 3)
+
+    def test_flow_degrades_cut_based_detection(self):
+        """The post-mapping flow hides part of the adder tree from ABC-style
+        detection (the motivation for BoolE, Section III)."""
+        from repro.baselines import detect_adder_tree
+        circuit = csa_multiplier(8)
+        mapped = post_mapping_flow(circuit.aig)
+        report = detect_adder_tree(mapped)
+        assert report.num_npn_fas < circuit.num_full_adders

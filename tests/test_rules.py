@@ -1,0 +1,121 @@
+"""Soundness tests for the BoolE rulesets (R1 and R2).
+
+Every rewrite rule is checked by brute force: the left-hand side is
+instantiated over fresh variables in an e-graph, the rule is applied once,
+and every e-node that ends up in the matched e-class must evaluate to the
+same Boolean value as the original expression under every input assignment.
+An unsound rule would corrupt every downstream result, so this is the most
+important test in the suite.
+"""
+
+from itertools import product
+
+import pytest
+
+from repro.core import basic_rules, full_basic_rules, identification_rules, ruleset_summary
+from repro.core.rules_xor_maj import maj_rules, xor_rules
+from repro.egraph import EGraph, Op, apply_rules
+from repro.egraph.pattern import instantiate, pattern_vars
+
+
+def _eval_class(egraph, class_id, assignment, visiting=None):
+    """Evaluate an e-class as a Boolean function (first evaluable node)."""
+    class_id = egraph.find(class_id)
+    if visiting is None:
+        visiting = frozenset()
+    if class_id in assignment:
+        return assignment[class_id]
+    if class_id in visiting:
+        return None
+    visiting = visiting | {class_id}
+    for node in egraph.enodes(class_id):
+        value = _eval_node(egraph, node, assignment, visiting)
+        if value is not None:
+            return value
+    return None
+
+
+def _eval_node(egraph, node, assignment, visiting):
+    if node.op == Op.VAR:
+        return assignment.get(egraph.find(egraph.var(node.payload)))
+    if node.op == Op.CONST:
+        return bool(node.payload)
+    values = [_eval_class(egraph, child, assignment, visiting)
+              for child in node.children]
+    if any(value is None for value in values):
+        return None
+    if node.op == Op.NOT:
+        return not values[0]
+    if node.op == Op.AND:
+        return values[0] and values[1]
+    if node.op == Op.OR:
+        return values[0] or values[1]
+    if node.op == Op.XOR:
+        return values[0] ^ values[1]
+    if node.op == Op.XNOR:
+        return not (values[0] ^ values[1])
+    if node.op == Op.XOR3:
+        return values[0] ^ values[1] ^ values[2]
+    if node.op == Op.MAJ:
+        return (values[0] and values[1]) or (values[0] and values[2]) \
+            or (values[1] and values[2])
+    return None
+
+
+def _rule_is_sound(rule) -> bool:
+    names = pattern_vars(rule.lhs)
+    for bits in product([False, True], repeat=len(names)):
+        egraph = EGraph()
+        var_classes = {name: egraph.var(name.lstrip("?")) for name in names}
+        root = instantiate(egraph, rule.lhs, dict(var_classes))
+        egraph.rebuild()
+        assignment = {egraph.find(cls): bit
+                      for cls, bit in zip(var_classes.values(), bits)}
+        before = _eval_class(egraph, root, dict(assignment))
+        apply_rules(egraph, [rule])
+        assignment = {egraph.find(cls): bit
+                      for cls, bit in zip(var_classes.values(), bits)}
+        if before is None:
+            continue
+        for node in egraph.enodes(egraph.find(root)):
+            value = _eval_node(egraph, node, dict(assignment), frozenset({egraph.find(root)}))
+            if value is not None and value != before:
+                return False
+    return True
+
+
+ALL_RULES = full_basic_rules() + identification_rules(True)
+
+
+@pytest.mark.parametrize("rule", ALL_RULES, ids=lambda rule: rule.name)
+def test_rule_soundness(rule):
+    assert _rule_is_sound(rule), f"rule {rule.name} changes the Boolean function"
+
+
+class TestRulesetStructure:
+    def test_lightweight_is_subset_of_full(self):
+        light_names = {rule.name for rule in basic_rules(lightweight=True)}
+        full_names = {rule.name for rule in basic_rules(lightweight=False)}
+        assert light_names <= full_names
+
+    def test_rule_names_unique(self):
+        names = [rule.name for rule in ALL_RULES]
+        assert len(names) == len(set(names))
+
+    def test_groups_assigned(self):
+        for rule in ALL_RULES:
+            assert rule.group in ("R1", "R2-xor", "R2-maj")
+
+    def test_summary_counts_match(self):
+        summary = ruleset_summary(lightweight=False, include_variants=True)
+        assert summary["R2-xor"] == len(xor_rules(True))
+        assert summary["R2-maj"] == len(maj_rules(True))
+        assert summary["total"] == (summary["R1-basic"] + summary["R2-xor"]
+                                    + summary["R2-maj"])
+
+    def test_variant_generation_expands_xor_rules(self):
+        assert len(xor_rules(True)) > len(xor_rules(False))
+
+    def test_xor_and_maj_rule_volumes(self):
+        """The identification library is dominated by XOR rules, as in the paper."""
+        assert len(xor_rules(True)) > len(maj_rules(True)) > 10

@@ -1,0 +1,141 @@
+"""Tests for the polynomial algebra and the SCA multiplier verifier."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aig import AIG
+from repro.core import BoolEOptions
+from repro.generators import booth_multiplier, csa_multiplier
+from repro.opt import dch_optimize
+from repro.verify import (
+    AdderBlockSpec,
+    MultiplierVerifier,
+    Polynomial,
+    blocks_from_cut_report,
+    verify_baseline,
+    verify_with_boole,
+)
+
+
+class TestPolynomial:
+    def test_zero(self):
+        assert Polynomial.zero().is_zero()
+
+    def test_constant(self):
+        poly = Polynomial.constant(5)
+        assert poly.coefficient(()) == 5
+
+    def test_addition_cancels(self):
+        x = Polynomial.variable(1)
+        assert (x - x).is_zero()
+
+    def test_multiplication_idempotent_variables(self):
+        x = Polynomial.variable(1)
+        assert (x * x) == x
+
+    def test_literal_polynomial(self):
+        poly = Polynomial.from_literal(3, negated=True)
+        assert poly.coefficient(()) == 1
+        assert poly.coefficient({3}) == -1
+
+    def test_substitute(self):
+        # x*y with x := 1 - z  ->  y - z*y
+        poly = Polynomial.variable(1) * Polynomial.variable(2)
+        result = poly.substitute(1, Polynomial.from_literal(3, True))
+        assert result.coefficient({2}) == 1
+        assert result.coefficient({2, 3}) == -1
+
+    def test_linear_coefficient(self):
+        poly = Polynomial.variable(1).scale(4) + Polynomial.variable(2) * Polynomial.variable(3)
+        assert poly.linear_coefficient(1) == 4
+        assert poly.linear_coefficient(2) is None
+        assert poly.linear_coefficient(9) == 0
+
+    @given(st.integers(-5, 5), st.integers(-5, 5), st.booleans(), st.booleans())
+    @settings(max_examples=40, deadline=None)
+    def test_evaluation_matches_arithmetic(self, ca, cb, xa, xb):
+        poly = Polynomial.variable(1).scale(ca) + Polynomial.variable(2).scale(cb)
+        value = poly.evaluate({1: int(xa), 2: int(xb)})
+        assert value == ca * int(xa) + cb * int(xb)
+
+    @given(st.booleans(), st.booleans(), st.booleans())
+    @settings(max_examples=16, deadline=None)
+    def test_and_gate_identity(self, a, b, c):
+        """out = x*y models an AND gate exactly on 0/1 values."""
+        gate = Polynomial.variable(1) * Polynomial.variable(2)
+        assert gate.evaluate({1: int(a), 2: int(b)}) == int(a and b)
+
+
+class TestVerifierOnCleanMultipliers:
+    @pytest.mark.parametrize("width", [2, 3, 4])
+    def test_csa_verifies_without_blocks(self, width):
+        circuit = csa_multiplier(width)
+        verifier = MultiplierVerifier(max_poly_size=200_000, time_limit=60)
+        result = verifier.verify(circuit.aig, width, width)
+        assert result.verified
+
+    @pytest.mark.parametrize("width", [2, 3])
+    def test_booth_verifies_signed(self, width):
+        circuit = booth_multiplier(width)
+        verifier = MultiplierVerifier(max_poly_size=200_000, time_limit=60)
+        result = verifier.verify(circuit.aig, width, width, signed=True)
+        assert result.verified
+
+    def test_buggy_multiplier_is_refuted(self):
+        circuit = csa_multiplier(3)
+        aig = circuit.aig
+        # Corrupt one output by complementing it.
+        aig.outputs[2] = aig.outputs[2] ^ 1
+        verifier = MultiplierVerifier(max_poly_size=200_000, time_limit=60)
+        result = verifier.verify(aig, 3, 3)
+        assert not result.verified
+        assert result.status == "refuted"
+
+    def test_block_rewriting_reduces_polynomial_size(self):
+        width = 4
+        circuit = csa_multiplier(width)
+        verifier = MultiplierVerifier(max_poly_size=500_000, time_limit=60)
+        from repro.baselines import detect_adder_tree
+        report = detect_adder_tree(circuit.aig)
+        blocks = blocks_from_cut_report(circuit.aig, report)
+        plain = verifier.verify(circuit.aig, width, width)
+        assisted = verifier.verify(circuit.aig, width, width, blocks=blocks)
+        assert assisted.verified and plain.verified
+        assert assisted.max_poly_size <= plain.max_poly_size
+
+
+class TestTableIIConfigurations:
+    def test_boole_configuration_verifies_dch_netlist(self):
+        width = 4
+        circuit = csa_multiplier(width)
+        optimized = dch_optimize(circuit.aig)
+        run = verify_with_boole(optimized, width, width,
+                                options=BoolEOptions(r1_iterations=3, r2_iterations=3),
+                                verifier=MultiplierVerifier(max_poly_size=500_000,
+                                                            time_limit=120))
+        assert run.result.verified
+        assert run.num_exact_fas > 0
+
+    def test_baseline_configuration_runs(self):
+        width = 4
+        circuit = csa_multiplier(width)
+        optimized = dch_optimize(circuit.aig)
+        run = verify_baseline(optimized, width, width,
+                              verifier=MultiplierVerifier(max_poly_size=500_000,
+                                                          time_limit=120))
+        assert run.result.status in ("verified", "timeout", "size_limit")
+
+    def test_size_limit_reported(self):
+        width = 6
+        circuit = csa_multiplier(width)
+        optimized = dch_optimize(circuit.aig)
+        tight = MultiplierVerifier(max_poly_size=50, time_limit=30)
+        run = verify_baseline(optimized, width, width, verifier=tight)
+        assert run.result.timed_out
+
+    def test_block_spec_properties(self):
+        block = AdderBlockSpec(inputs=(2, 4, 6), sum_lit=8, carry_lit=10)
+        assert block.is_full_adder
+        half = AdderBlockSpec(inputs=(2, 4), sum_lit=8, carry_lit=10)
+        assert not half.is_full_adder
