@@ -6,7 +6,7 @@ rules R2.  The ablation applies both rulesets together for the same total
 iteration budget and compares recovered FAs and e-graph size.
 """
 
-from common import BOOLE_OPTIONS, mapped_aig
+from common import mapped_aig
 from repro.core import (
     aig_to_egraph,
     basic_rules,

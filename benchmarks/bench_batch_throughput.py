@@ -1,0 +1,76 @@
+"""Batch throughput: many generated circuits through one BatchPipeline run.
+
+The paper's experiments process one multiplier at a time; the reproduction's
+north star is serving many circuits at once.  This bench sweeps the adder and
+multiplier generators at several widths, pushes the whole mix through
+:class:`~repro.core.BatchPipeline`, and reports per-circuit results plus the
+aggregate throughput.  It also cross-checks a sample of the batch results
+against a serial pipeline run to make sure concurrency does not change the
+recovered FA counts.
+"""
+
+import pytest
+
+from common import MAX_WIDTH, BOOLE_OPTIONS, print_table
+
+from repro.core import BatchJob, BatchPipeline, BoolEPipeline
+from repro.generators import (
+    booth_multiplier,
+    csa_multiplier,
+    ripple_carry_adder,
+    wallace_multiplier,
+)
+
+COLUMNS = ["name", "aig_nodes", "runtime_s", "exact_fas", "paired_fas", "status"]
+
+#: Adder widths are cheap to saturate, multiplier widths are the heavy tail.
+ADDER_WIDTHS = [4, 8, 12, 16]
+MULTIPLIER_WIDTHS = [w for w in (2, 3, 4) if w <= MAX_WIDTH]
+
+
+def batch_jobs():
+    jobs = [BatchJob(f"rca{w}", ripple_carry_adder(w)[0])
+            for w in ADDER_WIDTHS]
+    for width in MULTIPLIER_WIDTHS:
+        jobs.append(BatchJob(f"csa{width}", csa_multiplier(width).aig))
+        jobs.append(BatchJob(f"booth{width}", booth_multiplier(width).aig))
+        jobs.append(BatchJob(f"wallace{width}", wallace_multiplier(width).aig))
+    return jobs
+
+
+@pytest.mark.parametrize("max_workers", [4])
+def test_batch_throughput(benchmark, max_workers):
+    jobs = batch_jobs()
+    pipeline = BatchPipeline(BOOLE_OPTIONS, max_workers=max_workers,
+                             keep_results=False)
+
+    report = benchmark.pedantic(lambda: pipeline.run(jobs),
+                                rounds=1, iterations=1)
+
+    rows = []
+    for item in report.items:
+        rows.append({
+            "name": item.name,
+            "aig_nodes": int(item.summary.get("aig_nodes", 0)),
+            "runtime_s": round(item.runtime, 2),
+            "exact_fas": int(item.summary.get("exact_fas", 0)),
+            "paired_fas": int(item.summary.get("paired_fas", 0)),
+            "status": "ok" if item.ok else "FAILED",
+        })
+    print_table(f"Batch throughput ({len(jobs)} circuits, "
+                f"{max_workers} workers)", rows, COLUMNS)
+    print(f"wall time: {report.wall_time:.2f}s, "
+          f"sum of circuit runtimes: {report.total_runtime:.2f}s, "
+          f"throughput: {report.throughput:.2f} circuits/s")
+
+    assert report.num_failed == 0, report.failures()
+    assert len(report.items) == len(jobs)
+
+    # Concurrency must not change what the pipeline recovers: re-run the
+    # largest adder serially and compare the FA counts.
+    probe = f"rca{ADDER_WIDTHS[-1]}"
+    serial = BoolEPipeline(BOOLE_OPTIONS).run(
+        ripple_carry_adder(ADDER_WIDTHS[-1])[0])
+    batch_summary = report.item(probe).summary
+    assert batch_summary["exact_fas"] == serial.summary()["exact_fas"]
+    assert batch_summary["paired_fas"] == serial.summary()["paired_fas"]

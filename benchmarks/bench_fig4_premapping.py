@@ -9,7 +9,6 @@ curve and checks both tools reach it.
 import pytest
 
 from common import (
-    BOOLE_OPTIONS,
     PRE_MAPPING_WIDTHS,
     boole_on_premapping,
     circuit,

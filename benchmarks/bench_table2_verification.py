@@ -13,11 +13,9 @@ Reported per row: exact-FA counts (upper bound / BoolE / baseline), the
 maximum polynomial size of both runs and both end-to-end runtimes.
 """
 
-import pytest
 
-from common import VERIFICATION_WIDTHS, circuit, dch_aig, print_table, upper_bound
+from common import VERIFICATION_WIDTHS, dch_aig, print_table, upper_bound
 from repro.verify import MultiplierVerifier, verify_baseline, verify_with_boole
-from common import BOOLE_OPTIONS
 
 COLUMNS = ["width", "ub_fa", "boole_fa", "base_fa", "boole_maxpoly",
            "base_maxpoly", "boole_time_s", "base_time_s", "base_status"]

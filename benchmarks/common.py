@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import os
 from functools import lru_cache
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from repro.baselines import detect_adder_tree, predict_adder_tree
 from repro.core import BoolEOptions, BoolEPipeline, BoolEResult

@@ -17,7 +17,7 @@ simplification on insertion, mirroring how ABC builds AIGs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 __all__ = [
     "AIG",

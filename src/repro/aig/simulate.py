@@ -10,7 +10,7 @@ from __future__ import annotations
 import random
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from .aig import AIG, lit_is_compl, lit_var
+from .aig import AIG
 
 __all__ = [
     "random_simulation",

@@ -20,7 +20,7 @@ invisible to it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Dict, List, Set, Tuple
 
 from ..aig import AIG
 from ..aig.truth_table import AND2_TABLE, MAJ3_TABLE, XOR2_TABLE, XOR3_TABLE

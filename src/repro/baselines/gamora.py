@@ -24,7 +24,7 @@ reports (Gamora recall drops below ABC post-mapping).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Optional, Sequence, Set, Tuple
 
 from ..aig import AIG, lit_is_compl, lit_var
 from ..cuts import enumerate_cuts

@@ -1,5 +1,6 @@
 """BoolE core: rulesets, construction, saturation, FA pairing and extraction."""
 
+from .batch import BatchItemResult, BatchJob, BatchPipeline, BatchReport
 from .construct import ConstructionResult, aig_to_egraph
 from .extraction import (
     BoolEExtraction,
@@ -19,6 +20,10 @@ from .rules_basic import basic_rules, full_basic_rules, lightweight_basic_rules
 from .rules_xor_maj import identification_rules, maj_rules, ruleset_summary, xor_rules
 
 __all__ = [
+    "BatchItemResult",
+    "BatchJob",
+    "BatchPipeline",
+    "BatchReport",
     "ConstructionResult",
     "aig_to_egraph",
     "BoolEExtraction",

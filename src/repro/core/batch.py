@@ -1,0 +1,219 @@
+"""Batch driver: run many netlists through :class:`BoolEPipeline` at once.
+
+``BatchPipeline`` executes a set of :class:`BatchJob` items on a
+``concurrent.futures`` executor, applies per-circuit resource limits (each
+job may carry its own :class:`BoolEOptions`), isolates failures (one broken
+circuit never aborts the batch), and aggregates everything into a
+:class:`BatchReport` suitable for the benchmark harness.
+
+Two executor backends are supported:
+
+* ``"thread"`` (default) — a ``ThreadPoolExecutor``.  The pipeline is pure
+  Python, so threads mostly interleave rather than parallelise under the
+  GIL, but results can carry the full :class:`BoolEResult` objects and
+  nothing needs to be picklable.
+* ``"process"`` — a ``ProcessPoolExecutor``.  True parallelism; jobs and
+  their options are pickled into the workers, and only the numeric summary
+  travels back (``BatchItemResult.result`` is ``None``).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import (
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    as_completed,
+)
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from ..aig import AIG
+from .pipeline import BoolEOptions, BoolEPipeline, BoolEResult
+
+__all__ = ["BatchJob", "BatchItemResult", "BatchReport", "BatchPipeline"]
+
+
+@dataclass
+class BatchJob:
+    """One circuit to push through the pipeline.
+
+    Attributes:
+        name: label used in reports (defaults to the AIG's own name).
+        aig: the input netlist.
+        options: per-circuit pipeline configuration (iteration budgets, node
+            and time limits, ...); ``None`` inherits the batch default.
+    """
+
+    name: str
+    aig: AIG
+    options: Optional[BoolEOptions] = None
+
+
+@dataclass
+class BatchItemResult:
+    """Outcome of one batch job.
+
+    Attributes:
+        name: the job's label.
+        ok: True when the pipeline completed without raising.
+        runtime: wall-clock seconds spent inside the pipeline for this job.
+        summary: the :meth:`BoolEResult.summary` numbers (empty on failure).
+        error: the formatted exception when ``ok`` is False.
+        result: the full :class:`BoolEResult` when available (thread backend
+            with ``keep_results=True``), else ``None``.
+    """
+
+    name: str
+    ok: bool
+    runtime: float = 0.0
+    summary: Dict[str, float] = field(default_factory=dict)
+    error: Optional[str] = None
+    result: Optional[BoolEResult] = None
+
+
+@dataclass
+class BatchReport:
+    """Aggregated outcome of a whole batch run."""
+
+    items: List[BatchItemResult] = field(default_factory=list)
+    wall_time: float = 0.0
+
+    @property
+    def num_ok(self) -> int:
+        """Number of jobs that completed successfully."""
+        return sum(1 for item in self.items if item.ok)
+
+    @property
+    def num_failed(self) -> int:
+        """Number of jobs that raised."""
+        return len(self.items) - self.num_ok
+
+    @property
+    def total_runtime(self) -> float:
+        """Sum of per-circuit pipeline runtimes (CPU-ish seconds)."""
+        return sum(item.runtime for item in self.items)
+
+    @property
+    def throughput(self) -> float:
+        """Completed circuits per wall-clock second."""
+        if self.wall_time <= 0:
+            return 0.0
+        return self.num_ok / self.wall_time
+
+    def item(self, name: str) -> BatchItemResult:
+        """Return the result of the job called ``name``."""
+        for entry in self.items:
+            if entry.name == name:
+                return entry
+        raise KeyError(name)
+
+    def aggregate(self) -> Dict[str, float]:
+        """Column-wise sums of the successful jobs' summaries."""
+        totals: Dict[str, float] = {}
+        for entry in self.items:
+            if not entry.ok:
+                continue
+            for key, value in entry.summary.items():
+                totals[key] = totals.get(key, 0.0) + value
+        return totals
+
+    def failures(self) -> List[Tuple[str, str]]:
+        """Return ``(name, error)`` pairs of the failed jobs."""
+        return [(item.name, item.error or "unknown error")
+                for item in self.items if not item.ok]
+
+
+def _run_job(job: BatchJob, default_options: Optional[BoolEOptions],
+             keep_result: bool) -> BatchItemResult:
+    """Worker body: run one job, capturing any failure.
+
+    Module-level so the process backend can pickle it.
+    """
+    start = time.perf_counter()
+    try:
+        pipeline = BoolEPipeline(job.options or default_options)
+        result = pipeline.run(job.aig)
+    except Exception as error:  # noqa: BLE001 - failure isolation is the point
+        return BatchItemResult(
+            name=job.name, ok=False,
+            runtime=time.perf_counter() - start,
+            error=f"{type(error).__name__}: {error}")
+    return BatchItemResult(
+        name=job.name, ok=True,
+        runtime=time.perf_counter() - start,
+        summary=result.summary(),
+        result=result if keep_result else None)
+
+
+class BatchPipeline:
+    """Run many AIGs through :class:`BoolEPipeline` concurrently.
+
+    Example::
+
+        jobs = [BatchJob(f"rca{w}", ripple_carry_adder(w)[0]) for w in (4, 8)]
+        report = BatchPipeline(max_workers=4).run(jobs)
+        assert report.num_failed == 0
+
+    Args:
+        options: default :class:`BoolEOptions` for jobs that carry none.
+        max_workers: executor pool size (``None`` = executor default).
+        executor: ``"thread"`` or ``"process"`` (see module docstring).
+        keep_results: attach the full :class:`BoolEResult` to each item
+            (forced off on the process backend to avoid shipping e-graphs
+            between processes).
+    """
+
+    def __init__(self, options: Optional[BoolEOptions] = None, *,
+                 max_workers: Optional[int] = None,
+                 executor: str = "thread",
+                 keep_results: bool = True) -> None:
+        if executor not in ("thread", "process"):
+            raise ValueError(f"unknown executor backend {executor!r}")
+        self.options = options
+        self.max_workers = max_workers
+        self.executor = executor
+        self.keep_results = keep_results and executor == "thread"
+
+    def run(self, jobs: Iterable[Union[BatchJob, AIG]]) -> BatchReport:
+        """Execute every job and return the aggregated report.
+
+        Bare :class:`AIG` instances are wrapped into jobs named after the
+        AIG (falling back to their position in the batch).  Item order in
+        the report matches submission order regardless of completion order.
+        """
+        normalized = [self._normalize(job, index)
+                      for index, job in enumerate(jobs)]
+        report = BatchReport()
+        if not normalized:
+            return report
+
+        pool_cls = (ThreadPoolExecutor if self.executor == "thread"
+                    else ProcessPoolExecutor)
+        start = time.perf_counter()
+        results: Dict[int, BatchItemResult] = {}
+        with pool_cls(max_workers=self.max_workers) as pool:
+            futures: Dict[Future, int] = {
+                pool.submit(_run_job, job, self.options, self.keep_results):
+                    index
+                for index, job in enumerate(normalized)}
+            for future in as_completed(futures):
+                index = futures[future]
+                try:
+                    results[index] = future.result()
+                except Exception as error:  # noqa: BLE001 - worker crashed
+                    results[index] = BatchItemResult(
+                        name=normalized[index].name, ok=False,
+                        error=f"{type(error).__name__}: {error}")
+        report.items = [results[index] for index in range(len(normalized))]
+        report.wall_time = time.perf_counter() - start
+        return report
+
+    @staticmethod
+    def _normalize(job: Union[BatchJob, AIG], index: int) -> BatchJob:
+        if isinstance(job, BatchJob):
+            return job
+        if isinstance(job, AIG):
+            return BatchJob(name=job.name or f"job{index}", aig=job)
+        raise TypeError(f"cannot interpret batch job {job!r}")

@@ -10,7 +10,7 @@ can map recovered structures back to circuit signals.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from ..aig import AIG, lit_is_compl, lit_not, lit_var
 from ..egraph import EGraph, ENode, Op

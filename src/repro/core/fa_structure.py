@@ -11,7 +11,7 @@ classes respectively (Figure 3 of the paper).  Extraction then treats the
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Set, Tuple
 
 from ..egraph import EGraph, ENode, Op
 

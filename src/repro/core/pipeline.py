@@ -51,6 +51,10 @@ class BoolEOptions:
             saturation (paper trick 3).
         extract: run DAG extraction and netlist reconstruction.
         count_npn: count NPN FA pairs on the saturated e-graph.
+        incremental: use delta e-matching after each phase's first iteration
+            (see ``docs/performance.md``); disable to force full scans.
+        debug_check_full: assert after every delta iteration that a full
+            scan finds nothing more (very slow; debugging only).
     """
 
     r1_iterations: int = 6
@@ -63,6 +67,8 @@ class BoolEOptions:
     prune_redundant: bool = True
     extract: bool = True
     count_npn: bool = True
+    incremental: bool = True
+    debug_check_full: bool = False
 
 
 @dataclass
@@ -149,7 +155,9 @@ class BoolEPipeline:
             max_matches_per_rule=options.max_matches_per_rule,
         )
         t0 = time.perf_counter()
-        r1_report = Runner(limits).run(egraph, self._r1)
+        r1_report = Runner(limits, incremental=options.incremental,
+                           debug_check_full=options.debug_check_full
+                           ).run(egraph, self._r1)
         timings["r1"] = time.perf_counter() - t0
 
         limits = RunnerLimits(
@@ -159,7 +167,9 @@ class BoolEPipeline:
             max_matches_per_rule=options.max_matches_per_rule,
         )
         t0 = time.perf_counter()
-        r2_report = Runner(limits).run(egraph, self._r2)
+        r2_report = Runner(limits, incremental=options.incremental,
+                           debug_check_full=options.debug_check_full
+                           ).run(egraph, self._r2)
         timings["r2"] = time.perf_counter() - t0
 
         if options.prune_redundant:

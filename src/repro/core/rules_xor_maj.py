@@ -18,7 +18,7 @@ trick (optimisation trick 3).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Sequence, Tuple
 
 from ..egraph import EGraph, ENode, Op, Rewrite
 from ..egraph.pattern import Subst

@@ -13,7 +13,7 @@ degrades on restructured netlists.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from ..aig import AIG, cone_truth_table, lit_var
 

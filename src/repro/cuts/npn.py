@@ -10,10 +10,10 @@ BoolE distinguishes those from *exact* full adders.
 from __future__ import annotations
 
 from functools import lru_cache
-from itertools import permutations, product
-from typing import Dict, Iterable, List, Tuple
+from itertools import permutations
+from typing import Dict, List, Tuple
 
-from ..aig.truth_table import MAJ3_TABLE, XOR3_TABLE, table_mask, var_table
+from ..aig.truth_table import MAJ3_TABLE, XOR3_TABLE, table_mask
 
 __all__ = [
     "apply_permutation",

@@ -12,9 +12,11 @@ from .extract import (
     expr_of,
 )
 from .pattern import (
+    MatchPlan,
     Pattern,
     PatternNode,
     PatternVar,
+    compile_pattern,
     ematch,
     instantiate,
     match_in_class,
@@ -39,9 +41,11 @@ __all__ = [
     "count_ops",
     "default_cost",
     "expr_of",
+    "MatchPlan",
     "Pattern",
     "PatternNode",
     "PatternVar",
+    "compile_pattern",
     "ematch",
     "instantiate",
     "match_in_class",

@@ -4,6 +4,17 @@ This is a from-scratch Python implementation of the data structure described
 in the egg paper (Willsey et al., POPL 2021), providing the operations BoolE
 needs: insertion with hash-consing, union, deferred rebuilding (congruence
 closure), per-operator indexing for e-matching, and pruning helpers.
+
+Two structures are maintained incrementally to support delta e-matching
+(see ``docs/performance.md``):
+
+* an **operator index** mapping each operator to the set of e-class ids that
+  have ever contained an e-node with that operator.  Entries may be stale
+  (classes merge away); they are canonicalised lazily on read, which keeps
+  ``add``/``union`` O(1) while queries stay sound over-approximations.
+* a **dirty set** of e-classes touched by ``add``/``union`` (and therefore by
+  congruence repair) since the last :meth:`take_dirty`.  Rewrite drivers use
+  it to re-match rules only against the changed frontier of the e-graph.
 """
 
 from __future__ import annotations
@@ -11,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Set, Tuple
 
-from .enode import ENode, Op, is_leaf_op
+from .enode import ENode, Op
 from .unionfind import UnionFind
 
 __all__ = ["EClass", "EGraph"]
@@ -47,6 +58,9 @@ class EGraph:
         self._hashcons: Dict[ENode, int] = {}
         self._pending: List[int] = []
         self._clean = True
+        self._op_classes: Dict[str, Set[int]] = {}
+        self._dirty: Set[int] = set()
+        self._enode_cache: Dict[int, List[ENode]] = {}
 
     # ------------------------------------------------------------------
     # Basic queries
@@ -79,8 +93,22 @@ class EGraph:
         return self._classes[self.find(class_id)]
 
     def enodes(self, class_id: int) -> List[ENode]:
-        """Return the canonicalised e-nodes of a class."""
-        return [node.canonicalize(self.find) for node in self.eclass(class_id).nodes]
+        """Return the canonicalised e-nodes of a class.
+
+        The returned list is cached until the next mutation (this is the
+        e-matching hot path); callers must not modify it.
+        """
+        root = self.find(class_id)
+        cached = self._enode_cache.get(root)
+        if cached is None:
+            cached = [node.canonicalize(self.find)
+                      for node in self._classes[root].nodes]
+            self._enode_cache[root] = cached
+        return cached
+
+    def _invalidate_enode_cache(self) -> None:
+        if self._enode_cache:
+            self._enode_cache.clear()
 
     def __contains__(self, node: ENode) -> bool:
         return node.canonicalize(self.find) in self._hashcons
@@ -107,6 +135,9 @@ class EGraph:
         self._hashcons[canonical] = class_id
         for child in canonical.children:
             self._classes[self.find(child)].parents.append((canonical, class_id))
+        self._op_classes.setdefault(canonical.op, set()).add(class_id)
+        self._dirty.add(class_id)
+        self._invalidate_enode_cache()
         return class_id
 
     def add_leaf(self, op: str, payload: Hashable) -> int:
@@ -165,6 +196,8 @@ class EGraph:
         class_a.parents.extend(class_b.parents)
         self._pending.append(root_a)
         self._clean = False
+        self._dirty.add(root_a)
+        self._invalidate_enode_cache()
         return True
 
     def rebuild(self) -> int:
@@ -229,22 +262,48 @@ class EGraph:
     # ------------------------------------------------------------------
     # Indexing and maintenance helpers
     # ------------------------------------------------------------------
-    def op_index(self) -> Dict[str, List[Tuple[int, ENode]]]:
-        """Build a snapshot index mapping operator -> [(class_id, enode)].
-
-        The e-graph should be clean (rebuilt) before taking a snapshot.
-        """
-        index: Dict[str, List[Tuple[int, ENode]]] = {}
-        for eclass in self._classes.values():
-            class_id = eclass.id
-            for node in eclass.nodes:
-                canonical = node.canonicalize(self.find)
-                index.setdefault(canonical.op, []).append((class_id, canonical))
-        return index
-
     def class_ids(self) -> List[int]:
         """Return the list of canonical class ids."""
         return list(self._classes.keys())
+
+    def candidate_classes(self, op: str) -> Set[int]:
+        """Canonical ids of every e-class that may contain an ``op`` e-node.
+
+        The persistent operator index is a sound over-approximation:
+        classes are never missing, but a class may no longer hold the
+        operator after pruning.  Stale ids left behind by unions are
+        compacted on read.  Callers must treat the result as read-only.
+        """
+        ids = self._op_classes.get(op)
+        if not ids:
+            return set()
+        canonical = {self.find(class_id) for class_id in ids}
+        if len(canonical) != len(ids):
+            self._op_classes[op] = set(canonical)
+        return canonical
+
+    def parent_classes(self, class_id: int) -> Set[int]:
+        """Canonical ids of the classes whose e-nodes use ``class_id`` as a child."""
+        eclass = self._classes.get(self.find(class_id))
+        if eclass is None:
+            return set()
+        return {self.find(parent_class) for _node, parent_class in eclass.parents}
+
+    def peek_dirty(self) -> Set[int]:
+        """Return the current dirty set (canonicalised) without clearing it."""
+        return {self.find(class_id) for class_id in self._dirty}
+
+    def take_dirty(self) -> Set[int]:
+        """Return and clear the set of classes touched since the last call.
+
+        A class is *touched* when a new e-node is inserted into it or when it
+        absorbs another class through :meth:`union` (including the unions
+        triggered by congruence repair during :meth:`rebuild`).  The returned
+        ids are canonical with respect to the current union-find state.
+        """
+        dirty = {self.find(class_id) for class_id in self._dirty}
+        self._dirty.clear()
+        return dirty
 
     def prune_duplicates(self, ops: Iterable[str]) -> int:
         """Drop redundant e-nodes that differ only by child permutation.
@@ -256,6 +315,7 @@ class EGraph:
         """
         ops = set(ops)
         removed = 0
+        self._invalidate_enode_cache()
         for eclass in self._classes.values():
             kept: Dict[Tuple, ENode] = {}
             new_nodes: Set[ENode] = set()

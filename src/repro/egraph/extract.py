@@ -14,9 +14,8 @@ adders lives in :mod:`repro.core.extraction`; it reuses the utilities here.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence
 
 from .egraph import EGraph
 from .enode import ENode, Op

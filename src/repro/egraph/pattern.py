@@ -7,13 +7,32 @@ any other bare token is a concrete named variable (rarely needed in rules).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import (
+    AbstractSet,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from .egraph import EGraph
 from .enode import ENode, Op
 
-__all__ = ["Pattern", "PatternVar", "PatternNode", "parse_pattern", "Subst"]
+__all__ = [
+    "Pattern",
+    "PatternVar",
+    "PatternNode",
+    "MatchPlan",
+    "compile_pattern",
+    "parse_pattern",
+    "Subst",
+]
 
 Subst = Dict[str, int]
 
@@ -137,38 +156,137 @@ def _match_children(egraph: EGraph, patterns: Sequence[Pattern],
         yield from _match_children(egraph, patterns, children, index + 1, partial)
 
 
-def ematch(egraph: EGraph, pattern: Pattern,
-           op_index: Optional[Dict[str, List[Tuple[int, ENode]]]] = None
-           ) -> List[Tuple[int, Subst]]:
+def ematch(egraph: EGraph, pattern: Pattern) -> List[Tuple[int, Subst]]:
     """Find all matches of ``pattern`` in the e-graph.
 
-    Returns a list of ``(class_id, substitution)`` pairs.  When an operator
-    snapshot index is supplied (see :meth:`EGraph.op_index`), the search is
-    restricted to classes that contain the root operator, which is the main
-    e-matching optimisation.
+    Returns a list of ``(class_id, substitution)`` pairs.  The pattern is
+    compiled into a (cached) :class:`MatchPlan` that drives candidate
+    selection from the e-graph's persistent operator index.
     """
-    matches: List[Tuple[int, Subst]] = []
-    if isinstance(pattern, PatternVar):
-        for class_id in egraph.class_ids():
-            matches.append((class_id, {pattern.name: class_id}))
-        return matches
+    return list(compile_pattern(pattern).search(egraph))
 
-    if op_index is not None:
-        candidates = op_index.get(pattern.op, ())
-        seen_roots = set()
-        for class_id, _node in candidates:
-            root = egraph.find(class_id)
-            if root in seen_roots:
+
+# ----------------------------------------------------------------------
+# Compiled match plans.
+# ----------------------------------------------------------------------
+
+#: Maximum pattern depth at which pivoting on a non-root operator is still
+#: cheaper than scanning the root operator's candidate classes directly.
+_MAX_PIVOT_DEPTH = 2
+
+#: The pivot's candidate set must be at least this many times smaller than
+#: the root's before an ancestor walk is attempted.
+_PIVOT_ADVANTAGE = 4
+
+
+@dataclass
+class MatchPlan:
+    """A reusable, compiled e-matching strategy for one pattern.
+
+    Compilation extracts the static facts the matcher needs on every
+    iteration — the root operator, the pattern height (deepest position,
+    root = 0), and the minimum depth at which each operator occurs — so the
+    per-iteration work reduces to cheap set operations on the e-graph's
+    persistent operator index:
+
+    * if any operator of the pattern has no candidate class, there can be no
+      match anywhere and the rule is skipped outright;
+    * candidate roots are generated from the pattern's most selective
+      operator: either the root operator's classes directly, or — when a
+      sub-operator is much rarer — an ancestor walk of ``depth`` levels up
+      the parent pointers from that operator's classes;
+    * a ``restrict`` set (the dirty frontier expanded to this plan's height)
+      intersects the candidates, which is what makes delta matching O(changed
+      region) instead of O(e-graph).
+    """
+
+    pattern: Pattern
+    root_op: Optional[str]
+    height: int
+    op_min_depth: Dict[str, int] = field(default_factory=dict)
+
+    def candidate_roots(self, egraph: EGraph,
+                        restrict: Optional[AbstractSet[int]] = None
+                        ) -> AbstractSet[int]:
+        """Canonical class ids that may root a match (treat as read-only)."""
+        if self.root_op is None:
+            all_classes = set(egraph.class_ids())
+            return all_classes if restrict is None else all_classes & restrict
+        roots: AbstractSet[int] = egraph.candidate_classes(self.root_op)
+        if not roots:
+            return set()
+        if restrict is not None:
+            # Delta iteration: the frontier already bounds the work, so the
+            # pivot machinery below (which canonicalises every operator's
+            # candidate set) would cost more than the scan it prunes.
+            return roots & restrict
+        pivot_classes: Optional[AbstractSet[int]] = None
+        pivot_depth = 0
+        for op, depth in self.op_min_depth.items():
+            if op == self.root_op:
                 continue
-            seen_roots.add(root)
-            for subst in match_in_class(egraph, pattern, root, {}):
-                matches.append((root, subst))
-        return matches
+            classes = egraph.candidate_classes(op)
+            if not classes:
+                return set()
+            # Only walk-eligible positions can serve as pivots.
+            if (0 < depth <= _MAX_PIVOT_DEPTH
+                    and (pivot_classes is None
+                         or len(classes) < len(pivot_classes))):
+                pivot_classes, pivot_depth = classes, depth
+        if (pivot_classes is not None
+                and len(pivot_classes) * _PIVOT_ADVANTAGE <= len(roots)):
+            ancestors: AbstractSet[int] = pivot_classes
+            for _ in range(pivot_depth):
+                level = set()
+                for class_id in ancestors:
+                    level |= egraph.parent_classes(class_id)
+                ancestors = level
+            roots = ancestors & roots
+        return roots
 
-    for class_id in egraph.class_ids():
-        for subst in match_in_class(egraph, pattern, class_id, {}):
-            matches.append((class_id, subst))
-    return matches
+    def search(self, egraph: EGraph,
+               restrict: Optional[AbstractSet[int]] = None
+               ) -> Iterator[Tuple[int, Subst]]:
+        """Yield ``(root_class, substitution)`` matches of the pattern.
+
+        ``restrict`` limits the candidate roots to the given canonical class
+        ids (``None`` means the whole e-graph).
+        """
+        if isinstance(self.pattern, PatternVar):
+            classes: Iterable[int] = (egraph.class_ids() if restrict is None
+                                      else restrict)
+            for class_id in classes:
+                root = egraph.find(class_id)
+                yield root, {self.pattern.name: root}
+            return
+        for root in self.candidate_roots(egraph, restrict):
+            for subst in match_in_class(egraph, self.pattern, root, {}):
+                yield root, subst
+
+
+@lru_cache(maxsize=None)
+def compile_pattern(pattern: Pattern) -> MatchPlan:
+    """Compile ``pattern`` into a cached, reusable :class:`MatchPlan`."""
+    if isinstance(pattern, PatternVar):
+        return MatchPlan(pattern=pattern, root_op=None, height=0)
+
+    op_min_depth: Dict[str, int] = {}
+    height = 0
+
+    def walk(node: Pattern, depth: int) -> None:
+        nonlocal height
+        height = max(height, depth)
+        if isinstance(node, PatternVar):
+            return
+        current = op_min_depth.get(node.op)
+        if current is None or depth < current:
+            op_min_depth[node.op] = depth
+        for child in node.children:
+            walk(child, depth + 1)
+
+    walk(pattern, 0)
+    return MatchPlan(pattern=pattern, root_op=pattern.op, height=height,
+                     op_min_depth=op_min_depth)
 
 
 def instantiate(egraph: EGraph, pattern: Pattern, subst: Subst) -> int:

@@ -1,16 +1,38 @@
-"""Rewrite rules and their application to an e-graph."""
+"""Rewrite rules and their application to an e-graph.
+
+:func:`apply_rules` supports two matching modes:
+
+* **full scan** (``dirty=None``): every rule is matched against the whole
+  e-graph, as a freshly-seen ruleset requires;
+* **delta matching** (``dirty`` = set of changed class ids): each rule is
+  matched only against the *dirty frontier* — the changed classes expanded
+  upward through parent pointers by the rule pattern's height.  Any match
+  that did not exist before the changes must root inside that frontier, so
+  the two modes reach the same saturated e-graph (checked by
+  ``verify_full=True``).
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import (
+    AbstractSet,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from .egraph import EGraph
-from .enode import ENode
 from .pattern import (
+    MatchPlan,
     Pattern,
     Subst,
-    ematch,
+    compile_pattern,
     instantiate,
     parse_pattern,
     pattern_vars,
@@ -78,6 +100,11 @@ class Rewrite:
             pairs.append((self.rhs, self.lhs))
         return pairs
 
+    def plans(self) -> List[Tuple[MatchPlan, Pattern]]:
+        """Return the compiled ``(match_plan, build_pattern)`` pairs."""
+        return [(compile_pattern(search), build)
+                for search, build in self.searchers()]
+
     def __str__(self) -> str:
         arrow = "<=>" if self.bidirectional else "=>"
         return f"{self.name}: {self.lhs} {arrow} {self.rhs}"
@@ -85,39 +112,124 @@ class Rewrite:
 
 @dataclass
 class RuleStats:
-    """Per-rule application statistics for one runner iteration."""
+    """Per-rule application statistics for one runner iteration.
+
+    ``matches`` counts the matches that survived the rule's ``condition``
+    predicate and the per-rule cap, i.e. exactly the matches that were
+    applied; capping and counting happen at the same (post-condition) stage
+    so the numbers agree between capped and uncapped runs.  ``capped`` is
+    True when the per-rule match cap cut the search short.
+    """
 
     matches: int = 0
     applications: int = 0
     unions: int = 0
+    capped: bool = False
+
+
+class _DirtyFrontier:
+    """Lazily expands a dirty class set upward through parent pointers.
+
+    ``at(height)`` returns the dirty classes together with every ancestor
+    reachable in at most ``height`` parent steps — the only classes that can
+    root a match of a height-``height`` pattern that did not exist before the
+    dirty classes changed.  Levels are computed once and shared by all rules.
+
+    When a level grows to cover most of the e-graph, ``at`` returns ``None``
+    ("scan everything") for that height and above: an unrestricted scan is
+    cheaper than intersecting near-total candidate sets, and further parent
+    walks would be wasted work.
+    """
+
+    def __init__(self, egraph: EGraph, dirty: AbstractSet[int], *,
+                 exact: bool = False) -> None:
+        self._egraph = egraph
+        self._exact = exact
+        base = {egraph.find(class_id) for class_id in dirty}
+        self._levels: List[Set[int]] = [base]
+        self._fresh: List[Set[int]] = [base]
+        self._full_from: Optional[int] = (
+            0 if self._covers_most(base) else None)
+
+    def _covers_most(self, classes: Set[int]) -> bool:
+        if self._exact:
+            return False
+        return 4 * len(classes) >= 3 * self._egraph.num_classes
+
+    def at(self, height: int) -> Optional[Set[int]]:
+        if self._full_from is not None and height >= self._full_from:
+            return None
+        while len(self._levels) <= height:
+            parents: Set[int] = set()
+            for class_id in self._fresh[-1]:
+                parents |= self._egraph.parent_classes(class_id)
+            fresh = parents - self._levels[-1]
+            self._levels.append(self._levels[-1] | fresh)
+            self._fresh.append(fresh)
+            if self._covers_most(self._levels[-1]):
+                self._full_from = len(self._levels) - 1
+                return None
+        return self._levels[height]
+
+
+def _search_rule(egraph: EGraph, rule: Rewrite,
+                 frontier: Optional[_DirtyFrontier],
+                 max_matches: Optional[int],
+                 rule_stats: RuleStats
+                 ) -> Iterator[Tuple[Pattern, int, Subst]]:
+    """Yield the condition-filtered, capped matches of one rule."""
+    kept = 0
+    for plan, build in rule.plans():
+        restrict = None if frontier is None else frontier.at(plan.height)
+        for class_id, subst in plan.search(egraph, restrict):
+            if rule.condition is not None and not rule.condition(
+                    egraph, class_id, subst):
+                continue
+            if max_matches is not None and kept >= max_matches:
+                rule_stats.capped = True
+                return
+            kept += 1
+            yield build, class_id, subst
 
 
 def apply_rules(egraph: EGraph, rules: Sequence[Rewrite],
-                max_matches_per_rule: Optional[int] = None
+                max_matches_per_rule: Optional[int] = None,
+                dirty: Optional[AbstractSet[int]] = None,
+                verify_full: bool = False
                 ) -> Dict[str, RuleStats]:
     """Apply one round of every rule to the e-graph.
 
-    All rules are matched against the same snapshot (the e-graph is rebuilt
-    first), then all instantiations and unions are performed, then the e-graph
-    is rebuilt again.  Returns per-rule statistics.
+    All rules are matched first (against a congruence-closed e-graph), then
+    all instantiations and unions are performed, then the e-graph is rebuilt.
+    Returns per-rule statistics.
+
+    Args:
+        egraph: the target e-graph (rebuilt first if needed).
+        rules: the rules to match and apply.
+        max_matches_per_rule: cap on applied matches per rule (counted after
+            condition filtering).
+        dirty: canonical ids of the classes changed since the previous round
+            (see :meth:`EGraph.take_dirty`).  ``None`` requests a full scan;
+            a set restricts matching to the dirty frontier.
+        verify_full: debug flag — after a delta round, re-match every rule
+            against the whole e-graph and raise ``AssertionError`` if the
+            full scan still finds a union the delta pass missed.  Skipped
+            when the per-rule cap truncated a rule, since capped runs are
+            not comparable.  The verification pass may insert (already
+            equivalent) right-hand-side nodes, so it is for debugging only.
     """
     if not egraph.is_clean:
         egraph.rebuild()
-    snapshot = egraph.op_index()
+    frontier = None if dirty is None else _DirtyFrontier(egraph, dirty)
 
     stats: Dict[str, RuleStats] = {}
     planned: List[Tuple[Rewrite, Pattern, int, Subst]] = []
     for rule in rules:
         rule_stats = stats.setdefault(rule.name, RuleStats())
-        for search, build in rule.searchers():
-            matches = ematch(egraph, search, snapshot)
-            if max_matches_per_rule is not None and len(matches) > max_matches_per_rule:
-                matches = matches[:max_matches_per_rule]
-            rule_stats.matches += len(matches)
-            for class_id, subst in matches:
-                if rule.condition is not None and not rule.condition(egraph, class_id, subst):
-                    continue
-                planned.append((rule, build, class_id, subst))
+        for build, class_id, subst in _search_rule(
+                egraph, rule, frontier, max_matches_per_rule, rule_stats):
+            rule_stats.matches += 1
+            planned.append((rule, build, class_id, subst))
 
     for rule, build, class_id, subst in planned:
         rule_stats = stats[rule.name]
@@ -130,4 +242,47 @@ def apply_rules(egraph: EGraph, rules: Sequence[Rewrite],
             rule_stats.unions += 1
 
     egraph.rebuild()
+
+    if verify_full and frontier is not None:
+        _verify_delta_complete(egraph, rules, stats)
     return stats
+
+
+def _verify_delta_complete(egraph: EGraph, rules: Sequence[Rewrite],
+                           stats: Dict[str, RuleStats]) -> None:
+    """Assert that a full scan finds no union the delta pass missed.
+
+    Matches rooted in the *currently* dirty frontier are excluded: they were
+    created by this round's own apply phase and will be searched next round
+    (a full-scan engine defers them to the next iteration in exactly the
+    same way).  Anything outside that frontier that still produces a union
+    is a genuine delta-matching hole.
+    """
+    if any(stat.capped for stat in stats.values()):
+        return
+    # Gather first, mutate after: the frontier's canonical ids and the
+    # full-scan search must not observe the verification's own unions.
+    pending = _DirtyFrontier(egraph, egraph.peek_dirty(), exact=True)
+    suspects: List[Tuple[Rewrite, Pattern, int, Subst]] = []
+    for rule in rules:
+        for plan, build in rule.plans():
+            for class_id, subst in plan.search(egraph, None):
+                if rule.condition is not None and not rule.condition(
+                        egraph, class_id, subst):
+                    continue
+                if class_id in pending.at(plan.height):
+                    continue  # pending: this round created it, next round sees it
+                suspects.append((rule, build, class_id, subst))
+    missed: List[str] = []
+    for rule, build, class_id, subst in suspects:
+        if rule.applier is not None:
+            new_class = rule.applier(egraph, subst)
+        else:
+            new_class = instantiate(egraph, build, subst)
+        if egraph.union(class_id, new_class):
+            missed.append(rule.name)
+    egraph.rebuild()
+    if missed:
+        raise AssertionError(
+            "delta e-matching missed matches of rules: "
+            + ", ".join(sorted(set(missed))))

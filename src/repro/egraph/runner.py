@@ -1,10 +1,20 @@
-"""Saturation runner: applies rewrite rules until convergence or limits."""
+"""Saturation runner: applies rewrite rules until convergence or limits.
+
+The runner drives :func:`~repro.egraph.rewrite.apply_rules` in *incremental*
+mode by default: iteration 0 matches every rule against the whole e-graph
+(the ruleset is new to this run), and each later iteration re-matches only
+against the dirty frontier — the classes changed by the previous iteration,
+expanded upward by each rule pattern's height.  Pass ``incremental=False``
+to restore the original full-scan-per-iteration behaviour, and
+``debug_check_full=True`` to assert (expensively) after every delta
+iteration that a full scan would not have found more unions.
+"""
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Set
 
 from .egraph import EGraph
 from .rewrite import Rewrite, RuleStats, apply_rules
@@ -18,6 +28,7 @@ class StopReason:
     SATURATED = "saturated"
     ITERATION_LIMIT = "iteration_limit"
     NODE_LIMIT = "node_limit"
+    CLASS_LIMIT = "class_limit"
     TIME_LIMIT = "time_limit"
 
 
@@ -52,6 +63,8 @@ class IterationReport:
     unions: int
     elapsed: float
     rule_stats: Dict[str, RuleStats] = field(default_factory=dict)
+    #: Number of dirty-frontier classes matched against (None = full scan).
+    frontier_size: Optional[int] = None
 
 
 @dataclass
@@ -84,24 +97,56 @@ class Runner:
 
         runner = Runner(limits=RunnerLimits(max_iterations=5))
         report = runner.run(egraph, rules)
+
+    Args:
+        limits: resource limits (defaults to :class:`RunnerLimits`).
+        incremental: after the initial full-scan iteration, match rules only
+            against the dirty frontier left by the previous iteration.
+            Automatically disabled when any rule carries a ``condition``
+            predicate: a condition may read evolving e-graph state, so a
+            match rejected once must be re-evaluated on every iteration,
+            which only full scans guarantee.
+        debug_check_full: assert after every delta iteration that a full
+            scan finds no additional unions (slow; for tests/debugging).
     """
 
-    def __init__(self, limits: Optional[RunnerLimits] = None) -> None:
+    def __init__(self, limits: Optional[RunnerLimits] = None, *,
+                 incremental: bool = True,
+                 debug_check_full: bool = False) -> None:
         self.limits = limits or RunnerLimits()
+        self.incremental = incremental
+        self.debug_check_full = debug_check_full
 
     def run(self, egraph: EGraph, rules: Sequence[Rewrite]) -> RunnerReport:
         """Apply ``rules`` to ``egraph`` until saturation or a limit is hit."""
         limits = self.limits
+        incremental = (self.incremental
+                       and all(rule.condition is None for rule in rules))
         start = time.perf_counter()
         report = RunnerReport(stop_reason=StopReason.ITERATION_LIMIT)
         egraph.rebuild()
+        # Discard dirt accumulated before this run: iteration 0 scans the
+        # whole e-graph anyway, so pre-existing dirt would only bloat the
+        # frontier of iteration 1.
+        egraph.take_dirty()
+        dirty: Optional[Set[int]] = None
         for iteration in range(limits.max_iterations):
             if time.perf_counter() - start > limits.time_limit:
                 report.stop_reason = StopReason.TIME_LIMIT
                 break
             iter_start = time.perf_counter()
+            frontier_size = None if dirty is None else len(dirty)
             stats = apply_rules(egraph, rules,
-                                max_matches_per_rule=limits.max_matches_per_rule)
+                                max_matches_per_rule=limits.max_matches_per_rule,
+                                dirty=dirty,
+                                verify_full=self.debug_check_full)
+            if incremental:
+                dirty = egraph.take_dirty()
+                # A capped rule dropped matches that only a rescan can
+                # recover: delta matching would never revisit their (now
+                # clean) classes, so fall back to a full scan once.
+                if any(stat.capped for stat in stats.values()):
+                    dirty = None
             unions = sum(stat.unions for stat in stats.values())
             num_classes, num_nodes = egraph.total_size()
             report.iterations.append(IterationReport(
@@ -111,12 +156,16 @@ class Runner:
                 unions=unions,
                 elapsed=time.perf_counter() - iter_start,
                 rule_stats=stats,
+                frontier_size=frontier_size,
             ))
             if unions == 0:
                 report.stop_reason = StopReason.SATURATED
                 break
-            if num_nodes > limits.max_nodes or num_classes > limits.max_classes:
+            if num_nodes > limits.max_nodes:
                 report.stop_reason = StopReason.NODE_LIMIT
+                break
+            if num_classes > limits.max_classes:
+                report.stop_reason = StopReason.CLASS_LIMIT
                 break
         report.total_time = time.perf_counter() - start
         return report

@@ -10,7 +10,7 @@ longer visible to structural detectors.  Functional correctness is preserved
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Tuple
 
 from ..aig import AIG, CONST0, CONST1, lit_is_compl, lit_var
 from ..cuts import cut_function, enumerate_cuts

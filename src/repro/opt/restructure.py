@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..aig import AIG, lit_is_compl, lit_not, lit_var
 from ..aig.truth_table import MAJ3_TABLE, XOR2_TABLE, table_mask

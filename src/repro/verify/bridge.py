@@ -13,9 +13,9 @@ Two configurations from Table II of the paper are provided:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
-from ..aig import AIG, lit_var, make_lit
+from ..aig import AIG, make_lit
 from ..aig.truth_table import AND2_TABLE, MAJ3_TABLE, XOR2_TABLE, XOR3_TABLE, table_mask
 from ..baselines import AdderTreeReport, detect_adder_tree
 from ..core import BoolEOptions, BoolEPipeline, BoolEResult

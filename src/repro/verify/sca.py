@@ -19,8 +19,8 @@ what Table II of the paper measures.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
 
 from ..aig import AIG, lit_is_compl, lit_var
 from .polynomial import Polynomial

@@ -8,7 +8,7 @@ from repro.baselines import (
     default_gamora_model,
     predict_adder_tree,
 )
-from repro.generators import booth_multiplier, csa_multiplier, csa_upper_bound_fa, ripple_carry_adder
+from repro.generators import csa_multiplier, csa_upper_bound_fa, ripple_carry_adder
 from repro.opt import post_mapping_flow
 
 

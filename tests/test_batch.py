@@ -1,0 +1,95 @@
+"""Tests for the BatchPipeline driver."""
+
+import pytest
+
+from repro.core import (
+    BatchJob,
+    BatchPipeline,
+    BatchReport,
+    BoolEOptions,
+    BoolEPipeline,
+)
+from repro.generators import csa_multiplier, ripple_carry_adder
+
+FAST = BoolEOptions(r1_iterations=2, r2_iterations=2, count_npn=False)
+
+
+def small_jobs():
+    return [
+        BatchJob("rca3", ripple_carry_adder(3)[0], options=FAST),
+        BatchJob("rca4", ripple_carry_adder(4)[0], options=FAST),
+        BatchJob("csa2", csa_multiplier(2).aig, options=FAST),
+    ]
+
+
+class TestBatchPipeline:
+    def test_batch_matches_serial_results(self):
+        report = BatchPipeline(max_workers=2).run(small_jobs())
+        assert report.num_failed == 0
+        assert [item.name for item in report.items] == ["rca3", "rca4", "csa2"]
+        serial = BoolEPipeline(FAST).run(ripple_carry_adder(4)[0])
+        batch = report.item("rca4")
+        assert batch.summary["exact_fas"] == serial.summary()["exact_fas"]
+        assert batch.summary["paired_fas"] == serial.summary()["paired_fas"]
+        assert batch.result is not None  # thread backend keeps full results
+
+    def test_accepts_bare_aigs(self):
+        aig, _ = ripple_carry_adder(3)
+        report = BatchPipeline(FAST).run([aig])
+        assert report.num_ok == 1
+        assert report.items[0].name == aig.name
+
+    def test_failure_is_isolated(self):
+        jobs = [BatchJob("bad", aig=None),
+                BatchJob("rca3", ripple_carry_adder(3)[0], options=FAST)]
+        report = BatchPipeline(max_workers=2).run(jobs)
+        assert report.num_failed == 1
+        assert report.num_ok == 1
+        (name, error), = report.failures()
+        assert name == "bad"
+        assert error
+        assert report.item("rca3").ok
+
+    def test_per_job_options_override_default(self):
+        no_extract = BoolEOptions(r1_iterations=1, r2_iterations=1,
+                                  extract=False, count_npn=False)
+        jobs = [BatchJob("plain", ripple_carry_adder(3)[0], options=FAST),
+                BatchJob("no-extract", ripple_carry_adder(3)[0],
+                         options=no_extract)]
+        report = BatchPipeline(FAST).run(jobs)
+        assert report.num_failed == 0
+        assert report.item("plain").result.extracted_aig is not None
+        assert report.item("no-extract").result.extracted_aig is None
+
+    def test_aggregate_and_throughput(self):
+        report = BatchPipeline(max_workers=2, keep_results=False).run(
+            small_jobs())
+        totals = report.aggregate()
+        assert totals["exact_fas"] == sum(
+            item.summary["exact_fas"] for item in report.items)
+        assert report.throughput > 0
+        assert report.total_runtime >= max(item.runtime
+                                           for item in report.items)
+        assert all(item.result is None for item in report.items)
+
+    def test_empty_batch(self):
+        report = BatchPipeline().run([])
+        assert isinstance(report, BatchReport)
+        assert report.items == []
+        assert report.throughput == 0.0
+
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(ValueError):
+            BatchPipeline(executor="fleet")
+
+    def test_rejects_unknown_job_type(self):
+        with pytest.raises(TypeError):
+            BatchPipeline().run(["not-a-job"])
+
+    def test_process_backend(self):
+        jobs = [BatchJob("rca3", ripple_carry_adder(3)[0], options=FAST)]
+        report = BatchPipeline(executor="process", max_workers=1).run(jobs)
+        assert report.num_failed == 0
+        item = report.items[0]
+        assert item.result is None  # summaries only across processes
+        assert item.summary["exact_fas"] >= 0

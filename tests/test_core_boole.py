@@ -1,6 +1,5 @@
 """Integration tests for the BoolE core pipeline."""
 
-import pytest
 
 from repro.aig import AIG, aig_equivalent
 from repro.core import (
@@ -101,7 +100,6 @@ class TestPipelineOnSingleFA:
         assert aig_equivalent(aig, result.extracted_aig)
 
     def test_fa_block_signals_are_consistent(self):
-        from repro.aig import output_truth_tables
         aig = _single_fa_aig()
         result = BoolEPipeline(FAST).run(aig)
         block = result.fa_blocks[0]

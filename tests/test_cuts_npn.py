@@ -1,6 +1,5 @@
 """Tests for cut enumeration and NPN classification."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -48,7 +48,6 @@ class TestUnionFind:
     def test_transitivity_property(self, pairs):
         uf = UnionFind()
         ids = [uf.make_set() for _ in range(20)]
-        import itertools
         for a, b in pairs:
             uf.union(ids[a], ids[b])
         # find is idempotent and consistent

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.aig import AIG, aig_equivalent, multiplier_value_check, output_truth_tables
+from repro.aig import AIG, multiplier_value_check, output_truth_tables
 from repro.generators import booth_multiplier, csa_multiplier
 from repro.netlist import (
     CellNetlist,

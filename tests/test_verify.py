@@ -4,7 +4,6 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.aig import AIG
 from repro.core import BoolEOptions
 from repro.generators import booth_multiplier, csa_multiplier
 from repro.opt import dch_optimize
