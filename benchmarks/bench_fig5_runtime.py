@@ -9,6 +9,7 @@ grows with netlist size but stays within the configured budget.
 import pytest
 
 from common import POST_MAPPING_WIDTHS, boole_on_mapped, mapped_aig, print_table
+from repro.core import BoolEOptions, BoolEPipeline
 
 COLUMNS = ["width", "aig_nodes", "runtime_s", "egraph_nodes", "exact_fas"]
 
@@ -38,3 +39,51 @@ def test_fig5_runtime_vs_size(benchmark, arch):
     assert sizes == sorted(sizes), "netlist size should grow with bitwidth"
     # Runtime is recorded for every point of the series.
     assert all(row["runtime_s"] >= 0 for row in rows)
+
+
+SCHEDULER_COLUMNS = ["scheduler", "saturation_s", "runtime_s", "exact_fas",
+                     "bans"]
+
+
+def test_fig5_backoff_vs_flat_cap(benchmark):
+    """Companion series: back-off scheduler vs the deprecated flat cap.
+
+    Runs the pipeline at the largest configured width under both schedulers
+    with a deliberately tight budget so each actually engages (at default
+    budgets neither triggers below width 16).  The back-off engine should
+    saturate at least as fast as the flat-cap engine while recovering no
+    fewer full adders; the exact 16-bit numbers are recorded in
+    ``docs/performance.md``.
+    """
+    width = POST_MAPPING_WIDTHS[-1]
+    mapped = mapped_aig("csa", width)
+    configs = [
+        ("backoff", BoolEOptions(r1_iterations=3, r2_iterations=3,
+                                 match_limit=2_000, ban_length=2)),
+        ("flat-cap", BoolEOptions(r1_iterations=3, r2_iterations=3,
+                                  match_limit=None,
+                                  max_matches_per_rule=2_000)),
+    ]
+    rows = []
+
+    def run():
+        rows.clear()
+        for label, options in configs:
+            result = BoolEPipeline(options).run(mapped)
+            rows.append({
+                "scheduler": label,
+                "saturation_s": round(result.timings["r1"]
+                                      + result.timings["r2"], 2),
+                "runtime_s": round(result.total_runtime, 2),
+                "exact_fas": result.num_exact_fas,
+                "bans": (result.r1_report.total_bans()
+                         + result.r2_report.total_bans()),
+            })
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        f"Figure 5 companion (back-off vs flat-cap, CSA width {width})",
+        rows, SCHEDULER_COLUMNS)
+    backoff, flat_cap = rows
+    assert backoff["exact_fas"] >= flat_cap["exact_fas"]

@@ -19,6 +19,7 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from ..aig import AIG
 from ..egraph import EGraph, ENode, Op
+from ..egraph.extract import node_tiebreak_key
 from .construct import ConstructionResult
 
 __all__ = ["CostEntry", "BoolEExtraction", "BoolEExtractor", "FABlockRecord",
@@ -122,7 +123,32 @@ class BoolEExtractor:
                 size = min(_SIZE_CAP, self.node_cost.get(node.op, 1)
                            + sum(entry.size for entry in child_entries))
                 candidate = CostEntry(fa_classes=fa_classes, size=size, node=node)
-                if best is None or candidate.key() < best.key():
+                if best is None:
+                    better = True
+                else:
+                    candidate_key, best_key = candidate.key(), best.key()
+                    if candidate_key < best_key:
+                        better = True
+                    elif candidate_key == best_key:
+                        if node == best.node:
+                            # Same choice, but a child's tie-break swap may
+                            # have changed *which* FA classes flow up while
+                            # keeping their count; refresh the stored set so
+                            # num_exact_fas matches the reconstructed
+                            # netlist.  (Chosen-node dependencies are
+                            # acyclic — reconstruction rejects cycles — so
+                            # refreshes propagate once and terminate.)
+                            better = fa_classes != best.fa_classes
+                        else:
+                            # Equal (FA count, size): break the tie by (op,
+                            # child seqs, payload) so the chosen
+                            # representative does not depend on node
+                            # iteration order.
+                            better = (node_tiebreak_key(egraph, node)
+                                      < node_tiebreak_key(egraph, best.node))
+                    else:
+                        better = False
+                if better:
                     best = candidate
                     improved = True
             if improved and best is not None:

@@ -51,9 +51,14 @@ class FAInsertionReport:
 def insert_fa_structures(egraph: EGraph) -> FAInsertionReport:
     """Pair XOR3/MAJ e-nodes with identical inputs and insert FA structures.
 
-    Returns the list of inserted pairs.  The e-graph is rebuilt afterwards.
+    Returns the list of inserted pairs, ordered by the stable insertion seq
+    of the sum (XOR3) class so counting and reporting are deterministic.
+    The e-graph is rebuilt afterwards.
     """
     egraph.rebuild()
+    # ``classes()``/``enodes()`` iterate in stable (seq / structural) order,
+    # so discovery order — and with it ``setdefault`` winners and the pair
+    # list below — is independent of the hash seed.
     xor_by_inputs: Dict[Tuple[int, ...], int] = {}
     maj_by_inputs: Dict[Tuple[int, ...], int] = {}
     for eclass in list(egraph.classes()):
@@ -70,7 +75,9 @@ def insert_fa_structures(egraph: EGraph) -> FAInsertionReport:
                 maj_by_inputs.setdefault(key, class_id)
 
     report = FAInsertionReport()
-    for key, sum_class in xor_by_inputs.items():
+    for key, sum_class in sorted(
+            xor_by_inputs.items(),
+            key=lambda item: (egraph.seq(item[1]), item[0])):
         carry_class = maj_by_inputs.get(key)
         if carry_class is None:
             continue

@@ -46,7 +46,16 @@ class BoolEOptions:
         include_rule_variants: generate the input-negation variants of R2.
         max_nodes: e-graph node limit per phase.
         time_limit: wall-clock limit (seconds) per phase.
-        max_matches_per_rule: per-rule match cap per iteration.
+        match_limit: initial per-rule match budget per iteration for the
+            back-off scheduler; rules exceeding it are banned for
+            exponentially growing windows (see ``docs/performance.md``).
+            ``None`` disables back-off.
+        ban_length: initial back-off ban window, in iterations.
+        max_matches_per_rule: **deprecated** — the old flat per-rule match
+            cap.  When set it overrides ``match_limit`` with a
+            compatibility scheduler (one-iteration bans, budget seeded by
+            the cap and doubling on repeated bans) instead of silently
+            dropping a nondeterministic match subset.
         prune_redundant: delete duplicate permuted XOR3/MAJ/FA e-nodes after
             saturation (paper trick 3).
         extract: run DAG extraction and netlist reconstruction.
@@ -63,7 +72,9 @@ class BoolEOptions:
     include_rule_variants: bool = True
     max_nodes: int = 400_000
     time_limit: float = 120.0
-    max_matches_per_rule: Optional[int] = 100_000
+    match_limit: Optional[int] = 100_000
+    ban_length: int = 2
+    max_matches_per_rule: Optional[int] = None
     prune_redundant: bool = True
     extract: bool = True
     count_npn: bool = True
@@ -152,6 +163,8 @@ class BoolEPipeline:
             max_iterations=options.r1_iterations,
             max_nodes=options.max_nodes,
             time_limit=options.time_limit,
+            match_limit=options.match_limit,
+            ban_length=options.ban_length,
             max_matches_per_rule=options.max_matches_per_rule,
         )
         t0 = time.perf_counter()
@@ -164,6 +177,8 @@ class BoolEPipeline:
             max_iterations=options.r2_iterations,
             max_nodes=options.max_nodes,
             time_limit=options.time_limit,
+            match_limit=options.match_limit,
+            ban_length=options.ban_length,
             max_matches_per_rule=options.max_matches_per_rule,
         )
         t0 = time.perf_counter()

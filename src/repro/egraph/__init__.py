@@ -1,6 +1,6 @@
 """A from-scratch e-graph / equality-saturation engine (egg substitute)."""
 
-from .egraph import EClass, EGraph
+from .egraph import EClass, EGraph, enode_sort_key
 from .enode import ENode, Op, OPERATOR_ARITIES, is_leaf_op
 from .extract import (
     DEFAULT_OP_COSTS,
@@ -23,13 +23,14 @@ from .pattern import (
     parse_pattern,
     pattern_vars,
 )
-from .rewrite import Rewrite, RuleStats, apply_rules
+from .rewrite import BackoffScheduler, Rewrite, RuleStats, apply_rules
 from .runner import IterationReport, Runner, RunnerLimits, RunnerReport, StopReason
 from .unionfind import UnionFind
 
 __all__ = [
     "EClass",
     "EGraph",
+    "enode_sort_key",
     "ENode",
     "Op",
     "OPERATOR_ARITIES",
@@ -51,6 +52,7 @@ __all__ = [
     "match_in_class",
     "parse_pattern",
     "pattern_vars",
+    "BackoffScheduler",
     "Rewrite",
     "RuleStats",
     "apply_rules",

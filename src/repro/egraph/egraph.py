@@ -15,6 +15,16 @@ Two structures are maintained incrementally to support delta e-matching
 * a **dirty set** of e-classes touched by ``add``/``union`` (and therefore by
   congruence repair) since the last :meth:`take_dirty`.  Rewrite drivers use
   it to re-match rules only against the changed frontier of the e-graph.
+
+Determinism: every e-class carries a monotone **insertion sequence id** that
+survives unions (the merged class keeps the smaller of the two seqs), and
+every collection handed out for iteration — :meth:`enodes`,
+:meth:`class_ids`, :meth:`classes`, :meth:`take_dirty`, :meth:`peek_dirty` —
+is sorted by that seq (e-nodes by a structural key).  Python randomises
+``str`` hashing per process (``PYTHONHASHSEED``), so anything that iterates
+a set of e-nodes in raw hash order would make saturation results depend on
+the seed; sorting at the hand-out points makes the whole saturation
+pipeline a pure function of its input.
 """
 
 from __future__ import annotations
@@ -25,7 +35,17 @@ from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Set, Tupl
 from .enode import ENode, Op
 from .unionfind import UnionFind
 
-__all__ = ["EClass", "EGraph"]
+__all__ = ["EClass", "EGraph", "enode_sort_key"]
+
+
+def enode_sort_key(node: ENode) -> Tuple[str, Tuple[int, ...], str]:
+    """A total, hash-independent order over e-nodes.
+
+    Orders by operator name, then child class ids, then payload rendered as
+    text (payloads mix ``str``/``bool`` so they cannot be compared directly).
+    Used everywhere a set of e-nodes is handed out for iteration.
+    """
+    return (node.op, node.children, str(node.payload))
 
 
 @dataclass
@@ -61,6 +81,15 @@ class EGraph:
         self._op_classes: Dict[str, Set[int]] = {}
         self._dirty: Set[int] = set()
         self._enode_cache: Dict[int, List[ENode]] = {}
+        # Seq-sorted canonical class ids; rebuilt lazily after mutations so
+        # the per-call cost of class_ids()/classes() stays O(n), not
+        # O(n log n) (extraction fixpoint loops call them every pass).
+        self._class_order: Optional[List[int]] = None
+        # Canonical class id -> insertion sequence id.  Seqs are allocated
+        # monotonically at ``add`` time and survive unions: the surviving
+        # class keeps the smaller seq, giving a stable total order over
+        # classes that both engines (full-scan and delta) agree on.
+        self._seq: Dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # Basic queries
@@ -72,8 +101,22 @@ class EGraph:
 
     @property
     def num_nodes(self) -> int:
-        """Total number of e-nodes across all classes."""
+        """Total number of stored e-nodes across all classes.
+
+        Between rebuilds this may count *stale duplicates* — nodes that
+        differ only in not-yet-canonicalised children; use
+        :meth:`num_canonical_nodes` for a representation-independent count.
+        """
         return sum(len(cls.nodes) for cls in self._classes.values())
+
+    def num_canonical_nodes(self) -> int:
+        """Number of distinct e-nodes after canonicalising children.
+
+        Unlike :attr:`num_nodes` this is invariant under the merge history
+        that produced the e-graph, so two saturation engines reaching the
+        same e-graph agree on it exactly.
+        """
+        return sum(len(self.enodes(class_id)) for class_id in self._classes)
 
     @property
     def is_clean(self) -> bool:
@@ -84,31 +127,67 @@ class EGraph:
         """Return the canonical id of an e-class."""
         return self._union_find.find(class_id)
 
+    def seq(self, class_id: int) -> int:
+        """Stable sort key of an e-class: its insertion sequence id.
+
+        Seqs are assigned monotonically on insertion and survive
+        canonicalisation — when two classes merge, the surviving class keeps
+        the smaller seq.  Sorting by seq therefore gives the same relative
+        order before and after any series of unions.
+        """
+        return self._seq[self.find(class_id)]
+
+    def sorted_by_seq(self, ids: Iterable[int]) -> List[int]:
+        """Sort **canonical** class ids by their insertion seq.
+
+        The ids must be canonical (stale ids raise ``KeyError``); this keeps
+        the hot path a plain C-level dict lookup per element.
+        """
+        return sorted(ids, key=self._seq.__getitem__)
+
+    def _ordered_class_ids(self) -> List[int]:
+        order = self._class_order
+        if order is None:
+            order = self._class_order = self.sorted_by_seq(self._classes.keys())
+        return order
+
     def classes(self) -> Iterator[EClass]:
-        """Iterate over the canonical e-classes."""
-        return iter(self._classes.values())
+        """Iterate over the canonical e-classes in stable (seq) order.
+
+        The snapshot is taken eagerly so callers that mutate the e-graph
+        mid-iteration see the classes as they were when iteration started.
+        """
+        classes = self._classes
+        return iter([classes[class_id]
+                     for class_id in self._ordered_class_ids()])
 
     def eclass(self, class_id: int) -> EClass:
         """Return the canonical :class:`EClass` containing ``class_id``."""
         return self._classes[self.find(class_id)]
 
     def enodes(self, class_id: int) -> List[ENode]:
-        """Return the canonicalised e-nodes of a class.
+        """Return the canonicalised e-nodes of a class in stable order.
 
-        The returned list is cached until the next mutation (this is the
-        e-matching hot path); callers must not modify it.
+        The list is sorted by :func:`enode_sort_key` so iteration order is
+        independent of ``PYTHONHASHSEED``, and cached until the next mutation
+        (this is the e-matching hot path); callers must not modify it.
         """
         root = self.find(class_id)
         cached = self._enode_cache.get(root)
         if cached is None:
-            cached = [node.canonicalize(self.find)
-                      for node in self._classes[root].nodes]
+            # The stored set may hold stale duplicates (same node reached
+            # through different pre-merge children); canonicalising into a
+            # set first merges them so matching never sees duplicates.
+            cached = sorted({node.canonicalize(self.find)
+                             for node in self._classes[root].nodes},
+                            key=enode_sort_key)
             self._enode_cache[root] = cached
         return cached
 
     def _invalidate_enode_cache(self) -> None:
         if self._enode_cache:
             self._enode_cache.clear()
+        self._class_order = None
 
     def __contains__(self, node: ENode) -> bool:
         return node.canonicalize(self.find) in self._hashcons
@@ -132,6 +211,7 @@ class EGraph:
         eclass = EClass(id=class_id)
         eclass.nodes.add(canonical)
         self._classes[class_id] = eclass
+        self._seq[class_id] = class_id  # make_set ids are already monotone
         self._hashcons[canonical] = class_id
         for child in canonical.children:
             self._classes[self.find(child)].parents.append((canonical, class_id))
@@ -194,6 +274,11 @@ class EGraph:
         class_b = self._classes.pop(root_b)
         class_a.nodes.update(class_b.nodes)
         class_a.parents.extend(class_b.parents)
+        # The survivor keeps the smaller insertion seq so the stable order
+        # is insensitive to which id the leader heuristic picked.
+        seq_b = self._seq.pop(root_b)
+        if seq_b < self._seq[root_a]:
+            self._seq[root_a] = seq_b
         self._pending.append(root_a)
         self._clean = False
         self._dirty.add(root_a)
@@ -263,8 +348,8 @@ class EGraph:
     # Indexing and maintenance helpers
     # ------------------------------------------------------------------
     def class_ids(self) -> List[int]:
-        """Return the list of canonical class ids."""
-        return list(self._classes.keys())
+        """Return the canonical class ids in stable (seq) order."""
+        return list(self._ordered_class_ids())
 
     def candidate_classes(self, op: str) -> Set[int]:
         """Canonical ids of every e-class that may contain an ``op`` e-node.
@@ -272,7 +357,10 @@ class EGraph:
         The persistent operator index is a sound over-approximation:
         classes are never missing, but a class may no longer hold the
         operator after pruning.  Stale ids left behind by unions are
-        compacted on read.  Callers must treat the result as read-only.
+        compacted on read.  Callers must treat the result as read-only, and
+        must not iterate it directly for matching — order it first with
+        :meth:`sorted_by_seq` (``MatchPlan.candidate_roots`` does this) so
+        match order is deterministic.
         """
         ids = self._op_classes.get(op)
         if not ids:
@@ -289,21 +377,24 @@ class EGraph:
             return set()
         return {self.find(parent_class) for _node, parent_class in eclass.parents}
 
-    def peek_dirty(self) -> Set[int]:
-        """Return the current dirty set (canonicalised) without clearing it."""
-        return {self.find(class_id) for class_id in self._dirty}
+    def peek_dirty(self) -> List[int]:
+        """Return the current dirty classes (canonical, seq-sorted) without
+        clearing them."""
+        return self.sorted_by_seq({self.find(class_id)
+                                   for class_id in self._dirty})
 
-    def take_dirty(self) -> Set[int]:
-        """Return and clear the set of classes touched since the last call.
+    def take_dirty(self) -> List[int]:
+        """Return and clear the classes touched since the last call.
 
         A class is *touched* when a new e-node is inserted into it or when it
         absorbs another class through :meth:`union` (including the unions
         triggered by congruence repair during :meth:`rebuild`).  The returned
-        ids are canonical with respect to the current union-find state.
+        ids are canonical with respect to the current union-find state and
+        sorted by insertion seq (deterministic iteration order).
         """
         dirty = {self.find(class_id) for class_id in self._dirty}
         self._dirty.clear()
-        return dirty
+        return self.sorted_by_seq(dirty)
 
     def prune_duplicates(self, ops: Iterable[str]) -> int:
         """Drop redundant e-nodes that differ only by child permutation.
@@ -319,8 +410,12 @@ class EGraph:
         for eclass in self._classes.values():
             kept: Dict[Tuple, ENode] = {}
             new_nodes: Set[ENode] = set()
-            for node in eclass.nodes:
-                canonical = node.canonicalize(self.find)
+            # Canonicalise before sorting so the surviving representative of
+            # each permutation group does not depend on set iteration (hash)
+            # order or on stale child ids.
+            for canonical in sorted((node.canonicalize(self.find)
+                                     for node in eclass.nodes),
+                                    key=enode_sort_key):
                 if canonical.op in ops:
                     key = (canonical.op, tuple(sorted(canonical.children)),
                            canonical.payload)

@@ -27,6 +27,7 @@ __all__ = [
     "TreeCostExtractor",
     "DEFAULT_OP_COSTS",
     "default_cost",
+    "node_tiebreak_key",
     "expr_of",
     "count_ops",
 ]
@@ -66,6 +67,18 @@ class ExtractionChoice:
 
     cost: float
     node: ENode
+
+
+def node_tiebreak_key(egraph: EGraph, node: ENode):
+    """Deterministic order among equal-cost extraction candidates.
+
+    Compares by operator name, then the children's stable insertion seqs,
+    then the payload rendered as text.  Breaking cost ties with this key
+    (instead of keeping whichever node iterated first) makes extracted
+    netlists identical across runs and engines.
+    """
+    return (node.op, tuple(egraph.seq(child) for child in node.children),
+            str(node.payload))
 
 
 @dataclass
@@ -143,7 +156,19 @@ class TreeCostExtractor:
                     if not feasible:
                         continue
                     cost = self.cost_function(node, child_choices)
-                    if best is None or cost < best.cost - 1e-12:
+                    better = best is None or cost < best.cost - 1e-12
+                    if not better and best is not None and cost <= best.cost:
+                        # Equal-or-lower cost: break the tie deterministically
+                        # rather than keeping whichever node iterated first.
+                        # The band must not admit cost increases — an
+                        # epsilon-above acceptance would let three nodes a
+                        # few ulps apart beat each other cyclically and spin
+                        # the fixpoint loop forever; requiring
+                        # cost <= best.cost keeps (cost, tiebreak) strictly
+                        # decreasing, so the loop terminates.
+                        better = (node_tiebreak_key(egraph, node)
+                                  < node_tiebreak_key(egraph, best.node))
+                    if better:
                         best = ExtractionChoice(cost=cost, node=node)
                         choices[class_id] = best
                         changed = True

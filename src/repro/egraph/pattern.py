@@ -207,19 +207,26 @@ class MatchPlan:
 
     def candidate_roots(self, egraph: EGraph,
                         restrict: Optional[AbstractSet[int]] = None
-                        ) -> AbstractSet[int]:
-        """Canonical class ids that may root a match (treat as read-only)."""
+                        ) -> List[int]:
+        """Canonical class ids that may root a match, in stable (seq) order.
+
+        The returned list is sorted by the e-graph's insertion seq so the
+        match stream — and therefore any truncation of it — is deterministic
+        regardless of hash seed.
+        """
         if self.root_op is None:
-            all_classes = set(egraph.class_ids())
-            return all_classes if restrict is None else all_classes & restrict
+            all_classes = egraph.class_ids()  # already seq-sorted
+            if restrict is None:
+                return all_classes
+            return [cid for cid in all_classes if cid in restrict]
         roots: AbstractSet[int] = egraph.candidate_classes(self.root_op)
         if not roots:
-            return set()
+            return []
         if restrict is not None:
             # Delta iteration: the frontier already bounds the work, so the
             # pivot machinery below (which canonicalises every operator's
             # candidate set) would cost more than the scan it prunes.
-            return roots & restrict
+            return egraph.sorted_by_seq(roots & restrict)
         pivot_classes: Optional[AbstractSet[int]] = None
         pivot_depth = 0
         for op, depth in self.op_min_depth.items():
@@ -242,7 +249,7 @@ class MatchPlan:
                     level |= egraph.parent_classes(class_id)
                 ancestors = level
             roots = ancestors & roots
-        return roots
+        return egraph.sorted_by_seq(roots)
 
     def search(self, egraph: EGraph,
                restrict: Optional[AbstractSet[int]] = None
@@ -250,11 +257,14 @@ class MatchPlan:
         """Yield ``(root_class, substitution)`` matches of the pattern.
 
         ``restrict`` limits the candidate roots to the given canonical class
-        ids (``None`` means the whole e-graph).
+        ids (``None`` means the whole e-graph).  Matches are produced in a
+        deterministic order: roots ascend by insertion seq and the e-nodes
+        within each class are visited in :func:`~repro.egraph.egraph
+        .enode_sort_key` order.
         """
         if isinstance(self.pattern, PatternVar):
             classes: Iterable[int] = (egraph.class_ids() if restrict is None
-                                      else restrict)
+                                      else egraph.sorted_by_seq(restrict))
             for class_id in classes:
                 root = egraph.find(class_id)
                 yield root, {self.pattern.name: root}

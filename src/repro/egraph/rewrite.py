@@ -4,21 +4,35 @@
 
 * **full scan** (``dirty=None``): every rule is matched against the whole
   e-graph, as a freshly-seen ruleset requires;
-* **delta matching** (``dirty`` = set of changed class ids): each rule is
-  matched only against the *dirty frontier* — the changed classes expanded
-  upward through parent pointers by the rule pattern's height.  Any match
-  that did not exist before the changes must root inside that frontier, so
-  the two modes reach the same saturated e-graph (checked by
-  ``verify_full=True``).
+* **delta matching** (``dirty`` = changed class ids): each rule is matched
+  only against the *dirty frontier* — the changed classes expanded upward
+  through parent pointers by the rule pattern's height.  Any match that did
+  not exist before the changes must root inside that frontier, so the two
+  modes reach the same saturated e-graph (checked by ``verify_full=True``).
+
+Explosive rules are tamed by a :class:`BackoffScheduler` (egg's back-off
+scheme): a rule whose match count exceeds its current budget is *banned*
+for an exponentially growing window of iterations and its matches for the
+round are dropped wholesale — never a hash-order-dependent subset, which is
+what made the old flat ``max_matches_per_rule`` cap nondeterministic.  The
+scheduler remembers, per rule, the dirty classes the rule did not get to
+search while banned, so delta matching stays complete without ever falling
+back to a full rescan.
+
+Determinism: matches are generated in a stable order (candidate roots
+ascend by e-class insertion seq, e-nodes within a class by
+:func:`~repro.egraph.egraph.enode_sort_key`), so any truncation — the
+deprecated flat cap included — removes a deterministic suffix.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import (
     AbstractSet,
     Callable,
     Dict,
+    Iterable,
     Iterator,
     List,
     Optional,
@@ -38,7 +52,7 @@ from .pattern import (
     pattern_vars,
 )
 
-__all__ = ["Rewrite", "RuleStats", "apply_rules"]
+__all__ = ["Rewrite", "RuleStats", "BackoffScheduler", "apply_rules"]
 
 
 @dataclass
@@ -115,16 +129,181 @@ class RuleStats:
     """Per-rule application statistics for one runner iteration.
 
     ``matches`` counts the matches that survived the rule's ``condition``
-    predicate and the per-rule cap, i.e. exactly the matches that were
-    applied; capping and counting happen at the same (post-condition) stage
-    so the numbers agree between capped and uncapped runs.  ``capped`` is
-    True when the per-rule match cap cut the search short.
+    predicate and were actually applied.  ``capped`` is True when the rule's
+    match set was cut this round: under a :class:`BackoffScheduler` the whole
+    set was dropped and the rule banned; under the deprecated flat
+    ``max_matches_per_rule`` a deterministic prefix was kept.  ``banned`` is
+    True when the rule was skipped outright because a ban from an earlier
+    iteration is still active.
     """
 
     matches: int = 0
     applications: int = 0
     unions: int = 0
     capped: bool = False
+    banned: bool = False
+
+
+@dataclass
+class _RuleBackoff:
+    """Scheduler state for one rule."""
+
+    times_banned: int = 0
+    banned_until: int = -1
+    #: Canonical ids of the classes that changed while this rule was not
+    #: searching (banned, or its match set was dropped).  ``None`` means the
+    #: rule owes a full rescan (it missed a full-scan round).
+    pending: Optional[Set[int]] = field(default_factory=set)
+
+
+class BackoffScheduler:
+    """Egg-style rule back-off replacing flat per-rule match caps.
+
+    Each rule starts with a budget of ``match_limit`` matches per iteration.
+    A rule that exceeds its budget is banned for ``ban_length`` iterations
+    and its matches for the round are dropped entirely; every subsequent ban
+    multiplies both the budget and the ban window by ``budget_growth`` /
+    ``ban_growth``, so persistently explosive rules run rarely but with
+    enough budget to finish when they do.
+
+    Unlike egg, the scheduler also tracks a per-rule **search debt** for the
+    delta-matching engine: the dirty classes a rule did not search while
+    banned accumulate in its state and are added to its frontier when the ban
+    lifts, so no match is ever lost and no full rescan is needed.
+
+    One scheduler instance must be shared across the iterations of a run
+    (the :class:`~repro.egraph.runner.Runner` creates one per ``run``) and
+    passed to every :func:`apply_rules` call.
+    """
+
+    def __init__(self, match_limit: int = 1000, ban_length: int = 5, *,
+                 budget_growth: int = 2, ban_growth: int = 2) -> None:
+        if match_limit <= 0:
+            raise ValueError("match_limit must be positive")
+        if ban_length <= 0:
+            raise ValueError("ban_length must be positive")
+        self.match_limit = match_limit
+        self.ban_length = ban_length
+        self.budget_growth = budget_growth
+        self.ban_growth = ban_growth
+        self.iteration = -1
+        self._states: Dict[str, _RuleBackoff] = {}
+
+    @classmethod
+    def flat(cls, match_limit: int, ban_length: int = 1) -> "BackoffScheduler":
+        """Compatibility scheduler for the deprecated flat match caps.
+
+        Bans last a single iteration and never grow, so a rule producing
+        more than ``match_limit`` matches skips a round instead of applying
+        a nondeterministic subset.  The budget, however, still doubles on
+        each ban: with a truly constant budget a rule whose match count
+        stays above the cap would never apply anything at all — strictly
+        worse than the old cap it replaces, which at least applied a
+        (hash-ordered) prefix.  Used when the deprecated
+        ``max_matches_per_rule`` runner/pipeline options are set.
+        """
+        return cls(match_limit, ban_length, budget_growth=2, ban_growth=1)
+
+    def _state(self, name: str) -> _RuleBackoff:
+        state = self._states.get(name)
+        if state is None:
+            state = self._states[name] = _RuleBackoff()
+        return state
+
+    def begin_iteration(self) -> int:
+        """Advance the scheduler clock; returns the new iteration index."""
+        self.iteration += 1
+        return self.iteration
+
+    def is_banned(self, name: str) -> bool:
+        """True while a previously issued ban is still active."""
+        state = self._states.get(name)
+        return state is not None and self.iteration < state.banned_until
+
+    def budget(self, name: str) -> int:
+        """Current per-iteration match budget of a rule."""
+        state = self._states.get(name)
+        times = 0 if state is None else state.times_banned
+        return self.match_limit * self.budget_growth ** times
+
+    def ban(self, name: str, searched: Optional[Iterable[int]]) -> None:
+        """Ban a rule that exceeded its budget this iteration.
+
+        ``searched`` is the frontier the rule was searching when it blew the
+        budget (``None`` = the whole e-graph); it becomes search debt.
+        """
+        state = self._state(name)
+        window = self.ban_length * self.ban_growth ** state.times_banned
+        state.banned_until = self.iteration + 1 + window
+        state.times_banned += 1
+        self.defer(name, searched)
+
+    def defer(self, name: str, dirty: Optional[Iterable[int]]) -> None:
+        """Record classes a rule failed to search this iteration."""
+        state = self._state(name)
+        if dirty is None:
+            state.pending = None
+        elif state.pending is not None:
+            state.pending.update(dirty)
+
+    def frontier_for(self, name: str,
+                     dirty: Optional[AbstractSet[int]]
+                     ) -> Optional[AbstractSet[int]]:
+        """The frontier a rule must search: current dirt plus its debt.
+
+        Returns ``dirty`` itself (same object) when the rule has no debt, a
+        combined set when it does, and ``None`` when either the current round
+        or the debt requires a full scan.
+        """
+        state = self._states.get(name)
+        if state is None or (state.pending is not None and not state.pending):
+            return dirty
+        if dirty is None or state.pending is None:
+            return None
+        combined = set(dirty)
+        combined.update(state.pending)
+        return combined
+
+    def clear_debt(self, name: str) -> None:
+        """Mark a rule fully caught up (its whole frontier was searched)."""
+        state = self._states.get(name)
+        if state is not None:
+            state.pending = set()
+
+    def has_debt(self, name: str) -> bool:
+        """True if the rule still owes a (partial or full) rescan."""
+        state = self._states.get(name)
+        return state is not None and (state.pending is None
+                                      or bool(state.pending))
+
+    def banned_rules(self) -> List[str]:
+        """Names of the currently banned rules (sorted)."""
+        return sorted(name for name in self._states if self.is_banned(name))
+
+    def outstanding(self) -> bool:
+        """True while any rule is banned or owes a rescan.
+
+        A saturation driver must not report saturation while this holds:
+        the banned rules may still produce unions.
+        """
+        return any(self.is_banned(name) or self.has_debt(name)
+                   for name in self._states)
+
+    def unban_all(self) -> None:
+        """Lift every active ban (search debts are kept).
+
+        Called by the runner when an iteration produced no unions but rules
+        are still banned: the grown budgets are retained, so each unbanned
+        rule retries with a doubled allowance and eventually gets through.
+        """
+        for state in self._states.values():
+            state.banned_until = -1
+
+    def stats(self) -> Dict[str, int]:
+        """Times each rule was banned (rules never banned are omitted)."""
+        return {name: state.times_banned
+                for name, state in sorted(self._states.items())
+                if state.times_banned}
 
 
 class _DirtyFrontier:
@@ -141,7 +320,7 @@ class _DirtyFrontier:
     walks would be wasted work.
     """
 
-    def __init__(self, egraph: EGraph, dirty: AbstractSet[int], *,
+    def __init__(self, egraph: EGraph, dirty: Iterable[int], *,
                  exact: bool = False) -> None:
         self._egraph = egraph
         self._exact = exact
@@ -172,30 +351,24 @@ class _DirtyFrontier:
         return self._levels[height]
 
 
-def _search_rule(egraph: EGraph, rule: Rewrite,
-                 frontier: Optional[_DirtyFrontier],
-                 max_matches: Optional[int],
-                 rule_stats: RuleStats
-                 ) -> Iterator[Tuple[Pattern, int, Subst]]:
-    """Yield the condition-filtered, capped matches of one rule."""
-    kept = 0
+def _iter_matches(egraph: EGraph, rule: Rewrite,
+                  frontier: Optional[_DirtyFrontier]
+                  ) -> Iterator[Tuple[Pattern, int, Subst]]:
+    """Yield the condition-filtered matches of one rule in stable order."""
     for plan, build in rule.plans():
         restrict = None if frontier is None else frontier.at(plan.height)
         for class_id, subst in plan.search(egraph, restrict):
             if rule.condition is not None and not rule.condition(
                     egraph, class_id, subst):
                 continue
-            if max_matches is not None and kept >= max_matches:
-                rule_stats.capped = True
-                return
-            kept += 1
             yield build, class_id, subst
 
 
 def apply_rules(egraph: EGraph, rules: Sequence[Rewrite],
                 max_matches_per_rule: Optional[int] = None,
-                dirty: Optional[AbstractSet[int]] = None,
-                verify_full: bool = False
+                dirty: Optional[Iterable[int]] = None,
+                verify_full: bool = False,
+                scheduler: Optional[BackoffScheduler] = None
                 ) -> Dict[str, RuleStats]:
     """Apply one round of every rule to the e-graph.
 
@@ -206,30 +379,90 @@ def apply_rules(egraph: EGraph, rules: Sequence[Rewrite],
     Args:
         egraph: the target e-graph (rebuilt first if needed).
         rules: the rules to match and apply.
-        max_matches_per_rule: cap on applied matches per rule (counted after
-            condition filtering).
+        scheduler: shared :class:`BackoffScheduler` driving rule back-off
+            across iterations.  Banned rules are skipped; a rule exceeding
+            its budget this round has its matches dropped wholesale and is
+            banned, with the unsearched frontier recorded as debt.
+        max_matches_per_rule: deprecated flat cap on applied matches per rule
+            (counted after condition filtering).  Matches arrive in stable
+            seq order, so the kept prefix is deterministic and the search
+            stops at the cap — but prefer a scheduler, which never applies
+            partial match sets.  Mutually exclusive with ``scheduler``
+            (truncation would lose matches without recording debt).
         dirty: canonical ids of the classes changed since the previous round
             (see :meth:`EGraph.take_dirty`).  ``None`` requests a full scan;
-            a set restricts matching to the dirty frontier.
+            an iterable restricts matching to the dirty frontier.
         verify_full: debug flag — after a delta round, re-match every rule
             against the whole e-graph and raise ``AssertionError`` if the
-            full scan still finds a union the delta pass missed.  Skipped
-            when the per-rule cap truncated a rule, since capped runs are
-            not comparable.  The verification pass may insert (already
-            equivalent) right-hand-side nodes, so it is for debugging only.
+            full scan still finds a union the delta pass missed.  Rules with
+            scheduler debt are exempt (their missing matches are accounted
+            for); without a scheduler any capped rule skips the whole check.
+            The verification pass may insert (already equivalent)
+            right-hand-side nodes, so it is for debugging only.
     """
+    if scheduler is not None and max_matches_per_rule is not None:
+        raise ValueError(
+            "max_matches_per_rule (deprecated) cannot be combined with a "
+            "scheduler: truncating a match set behind the scheduler's back "
+            "would lose matches without recording search debt.  Set the "
+            "scheduler's budget instead.")
     if not egraph.is_clean:
         egraph.rebuild()
-    frontier = None if dirty is None else _DirtyFrontier(egraph, dirty)
+    if scheduler is not None:
+        scheduler.begin_iteration()
+    dirty_set: Optional[AbstractSet[int]] = (
+        None if dirty is None else {egraph.find(class_id) for class_id in dirty})
+    shared_frontier = (None if dirty_set is None
+                       else _DirtyFrontier(egraph, dirty_set))
 
     stats: Dict[str, RuleStats] = {}
     planned: List[Tuple[Rewrite, Pattern, int, Subst]] = []
     for rule in rules:
         rule_stats = stats.setdefault(rule.name, RuleStats())
-        for build, class_id, subst in _search_rule(
-                egraph, rule, frontier, max_matches_per_rule, rule_stats):
-            rule_stats.matches += 1
-            planned.append((rule, build, class_id, subst))
+        if scheduler is not None and scheduler.is_banned(rule.name):
+            rule_stats.banned = True
+            scheduler.defer(rule.name, dirty_set)
+            continue
+
+        if scheduler is None:
+            rule_dirty = dirty_set
+            frontier = shared_frontier
+            budget = None
+        else:
+            rule_dirty = scheduler.frontier_for(rule.name, dirty_set)
+            if rule_dirty is None:
+                frontier = None
+            elif rule_dirty is dirty_set:
+                frontier = shared_frontier
+            else:  # debt from banned iterations widens this rule's frontier
+                frontier = _DirtyFrontier(egraph, rule_dirty)
+            budget = scheduler.budget(rule.name)
+
+        matches: List[Tuple[Pattern, int, Subst]] = []
+        exceeded = False
+        for match in _iter_matches(egraph, rule, frontier):
+            if (max_matches_per_rule is not None
+                    and len(matches) >= max_matches_per_rule):
+                # Deprecated flat cap (no scheduler): keep the deterministic
+                # seq-ordered prefix and stop searching at the cap.
+                rule_stats.capped = True
+                break
+            matches.append(match)
+            if budget is not None and len(matches) > budget:
+                exceeded = True
+                break
+        if exceeded:
+            # Egg-style back-off: applying a partial match set would make the
+            # result depend on which matches happened to come first, so drop
+            # them all, ban the rule, and remember what it failed to search.
+            scheduler.ban(rule.name, rule_dirty)
+            rule_stats.capped = True
+            continue
+        if scheduler is not None:
+            scheduler.clear_debt(rule.name)
+        rule_stats.matches += len(matches)
+        planned.extend((rule, build, class_id, subst)
+                       for build, class_id, subst in matches)
 
     for rule, build, class_id, subst in planned:
         rule_stats = stats[rule.name]
@@ -243,28 +476,35 @@ def apply_rules(egraph: EGraph, rules: Sequence[Rewrite],
 
     egraph.rebuild()
 
-    if verify_full and frontier is not None:
-        _verify_delta_complete(egraph, rules, stats)
+    if verify_full and shared_frontier is not None:
+        _verify_delta_complete(egraph, rules, stats, scheduler)
     return stats
 
 
 def _verify_delta_complete(egraph: EGraph, rules: Sequence[Rewrite],
-                           stats: Dict[str, RuleStats]) -> None:
+                           stats: Dict[str, RuleStats],
+                           scheduler: Optional[BackoffScheduler] = None
+                           ) -> None:
     """Assert that a full scan finds no union the delta pass missed.
 
     Matches rooted in the *currently* dirty frontier are excluded: they were
     created by this round's own apply phase and will be searched next round
     (a full-scan engine defers them to the next iteration in exactly the
-    same way).  Anything outside that frontier that still produces a union
-    is a genuine delta-matching hole.
+    same way).  Rules the scheduler is holding back — banned now, or still
+    owing a rescan — are also excluded: their missing matches are recorded
+    as search debt and will be found when the ban lifts.  Anything else that
+    still produces a union is a genuine delta-matching hole.
     """
-    if any(stat.capped for stat in stats.values()):
+    if scheduler is None and any(stat.capped for stat in stats.values()):
         return
     # Gather first, mutate after: the frontier's canonical ids and the
     # full-scan search must not observe the verification's own unions.
     pending = _DirtyFrontier(egraph, egraph.peek_dirty(), exact=True)
     suspects: List[Tuple[Rewrite, Pattern, int, Subst]] = []
     for rule in rules:
+        if scheduler is not None and (scheduler.is_banned(rule.name)
+                                      or scheduler.has_debt(rule.name)):
+            continue
         for plan, build in rule.plans():
             for class_id, subst in plan.search(egraph, None):
                 if rule.condition is not None and not rule.condition(

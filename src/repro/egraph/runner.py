@@ -8,16 +8,26 @@ expanded upward by each rule pattern's height.  Pass ``incremental=False``
 to restore the original full-scan-per-iteration behaviour, and
 ``debug_check_full=True`` to assert (expensively) after every delta
 iteration that a full scan would not have found more unions.
+
+Explosive rules are governed by a :class:`~repro.egraph.rewrite
+.BackoffScheduler` built from :class:`RunnerLimits`: a rule exceeding its
+match budget is banned for exponentially growing windows instead of having
+an arbitrary subset of its matches applied, which keeps saturation
+deterministic and lets delta matching carry each banned rule's unsearched
+frontier forward as debt (no full-rescan fallback).  The runner refuses to
+report saturation while bans or debts are outstanding — it lifts the bans
+and keeps iterating; a run that exhausts its iteration budget in that state
+stops with :data:`StopReason.RULES_BANNED`.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Dict, List, Optional, Sequence
 
 from .egraph import EGraph
-from .rewrite import Rewrite, RuleStats, apply_rules
+from .rewrite import BackoffScheduler, Rewrite, RuleStats, apply_rules
 
 __all__ = ["RunnerLimits", "IterationReport", "RunnerReport", "Runner", "StopReason"]
 
@@ -30,6 +40,10 @@ class StopReason:
     NODE_LIMIT = "node_limit"
     CLASS_LIMIT = "class_limit"
     TIME_LIMIT = "time_limit"
+    #: The iteration budget ran out while the back-off scheduler still had
+    #: banned rules or unsearched frontier debt: the e-graph is *not*
+    #: saturated, more iterations would have found more matches.
+    RULES_BANNED = "rules_banned"
 
 
 @dataclass
@@ -41,16 +55,34 @@ class RunnerLimits:
         max_nodes: stop when the e-graph exceeds this many e-nodes.
         max_classes: stop when the e-graph exceeds this many e-classes.
         time_limit: wall-clock budget in seconds.
-        max_matches_per_rule: cap on matches applied per rule per iteration
-            (a simple back-off scheduler preventing explosive rules from
-            dominating an iteration).
+        match_limit: initial per-rule match budget per iteration for the
+            back-off scheduler (egg's ``match_limit``).  A rule exceeding it
+            is banned for ``ban_length`` iterations; each repeated ban
+            doubles both the budget and the window.  ``None`` disables
+            back-off entirely (every match is always applied).
+        ban_length: initial ban window, in iterations.
+        max_matches_per_rule: **deprecated** alias for the old flat cap.
+            When set it overrides ``match_limit`` with a
+            ``BackoffScheduler.flat`` (one-iteration non-growing bans; the
+            budget starts at the cap and doubles on repeated bans); matches
+            beyond the budget are no longer silently dropped.
     """
 
     max_iterations: int = 10
     max_nodes: int = 200_000
     max_classes: int = 100_000
     time_limit: float = 120.0
-    max_matches_per_rule: Optional[int] = 20_000
+    match_limit: Optional[int] = 20_000
+    ban_length: int = 2
+    max_matches_per_rule: Optional[int] = None
+
+    def build_scheduler(self) -> Optional[BackoffScheduler]:
+        """Create the back-off scheduler for one run (fresh state each run)."""
+        if self.max_matches_per_rule is not None:
+            return BackoffScheduler.flat(self.max_matches_per_rule)
+        if self.match_limit is not None:
+            return BackoffScheduler(self.match_limit, self.ban_length)
+        return None
 
 
 @dataclass
@@ -65,6 +97,8 @@ class IterationReport:
     rule_stats: Dict[str, RuleStats] = field(default_factory=dict)
     #: Number of dirty-frontier classes matched against (None = full scan).
     frontier_size: Optional[int] = None
+    #: Rules skipped this iteration because a back-off ban was active.
+    banned_rules: List[str] = field(default_factory=list)
 
 
 @dataclass
@@ -74,6 +108,9 @@ class RunnerReport:
     stop_reason: str
     iterations: List[IterationReport] = field(default_factory=list)
     total_time: float = 0.0
+    #: Times each rule was banned by the back-off scheduler over the run
+    #: (rules never banned are omitted).
+    scheduler_stats: Dict[str, int] = field(default_factory=dict)
 
     @property
     def num_iterations(self) -> int:
@@ -88,6 +125,10 @@ class RunnerReport:
     def total_unions(self) -> int:
         """Total number of e-class merges performed by the run."""
         return sum(report.unions for report in self.iterations)
+
+    def total_bans(self) -> int:
+        """Total number of back-off bans issued over the run."""
+        return sum(self.scheduler_stats.values())
 
 
 class Runner:
@@ -122,6 +163,7 @@ class Runner:
         limits = self.limits
         incremental = (self.incremental
                        and all(rule.condition is None for rule in rules))
+        scheduler = limits.build_scheduler()
         start = time.perf_counter()
         report = RunnerReport(stop_reason=StopReason.ITERATION_LIMIT)
         egraph.rebuild()
@@ -129,7 +171,7 @@ class Runner:
         # whole e-graph anyway, so pre-existing dirt would only bloat the
         # frontier of iteration 1.
         egraph.take_dirty()
-        dirty: Optional[Set[int]] = None
+        dirty: Optional[List[int]] = None
         for iteration in range(limits.max_iterations):
             if time.perf_counter() - start > limits.time_limit:
                 report.stop_reason = StopReason.TIME_LIMIT
@@ -137,16 +179,11 @@ class Runner:
             iter_start = time.perf_counter()
             frontier_size = None if dirty is None else len(dirty)
             stats = apply_rules(egraph, rules,
-                                max_matches_per_rule=limits.max_matches_per_rule,
                                 dirty=dirty,
-                                verify_full=self.debug_check_full)
+                                verify_full=self.debug_check_full,
+                                scheduler=scheduler)
             if incremental:
                 dirty = egraph.take_dirty()
-                # A capped rule dropped matches that only a rescan can
-                # recover: delta matching would never revisit their (now
-                # clean) classes, so fall back to a full scan once.
-                if any(stat.capped for stat in stats.values()):
-                    dirty = None
             unions = sum(stat.unions for stat in stats.values())
             num_classes, num_nodes = egraph.total_size()
             report.iterations.append(IterationReport(
@@ -157,8 +194,16 @@ class Runner:
                 elapsed=time.perf_counter() - iter_start,
                 rule_stats=stats,
                 frontier_size=frontier_size,
+                banned_rules=sorted(name for name, stat in stats.items()
+                                    if stat.banned or stat.capped),
             ))
             if unions == 0:
+                if scheduler is not None and scheduler.outstanding():
+                    # Quiet only because rules are held back — lift the bans
+                    # (budgets stay grown) and keep going; the unbanned
+                    # rules re-search their recorded debt next iteration.
+                    scheduler.unban_all()
+                    continue
                 report.stop_reason = StopReason.SATURATED
                 break
             if num_nodes > limits.max_nodes:
@@ -167,5 +212,10 @@ class Runner:
             if num_classes > limits.max_classes:
                 report.stop_reason = StopReason.CLASS_LIMIT
                 break
+        if (report.stop_reason == StopReason.ITERATION_LIMIT
+                and scheduler is not None and scheduler.outstanding()):
+            report.stop_reason = StopReason.RULES_BANNED
+        if scheduler is not None:
+            report.scheduler_stats = scheduler.stats()
         report.total_time = time.perf_counter() - start
         return report

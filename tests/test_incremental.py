@@ -58,7 +58,7 @@ def _class_partition(construction):
 def _saturate(aig, incremental, rules, debug_check=False):
     construction = aig_to_egraph(aig)
     limits = RunnerLimits(max_iterations=8, max_nodes=50_000,
-                          max_matches_per_rule=None)
+                          match_limit=None)
     runner = Runner(limits, incremental=incremental,
                     debug_check_full=debug_check)
     report = runner.run(construction.egraph, rules)
@@ -136,7 +136,7 @@ class TestMatchPlans:
         eg.add_expr(("&", "a", "b"))
         plan = compile_pattern(parse_pattern("(^ ?x ?y)"))
         assert not list(plan.search(eg))
-        assert plan.candidate_roots(eg) == set()
+        assert plan.candidate_roots(eg) == []
 
     def test_candidate_classes_survive_unions(self):
         eg = EGraph()
@@ -149,7 +149,14 @@ class TestMatchPlans:
         assert candidates == {eg.find(and1)}
 
     def test_stats_count_and_cap_after_condition(self):
-        """Match counts must agree between capped and uncapped runs."""
+        """Match counts must agree between capped and uncapped runs.
+
+        This exercises the deprecated flat ``max_matches_per_rule`` path of
+        ``apply_rules`` (no scheduler): matches beyond the cap are cut as a
+        deterministic suffix of the seq-sorted match stream.  Runner-driven
+        saturation uses the :class:`BackoffScheduler` instead (see
+        ``tests/test_determinism.py``).
+        """
         eg = EGraph()
         eg.add_expr(("&", "a", "b"))
         eg.add_expr(("&", "c", "d"))
