@@ -1,0 +1,57 @@
+"""Beyond the paper: snapshot save/load versus re-saturation.
+
+Quantifies the ``repro.store`` value proposition (ROADMAP: "Persistent
+e-graph serialization"): saturating a post-mapping CSA multiplier once,
+then comparing the cost of loading the stored saturated e-graph against
+re-running saturation.  ``docs/performance.md`` records the 16-bit
+numbers; the default bench width follows the shared sweep configuration
+so CI stays fast (raise ``REPRO_BENCH_MAX_WIDTH`` — and optionally set
+``REPRO_STORE_DIR`` — to reproduce the acceptance run).
+"""
+
+import time
+
+from common import POST_MAPPING_WIDTHS, mapped_aig, print_table
+from repro.core import BoolEOptions, BoolEPipeline
+from repro.store import ArtifactStore
+
+COLUMNS = ["width", "saturation_s", "store_s", "load_s", "speedup",
+           "artifact_kib", "identical"]
+
+
+def test_store_roundtrip_speedup(benchmark, tmp_path):
+    width = POST_MAPPING_WIDTHS[-1]
+    mapped = mapped_aig("csa", width)
+    store = ArtifactStore(tmp_path / "store")
+    pipeline = BoolEPipeline(
+        BoolEOptions(r1_iterations=3, r2_iterations=3), store=store)
+    rows = []
+
+    def run():
+        rows.clear()
+        start = time.perf_counter()
+        cold = pipeline.run(mapped)
+        cold_total = time.perf_counter() - start
+        warm = pipeline.run(mapped)
+        saturation = cold.timings["r1"] + cold.timings["r2"]
+        load = warm.timings["cache_load"]
+        rows.append({
+            "width": width,
+            "saturation_s": round(saturation, 2),
+            "store_s": round(cold.timings["cache_store"], 2),
+            "load_s": round(load, 3),
+            "speedup": round(saturation / load, 1) if load else float("inf"),
+            "artifact_kib": store.total_bytes() // 1024,
+            "identical": (warm.extracted_aig.gates == cold.extracted_aig.gates
+                          and warm.fa_blocks == cold.fa_blocks),
+        })
+        assert cold_total >= saturation
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(f"Store round-trip (CSA width {width})", rows, COLUMNS)
+    row = rows[0]
+    assert row["identical"], "warm run diverged from cold run"
+    # Loading must beat re-saturating; at width >= 8 the acceptance margin
+    # is 10x, at smoke widths the graph is tiny so just require a win.
+    assert row["load_s"] < row["saturation_s"]

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Warm-cache quickstart + snapshot round-trip smoke test.
+
+Usage::
+
+    python examples/store_cache.py [width] [store_dir]
+
+Runs the BoolE pipeline twice against a content-addressed artifact store
+(``repro.store``): the first run saturates the e-graph and persists it,
+the second run loads the saturated graph and skips straight to
+extraction.  A mid-saturation checkpoint is also saved, restored and
+resumed to demonstrate bit-identical resumable saturation.  CI runs this
+as the snapshot round-trip smoke step (exit code is non-zero on any
+mismatch).
+"""
+
+import json
+import sys
+import tempfile
+
+from repro.core import BoolEOptions, BoolEPipeline
+from repro.core.construct import aig_to_egraph
+from repro.core.rules_basic import basic_rules
+from repro.egraph import Runner, RunnerLimits
+from repro.generators import csa_multiplier
+from repro.opt import post_mapping_flow
+from repro.store import (
+    ArtifactStore,
+    egraph_to_wire,
+    load_checkpoint,
+    save_checkpoint,
+)
+
+
+def demo_pipeline_cache(mapped, store: ArtifactStore) -> None:
+    pipeline = BoolEPipeline(
+        BoolEOptions(r1_iterations=3, r2_iterations=3), store=store)
+    print(f"cache key: {pipeline.cache_key(mapped)[:16]}…")
+
+    cold = pipeline.run(mapped)
+    saturation = cold.timings.get("r1", 0.0) + cold.timings.get("r2", 0.0)
+    print(f"cold run : {'HIT' if cold.cache_hit else 'MISS'} — "
+          f"saturated in {saturation:.2f}s, stored in "
+          f"{cold.timings.get('cache_store', 0.0):.2f}s, "
+          f"{cold.num_exact_fas} exact FAs")
+
+    warm = pipeline.run(mapped)
+    print(f"warm run : {'HIT' if warm.cache_hit else 'MISS'} — "
+          f"loaded in {warm.timings.get('cache_load', 0.0):.2f}s, "
+          f"{warm.num_exact_fas} exact FAs, total "
+          f"{warm.total_runtime:.2f}s")
+
+    assert not cold.cache_hit and warm.cache_hit, "expected a miss then a hit"
+    assert warm.extracted_aig.gates == cold.extracted_aig.gates
+    assert warm.fa_blocks == cold.fa_blocks
+    assert warm.num_npn_fas == cold.num_npn_fas
+    print("warm result is bit-identical to the cold run")
+
+
+def demo_checkpoint_resume(mapped, store_dir: str) -> None:
+    rules = basic_rules()
+    limits = RunnerLimits(max_iterations=8, match_limit=60, ban_length=1)
+
+    reference = aig_to_egraph(mapped)
+    Runner(limits).run(reference.egraph, rules)
+
+    checkpointed = aig_to_egraph(mapped)
+    path_holder = []
+
+    def on_checkpoint(checkpoint):
+        if not path_holder:  # keep the first checkpoint only
+            path = f"{store_dir}/checkpoint.json.gz"
+            save_checkpoint(path, checkpointed.egraph, checkpoint)
+            path_holder.append((path, checkpoint.iteration))
+
+    Runner(limits).run(checkpointed.egraph, rules,
+                       checkpoint_every=2, on_checkpoint=on_checkpoint)
+    assert path_holder, "saturation finished before the first checkpoint"
+    path, at_iteration = path_holder[0]
+
+    restored, checkpoint = load_checkpoint(path)
+    Runner.from_checkpoint(checkpoint).run(restored, rules,
+                                           resume_from=checkpoint)
+    reference_wire = json.dumps(egraph_to_wire(reference.egraph),
+                                sort_keys=True)
+    resumed_wire = json.dumps(egraph_to_wire(restored), sort_keys=True)
+    assert resumed_wire == reference_wire, "resumed run diverged"
+    print(f"checkpoint at iteration {at_iteration} → restore → continue "
+          f"matches the uninterrupted run byte-for-byte "
+          f"({len(resumed_wire)} wire bytes)")
+
+
+def main(width: int = 4, store_dir: str = "") -> None:
+    print(f"== repro.store quickstart on a {width}-bit CSA multiplier ==")
+    mapped = post_mapping_flow(csa_multiplier(width).aig)
+    print(f"post-mapping netlist: {mapped.num_gates} AND gates")
+
+    if store_dir:
+        demo_pipeline_cache(mapped, ArtifactStore(store_dir))
+        demo_checkpoint_resume(mapped, store_dir)
+    else:
+        with tempfile.TemporaryDirectory() as tmp:
+            demo_pipeline_cache(mapped, ArtifactStore(tmp))
+            demo_checkpoint_resume(mapped, tmp)
+    print("all round trips OK")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 4,
+         sys.argv[2] if len(sys.argv) > 2 else "")

@@ -15,6 +15,13 @@ Two executor backends are supported:
 * ``"process"`` — a ``ProcessPoolExecutor``.  True parallelism; jobs and
   their options are pickled into the workers, and only the numeric summary
   travels back (``BatchItemResult.result`` is ``None``).
+
+With a ``store`` (an :class:`~repro.store.ArtifactStore` or directory
+path) the driver consults the content-addressed cache *before*
+dispatching: jobs whose saturated e-graph is already stored run inline on
+the calling thread — a cheap load + extraction instead of a saturation —
+and only genuinely new circuits occupy executor workers, so repeated
+batch sweeps pay only for what changed.
 """
 
 from __future__ import annotations
@@ -27,9 +34,11 @@ from concurrent.futures import (
     as_completed,
 )
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from ..aig import AIG
+from ..store import ArtifactStore
 from .pipeline import BoolEOptions, BoolEPipeline, BoolEResult
 
 __all__ = ["BatchJob", "BatchItemResult", "BatchReport", "BatchPipeline"]
@@ -63,6 +72,8 @@ class BatchItemResult:
         error: the formatted exception when ``ok`` is False.
         result: the full :class:`BoolEResult` when available (thread backend
             with ``keep_results=True``), else ``None``.
+        cached: True when the saturated e-graph came from the artifact
+            store (the job skipped saturation entirely).
     """
 
     name: str
@@ -71,6 +82,7 @@ class BatchItemResult:
     summary: Dict[str, float] = field(default_factory=dict)
     error: Optional[str] = None
     result: Optional[BoolEResult] = None
+    cached: bool = False
 
 
 @dataclass
@@ -89,6 +101,11 @@ class BatchReport:
     def num_failed(self) -> int:
         """Number of jobs that raised."""
         return len(self.items) - self.num_ok
+
+    @property
+    def num_cached(self) -> int:
+        """Number of jobs served from the artifact store."""
+        return sum(1 for item in self.items if item.cached)
 
     @property
     def total_runtime(self) -> float:
@@ -126,15 +143,18 @@ class BatchReport:
 
 
 def _run_job(job: BatchJob, default_options: Optional[BoolEOptions],
-             keep_result: bool) -> BatchItemResult:
+             keep_result: bool,
+             store_root: Optional[str] = None) -> BatchItemResult:
     """Worker body: run one job, capturing any failure.
 
-    Module-level so the process backend can pickle it.
+    Module-level so the process backend can pickle it; the store travels
+    as its root path (an :class:`ArtifactStore` holds an unpicklable lock)
+    and is reopened inside the worker.
     """
     start = time.perf_counter()
     try:
         pipeline = BoolEPipeline(job.options or default_options)
-        result = pipeline.run(job.aig)
+        result = pipeline.run(job.aig, store=store_root)
     except Exception as error:  # noqa: BLE001 - failure isolation is the point
         return BatchItemResult(
             name=job.name, ok=False,
@@ -144,7 +164,8 @@ def _run_job(job: BatchJob, default_options: Optional[BoolEOptions],
         name=job.name, ok=True,
         runtime=time.perf_counter() - start,
         summary=result.summary(),
-        result=result if keep_result else None)
+        result=result if keep_result else None,
+        cached=result.cache_hit)
 
 
 class BatchPipeline:
@@ -163,18 +184,41 @@ class BatchPipeline:
         keep_results: attach the full :class:`BoolEResult` to each item
             (forced off on the process backend to avoid shipping e-graphs
             between processes).
+        store: artifact store (or its directory path) consulted before
+            dispatch; cached jobs bypass the executor entirely.
     """
 
     def __init__(self, options: Optional[BoolEOptions] = None, *,
                  max_workers: Optional[int] = None,
                  executor: str = "thread",
-                 keep_results: bool = True) -> None:
+                 keep_results: bool = True,
+                 store: Union[ArtifactStore, str, Path, None] = None) -> None:
         if executor not in ("thread", "process"):
             raise ValueError(f"unknown executor backend {executor!r}")
         self.options = options
         self.max_workers = max_workers
         self.executor = executor
         self.keep_results = keep_results and executor == "thread"
+        if isinstance(store, ArtifactStore):
+            self.store_root: Optional[str] = str(store.root)
+        elif store is not None:
+            self.store_root = str(Path(store).expanduser())
+        else:
+            self.store_root = None
+
+    def _probe_pipeline(self, job: BatchJob,
+                        cache: Dict[int, BoolEPipeline]) -> BoolEPipeline:
+        """One fingerprinting pipeline per distinct options object.
+
+        Jobs overwhelmingly share the batch default options; reusing the
+        pipeline reuses its parsed rulesets and memoized options/ruleset
+        fingerprints, so probing N jobs costs N AIG digests, not N full
+        ruleset fingerprints."""
+        options = job.options or self.options
+        pipeline = cache.get(id(options))
+        if pipeline is None:
+            pipeline = cache[id(options)] = BoolEPipeline(options)
+        return pipeline
 
     def run(self, jobs: Iterable[Union[BatchJob, AIG]]) -> BatchReport:
         """Execute every job and return the aggregated report.
@@ -182,6 +226,10 @@ class BatchPipeline:
         Bare :class:`AIG` instances are wrapped into jobs named after the
         AIG (falling back to their position in the batch).  Item order in
         the report matches submission order regardless of completion order.
+
+        With a store configured, every job's cache key is probed first:
+        hits run inline on this thread (load + extraction only) while the
+        executor works on the misses in parallel.
         """
         normalized = [self._normalize(job, index)
                       for index, job in enumerate(jobs)]
@@ -189,15 +237,29 @@ class BatchPipeline:
         if not normalized:
             return report
 
+        store = (ArtifactStore(self.store_root)
+                 if self.store_root is not None else None)
         pool_cls = (ThreadPoolExecutor if self.executor == "thread"
                     else ProcessPoolExecutor)
         start = time.perf_counter()
         results: Dict[int, BatchItemResult] = {}
+        probe_cache: Dict[int, BoolEPipeline] = {}
         with pool_cls(max_workers=self.max_workers) as pool:
-            futures: Dict[Future, int] = {
-                pool.submit(_run_job, job, self.options, self.keep_results):
-                    index
-                for index, job in enumerate(normalized)}
+            futures: Dict[Future, int] = {}
+            inline: List[int] = []
+            for index, job in enumerate(normalized):
+                if store is not None and store.contains(
+                        self._probe_pipeline(job, probe_cache)
+                        .cache_key(job.aig)):
+                    inline.append(index)
+                else:
+                    futures[pool.submit(_run_job, job, self.options,
+                                        self.keep_results,
+                                        self.store_root)] = index
+            # Cached jobs are served while the pool chews on the misses.
+            for index in inline:
+                results[index] = _run_job(normalized[index], self.options,
+                                          self.keep_results, self.store_root)
             for future in as_completed(futures):
                 index = futures[future]
                 try:

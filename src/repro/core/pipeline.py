@@ -10,16 +10,39 @@
 5. DAG-based exact extraction (Algorithm 2) and
 6. reconstruction of the extracted netlist as an AIG exposing the recovered
    full adders.
+
+Stages 1–4 are a pure function of ``(netlist, options, ruleset)`` — the
+determinism guarantees of ``docs/performance.md`` — so their combined
+result can be cached: pass ``store=`` (an
+:class:`~repro.store.ArtifactStore` or a directory path) and the pipeline
+looks the saturated e-graph up by content fingerprint, skipping straight
+to extraction on a hit and persisting the artifact on a miss (see
+``docs/serialization.md``).
 """
 
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
 
 from ..aig import AIG
-from ..egraph import Op, Runner, RunnerLimits, RunnerReport
+from ..egraph import EGraph, Op, Runner, RunnerLimits, RunnerReport
+from ..store import (
+    KIND_SATURATED,
+    ArtifactStore,
+    SnapshotError,
+    combine_cache_key,
+    egraph_from_wire,
+    egraph_to_wire,
+    fingerprint_aig,
+    fingerprint_options,
+    fingerprint_ruleset,
+    report_from_wire,
+    report_to_wire,
+)
 from .construct import ConstructionResult, aig_to_egraph
 from .extraction import (
     BoolEExtraction,
@@ -27,11 +50,23 @@ from .extraction import (
     FABlockRecord,
     reconstruct_aig,
 )
-from .fa_structure import FAInsertionReport, count_npn_fa_pairs, insert_fa_structures
+from .fa_structure import (
+    FAInsertionReport,
+    FAPair,
+    count_npn_fa_pairs,
+    insert_fa_structures,
+)
 from .rules_basic import basic_rules
 from .rules_xor_maj import identification_rules
 
 __all__ = ["BoolEOptions", "BoolEResult", "BoolEPipeline", "run_boole"]
+
+#: Default initial per-rule match budget of the pipeline (wider than the
+#: raw :class:`RunnerLimits` default because the R2 identification rules
+#: legitimately produce huge match sets on wide multipliers).  Kept as a
+#: constant so the deprecated ``max_matches_per_rule`` alias can tell an
+#: explicitly configured ``match_limit`` apart from the untouched default.
+DEFAULT_PIPELINE_MATCH_LIMIT = 100_000
 
 
 @dataclass
@@ -72,7 +107,7 @@ class BoolEOptions:
     include_rule_variants: bool = True
     max_nodes: int = 400_000
     time_limit: float = 120.0
-    match_limit: Optional[int] = 100_000
+    match_limit: Optional[int] = DEFAULT_PIPELINE_MATCH_LIMIT
     ban_length: int = 2
     max_matches_per_rule: Optional[int] = None
     prune_redundant: bool = True
@@ -80,6 +115,22 @@ class BoolEOptions:
     count_npn: bool = True
     incremental: bool = True
     debug_check_full: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_matches_per_rule is None:
+            return
+        if (self.match_limit is not None
+                and self.match_limit != DEFAULT_PIPELINE_MATCH_LIMIT):
+            raise ValueError(
+                "max_matches_per_rule (deprecated) cannot be combined with "
+                "an explicit match_limit: the alias builds its own flat "
+                "compatibility scheduler.  Drop the alias and configure "
+                "match_limit/ban_length instead.")
+        warnings.warn(
+            "BoolEOptions.max_matches_per_rule is deprecated; use "
+            "match_limit/ban_length (the alias builds a flat compatibility "
+            "scheduler with one-iteration bans)",
+            DeprecationWarning, stacklevel=3)
 
 
 @dataclass
@@ -96,6 +147,10 @@ class BoolEResult:
     fa_blocks: List[FABlockRecord] = field(default_factory=list)
     num_npn_fas: int = 0
     timings: Dict[str, float] = field(default_factory=dict)
+    #: True when the saturated e-graph came from an artifact store instead
+    #: of being recomputed (``timings`` then has ``cache_load`` instead of
+    #: the construct/r1/r2/prune/fa_pairing stages).
+    cache_hit: bool = False
 
     @property
     def num_exact_fas(self) -> int:
@@ -136,71 +191,156 @@ class BoolEResult:
 
 
 class BoolEPipeline:
-    """Exact symbolic reasoning for Boolean netlists via equality saturation."""
+    """Exact symbolic reasoning for Boolean netlists via equality saturation.
 
-    def __init__(self, options: Optional[BoolEOptions] = None) -> None:
+    Args:
+        options: pipeline configuration (defaults to :class:`BoolEOptions`).
+        store: default artifact store for :meth:`run` — an
+            :class:`~repro.store.ArtifactStore` or a directory path.
+            ``None`` disables caching unless :meth:`run` is given one.
+    """
+
+    def __init__(self, options: Optional[BoolEOptions] = None, *,
+                 store: Union[ArtifactStore, str, Path, None] = None) -> None:
         self.options = options or BoolEOptions()
+        self.store = _as_store(store)
         self._r1 = basic_rules(lightweight=self.options.lightweight_rules)
         self._r2 = identification_rules(self.options.include_rule_variants)
+        # Options/ruleset fingerprints are per-pipeline constants; computed
+        # lazily once so batch sweeps pay only the per-AIG digest per job.
+        self._static_fingerprints: Optional[Tuple[str, List[str]]] = None
 
     @property
     def num_rules(self) -> Dict[str, int]:
         """Rule counts of the two phases."""
         return {"R1": len(self._r1), "R2": len(self._r2)}
 
-    def run(self, aig: AIG) -> BoolEResult:
-        """Run the full BoolE flow on an AIG and return the result bundle."""
+    def cache_key(self, aig: AIG) -> str:
+        """Content-addressed store key of ``aig``'s saturated e-graph.
+
+        Combines the fingerprints of the netlist, the options and both
+        rulesets (see :mod:`repro.store.fingerprint`); identical inputs
+        yield identical keys across processes and hash seeds.
+        """
+        if self._static_fingerprints is None:
+            self._static_fingerprints = (
+                fingerprint_options(self.options),
+                [fingerprint_ruleset(rules)
+                 for rules in (self._r1, self._r2)])
+        options_fp, ruleset_fps = self._static_fingerprints
+        return combine_cache_key(fingerprint_aig(aig), options_fp,
+                                 ruleset_fps)
+
+    def _phase_limits(self, iterations: int) -> RunnerLimits:
         options = self.options
+        if options.max_matches_per_rule is not None:
+            # The options object already warned about the alias at
+            # construction; re-warning for each internal RunnerLimits
+            # would just repeat it.  ``match_limit`` stays at the
+            # RunnerLimits default, which the alias overrides anyway.
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DeprecationWarning)
+                return RunnerLimits(
+                    max_iterations=iterations,
+                    max_nodes=options.max_nodes,
+                    time_limit=options.time_limit,
+                    ban_length=options.ban_length,
+                    max_matches_per_rule=options.max_matches_per_rule,
+                )
+        return RunnerLimits(
+            max_iterations=iterations,
+            max_nodes=options.max_nodes,
+            time_limit=options.time_limit,
+            match_limit=options.match_limit,
+            ban_length=options.ban_length,
+        )
+
+    def run(self, aig: AIG, *,
+            store: Union[ArtifactStore, str, Path, None] = None
+            ) -> BoolEResult:
+        """Run the full BoolE flow on an AIG and return the result bundle.
+
+        With a ``store`` (argument or constructor default), the saturated
+        e-graph — stages 1–4 plus the NPN count — is looked up by content
+        key first: on a hit the pipeline deserializes the artifact and
+        skips straight to extraction (``result.cache_hit``); on a miss it
+        computes the stages and persists them for the next run.
+        """
+        options = self.options
+        store = _as_store(store) or self.store
         timings: Dict[str, float] = {}
         start = time.perf_counter()
 
-        t0 = time.perf_counter()
-        construction = aig_to_egraph(aig)
-        timings["construct"] = time.perf_counter() - t0
-        egraph = construction.egraph
-
-        limits = RunnerLimits(
-            max_iterations=options.r1_iterations,
-            max_nodes=options.max_nodes,
-            time_limit=options.time_limit,
-            match_limit=options.match_limit,
-            ban_length=options.ban_length,
-            max_matches_per_rule=options.max_matches_per_rule,
-        )
-        t0 = time.perf_counter()
-        r1_report = Runner(limits, incremental=options.incremental,
-                           debug_check_full=options.debug_check_full
-                           ).run(egraph, self._r1)
-        timings["r1"] = time.perf_counter() - t0
-
-        limits = RunnerLimits(
-            max_iterations=options.r2_iterations,
-            max_nodes=options.max_nodes,
-            time_limit=options.time_limit,
-            match_limit=options.match_limit,
-            ban_length=options.ban_length,
-            max_matches_per_rule=options.max_matches_per_rule,
-        )
-        t0 = time.perf_counter()
-        r2_report = Runner(limits, incremental=options.incremental,
-                           debug_check_full=options.debug_check_full
-                           ).run(egraph, self._r2)
-        timings["r2"] = time.perf_counter() - t0
-
-        if options.prune_redundant:
+        key = None
+        saturated = None
+        if store is not None:
+            key = self.cache_key(aig)
             t0 = time.perf_counter()
-            egraph.prune_duplicates({Op.XOR3, Op.MAJ, Op.FA, Op.XOR, Op.AND, Op.OR})
-            timings["prune"] = time.perf_counter() - t0
+            try:
+                payload = store.get(key, expected_kind=KIND_SATURATED)
+            except SnapshotError:
+                # A corrupt/foreign object at a live key must degrade to a
+                # miss, not poison every run of this circuit; the recompute
+                # below overwrites it with a good artifact.
+                payload = None
+            if payload is not None:
+                saturated = _saturated_from_state(payload, aig)
+                timings["cache_load"] = time.perf_counter() - t0
 
-        t0 = time.perf_counter()
-        fa_report = insert_fa_structures(egraph)
-        timings["fa_pairing"] = time.perf_counter() - t0
-
-        num_npn = 0
-        if options.count_npn:
+        if saturated is not None:
+            construction, r1_report, r2_report, fa_report, num_npn = saturated
+            egraph = construction.egraph
+            cache_hit = True
+        else:
+            cache_hit = False
             t0 = time.perf_counter()
-            num_npn = count_npn_fa_pairs(egraph)
-            timings["npn_count"] = time.perf_counter() - t0
+            construction = aig_to_egraph(aig)
+            timings["construct"] = time.perf_counter() - t0
+            egraph = construction.egraph
+
+            t0 = time.perf_counter()
+            r1_report = Runner(self._phase_limits(options.r1_iterations),
+                               incremental=options.incremental,
+                               debug_check_full=options.debug_check_full
+                               ).run(egraph, self._r1)
+            timings["r1"] = time.perf_counter() - t0
+
+            t0 = time.perf_counter()
+            r2_report = Runner(self._phase_limits(options.r2_iterations),
+                               incremental=options.incremental,
+                               debug_check_full=options.debug_check_full
+                               ).run(egraph, self._r2)
+            timings["r2"] = time.perf_counter() - t0
+
+            if options.prune_redundant:
+                t0 = time.perf_counter()
+                egraph.prune_duplicates(
+                    {Op.XOR3, Op.MAJ, Op.FA, Op.XOR, Op.AND, Op.OR})
+                timings["prune"] = time.perf_counter() - t0
+
+            t0 = time.perf_counter()
+            fa_report = insert_fa_structures(egraph)
+            timings["fa_pairing"] = time.perf_counter() - t0
+
+            num_npn = 0
+            if options.count_npn:
+                t0 = time.perf_counter()
+                num_npn = count_npn_fa_pairs(egraph)
+                timings["npn_count"] = time.perf_counter() - t0
+
+            if store is not None:
+                t0 = time.perf_counter()
+                store.put(key,
+                          _saturated_to_state(construction, r1_report,
+                                              r2_report, fa_report, num_npn),
+                          kind=KIND_SATURATED,
+                          meta={
+                              "aig_name": aig.name,
+                              "aig_gates": aig.num_gates,
+                              "egraph_classes": egraph.num_classes,
+                              "exact_fas": fa_report.num_exact_fas,
+                          })
+                timings["cache_store"] = time.perf_counter() - t0
 
         result = BoolEResult(
             source=aig,
@@ -210,6 +350,7 @@ class BoolEPipeline:
             fa_report=fa_report,
             num_npn_fas=num_npn,
             timings=timings,
+            cache_hit=cache_hit,
         )
 
         if options.extract:
@@ -227,6 +368,64 @@ class BoolEPipeline:
         return result
 
 
-def run_boole(aig: AIG, options: Optional[BoolEOptions] = None) -> BoolEResult:
+def _as_store(store: Union[ArtifactStore, str, Path, None]
+              ) -> Optional[ArtifactStore]:
+    if store is None or isinstance(store, ArtifactStore):
+        return store
+    return ArtifactStore(store)
+
+
+def _saturated_to_state(construction: ConstructionResult,
+                        r1_report: RunnerReport, r2_report: RunnerReport,
+                        fa_report: FAInsertionReport, num_npn: int) -> Dict:
+    """Wire form of everything :meth:`BoolEPipeline.run` produces before
+    extraction: the saturated e-graph plus the construction bookkeeping
+    and the per-phase reports (the source AIG itself is *not* stored — the
+    cache key guarantees the loader holds an identical netlist)."""
+    return {
+        "egraph": egraph_to_wire(construction.egraph),
+        "construction": {
+            "class_of_var": sorted(construction.class_of_var.items()),
+            "output_classes": list(construction.output_classes),
+            "literal_classes": sorted(construction.literal_classes.items()),
+        },
+        "r1_report": report_to_wire(r1_report),
+        "r2_report": report_to_wire(r2_report),
+        "fa_pairs": [[list(pair.inputs), pair.sum_class, pair.carry_class,
+                      pair.fa_class] for pair in fa_report.pairs],
+        "num_npn_fas": num_npn,
+    }
+
+
+def _saturated_from_state(state: Dict, aig: AIG) -> Tuple[
+        ConstructionResult, RunnerReport, RunnerReport,
+        FAInsertionReport, int]:
+    """Rebuild the pre-extraction pipeline products from the wire form."""
+    egraph: EGraph = egraph_from_wire(state["egraph"])
+    wire = state["construction"]
+    construction = ConstructionResult(
+        egraph=egraph,
+        aig=aig,
+        class_of_var={var: class_id
+                      for var, class_id in wire["class_of_var"]},
+        output_classes=list(wire["output_classes"]),
+        literal_classes={lit: class_id
+                         for lit, class_id in wire["literal_classes"]},
+    )
+    fa_report = FAInsertionReport(pairs=[
+        FAPair(inputs=tuple(inputs), sum_class=sum_class,
+               carry_class=carry_class, fa_class=fa_class)
+        for inputs, sum_class, carry_class, fa_class in state["fa_pairs"]
+    ])
+    return (construction,
+            report_from_wire(state["r1_report"]),
+            report_from_wire(state["r2_report"]),
+            fa_report,
+            state["num_npn_fas"])
+
+
+def run_boole(aig: AIG, options: Optional[BoolEOptions] = None, *,
+              store: Union[ArtifactStore, str, Path, None] = None
+              ) -> BoolEResult:
     """Convenience wrapper: run the BoolE pipeline with ``options`` on ``aig``."""
-    return BoolEPipeline(options).run(aig)
+    return BoolEPipeline(options, store=store).run(aig)

@@ -24,7 +24,14 @@ from .pattern import (
     pattern_vars,
 )
 from .rewrite import BackoffScheduler, Rewrite, RuleStats, apply_rules
-from .runner import IterationReport, Runner, RunnerLimits, RunnerReport, StopReason
+from .runner import (
+    IterationReport,
+    Runner,
+    RunnerCheckpoint,
+    RunnerLimits,
+    RunnerReport,
+    StopReason,
+)
 from .unionfind import UnionFind
 
 __all__ = [
@@ -58,6 +65,7 @@ __all__ = [
     "apply_rules",
     "IterationReport",
     "Runner",
+    "RunnerCheckpoint",
     "RunnerLimits",
     "RunnerReport",
     "StopReason",

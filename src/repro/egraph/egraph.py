@@ -431,6 +431,65 @@ class EGraph:
         """Return ``(num_classes, num_nodes)``."""
         return self.num_classes, self.num_nodes
 
+    # ------------------------------------------------------------------
+    # Snapshot support (repro.store)
+    # ------------------------------------------------------------------
+    def export_state(self) -> Dict[str, object]:
+        """Return the complete mutable state as plain Python containers.
+
+        Everything a bit-identical restore needs is included: the raw
+        union-find parent array, the per-class node sets and parent lists,
+        the hashcons, pending repairs, the dirty set and the insertion seqs.
+        The operator index and the e-node/order caches are *derived* state
+        and are rebuilt by :meth:`from_state`.
+
+        Collections that are sets in memory are handed out sorted so the
+        exported state (and any file written from it) is independent of
+        ``PYTHONHASHSEED``.  The wire encoding lives in
+        :mod:`repro.store.codec`; this method only detaches the state from
+        the live object (nodes are shared — :class:`ENode` is immutable).
+        """
+        classes = {}
+        for class_id in sorted(self._classes):
+            eclass = self._classes[class_id]
+            classes[class_id] = (
+                sorted(eclass.nodes, key=enode_sort_key),
+                list(eclass.parents),
+            )
+        return {
+            "parents_array": self._union_find.to_list(),
+            "classes": classes,
+            "hashcons": dict(self._hashcons),
+            "pending": list(self._pending),
+            "clean": self._clean,
+            "dirty": sorted(self._dirty),
+            "seq": dict(self._seq),
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "EGraph":
+        """Rebuild an e-graph from :meth:`export_state` output.
+
+        The operator index is repopulated from the stored class contents
+        (every class that holds an ``op`` node is registered for ``op``,
+        which keeps :meth:`candidate_classes` a sound over-approximation)
+        and the e-node/order caches start cold.
+        """
+        egraph = cls()
+        egraph._union_find = UnionFind.from_list(state["parents_array"])
+        for class_id, (nodes, parents) in state["classes"].items():
+            eclass = EClass(id=class_id, nodes=set(nodes),
+                            parents=list(parents))
+            egraph._classes[class_id] = eclass
+            for node in eclass.nodes:
+                egraph._op_classes.setdefault(node.op, set()).add(class_id)
+        egraph._hashcons = dict(state["hashcons"])
+        egraph._pending = list(state["pending"])
+        egraph._clean = bool(state["clean"])
+        egraph._dirty = set(state["dirty"])
+        egraph._seq = dict(state["seq"])
+        return egraph
+
     def dump(self, limit: int = 50) -> str:  # pragma: no cover - debugging aid
         """Return a human-readable dump of the first ``limit`` classes."""
         lines = []

@@ -305,6 +305,47 @@ class BackoffScheduler:
                 for name, state in sorted(self._states.items())
                 if state.times_banned}
 
+    # ------------------------------------------------------------------
+    # Snapshot support (repro.store)
+    # ------------------------------------------------------------------
+    def export_state(self) -> Dict[str, object]:
+        """Return the full scheduler state as plain Python containers.
+
+        Per-rule search debts are sets of canonical e-class ids; they are
+        exported sorted (``None`` = full-rescan debt) so snapshots do not
+        depend on ``PYTHONHASHSEED``.
+        """
+        return {
+            "match_limit": self.match_limit,
+            "ban_length": self.ban_length,
+            "budget_growth": self.budget_growth,
+            "ban_growth": self.ban_growth,
+            "iteration": self.iteration,
+            "rules": {
+                name: (state.times_banned, state.banned_until,
+                       None if state.pending is None else sorted(state.pending))
+                for name, state in sorted(self._states.items())
+            },
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "BackoffScheduler":
+        """Rebuild a scheduler from :meth:`export_state` output.
+
+        A resumed saturation run continues with exactly the bans, budgets
+        and search debts the checkpointed run had accumulated.
+        """
+        scheduler = cls(state["match_limit"], state["ban_length"],
+                        budget_growth=state["budget_growth"],
+                        ban_growth=state["ban_growth"])
+        scheduler.iteration = state["iteration"]
+        for name, (times_banned, banned_until, pending) in state["rules"].items():
+            scheduler._states[name] = _RuleBackoff(
+                times_banned=times_banned,
+                banned_until=banned_until,
+                pending=None if pending is None else set(pending))
+        return scheduler
+
 
 class _DirtyFrontier:
     """Lazily expands a dirty class set upward through parent pointers.

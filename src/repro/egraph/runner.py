@@ -23,13 +23,20 @@ stops with :data:`StopReason.RULES_BANNED`.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from .egraph import EGraph
 from .rewrite import BackoffScheduler, Rewrite, RuleStats, apply_rules
 
-__all__ = ["RunnerLimits", "IterationReport", "RunnerReport", "Runner", "StopReason"]
+__all__ = ["RunnerLimits", "IterationReport", "RunnerReport", "Runner",
+           "RunnerCheckpoint", "StopReason"]
+
+#: Default initial per-rule match budget (kept as a module constant so the
+#: deprecated ``max_matches_per_rule`` alias can tell an explicitly
+#: configured ``match_limit`` apart from the untouched default).
+DEFAULT_MATCH_LIMIT = 20_000
 
 
 class StopReason:
@@ -72,9 +79,24 @@ class RunnerLimits:
     max_nodes: int = 200_000
     max_classes: int = 100_000
     time_limit: float = 120.0
-    match_limit: Optional[int] = 20_000
+    match_limit: Optional[int] = DEFAULT_MATCH_LIMIT
     ban_length: int = 2
     max_matches_per_rule: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_matches_per_rule is None:
+            return
+        if (self.match_limit is not None
+                and self.match_limit != DEFAULT_MATCH_LIMIT):
+            raise ValueError(
+                "max_matches_per_rule (deprecated) cannot be combined with "
+                "an explicit match_limit: the alias builds its own flat "
+                "compatibility scheduler.  Drop the alias and configure "
+                "match_limit/ban_length instead.")
+        warnings.warn(
+            "max_matches_per_rule is deprecated; use match_limit/ban_length "
+            "(the alias builds a flat compatibility scheduler with "
+            "one-iteration bans)", DeprecationWarning, stacklevel=3)
 
     def build_scheduler(self) -> Optional[BackoffScheduler]:
         """Create the back-off scheduler for one run (fresh state each run)."""
@@ -131,6 +153,41 @@ class RunnerReport:
         return sum(self.scheduler_stats.values())
 
 
+@dataclass
+class RunnerCheckpoint:
+    """A resumable snapshot of a saturation run between two iterations.
+
+    Produced by :meth:`Runner.run` (``checkpoint_every``/``on_checkpoint``)
+    after an iteration's effects — including scheduler unbans and the dirty
+    frontier hand-off — have fully settled, so resuming replays the exact
+    remainder of the interrupted run.  The checkpoint *aliases* live runner
+    state (the report, the scheduler): persist it inside the callback (see
+    :func:`repro.store.codec.save_checkpoint`) before the run continues.
+
+    Attributes:
+        iteration: index of the next iteration to execute.
+        dirty: the delta-matching frontier for that iteration (``None`` =
+            full scan / non-incremental run).
+        limits: the run's resource limits.
+        incremental: effective incremental flag of the run.
+        debug_check_full: the run's cross-check flag (the verification pass
+            may insert e-nodes, so it must survive a resume).
+        report: the report accumulated so far (mutated as the run goes on).
+        scheduler: the live back-off scheduler (``None`` when disabled).
+        elapsed: wall-clock seconds consumed before the checkpoint; resumed
+            runs count it against ``limits.time_limit``.
+    """
+
+    iteration: int
+    dirty: Optional[List[int]]
+    limits: RunnerLimits
+    incremental: bool
+    debug_check_full: bool
+    report: RunnerReport
+    scheduler: Optional[BackoffScheduler]
+    elapsed: float = 0.0
+
+
 class Runner:
     """Equality-saturation driver, analogous to egg's ``Runner``.
 
@@ -158,21 +215,59 @@ class Runner:
         self.incremental = incremental
         self.debug_check_full = debug_check_full
 
-    def run(self, egraph: EGraph, rules: Sequence[Rewrite]) -> RunnerReport:
-        """Apply ``rules`` to ``egraph`` until saturation or a limit is hit."""
+    @classmethod
+    def from_checkpoint(cls, checkpoint: RunnerCheckpoint) -> "Runner":
+        """Build a runner configured exactly like the checkpointed run."""
+        return cls(checkpoint.limits,
+                   incremental=checkpoint.incremental,
+                   debug_check_full=checkpoint.debug_check_full)
+
+    def run(self, egraph: EGraph, rules: Sequence[Rewrite], *,
+            checkpoint_every: Optional[int] = None,
+            on_checkpoint: Optional[Callable[[RunnerCheckpoint], None]] = None,
+            resume_from: Optional[RunnerCheckpoint] = None) -> RunnerReport:
+        """Apply ``rules`` to ``egraph`` until saturation or a limit is hit.
+
+        Args:
+            checkpoint_every: invoke ``on_checkpoint`` after every this-many
+                completed iterations (counted from iteration 0 of the run,
+                so resumed runs keep the original cadence).  Checkpoints are
+                only taken when the run is about to continue — never after a
+                stop decision — so a restore always has work left to do.
+            on_checkpoint: callback receiving a :class:`RunnerCheckpoint`
+                that aliases live state; serialize it before returning.
+            resume_from: continue a checkpointed run instead of starting
+                fresh: the loop picks up at ``checkpoint.iteration`` with
+                the checkpoint's dirty frontier, scheduler and report, and
+                produces a final e-graph bit-identical to the uninterrupted
+                run (``tests/test_store.py`` holds this property across
+                hash seeds and schedulers).
+        """
         limits = self.limits
-        incremental = (self.incremental
-                       and all(rule.condition is None for rule in rules))
-        scheduler = limits.build_scheduler()
-        start = time.perf_counter()
-        report = RunnerReport(stop_reason=StopReason.ITERATION_LIMIT)
-        egraph.rebuild()
-        # Discard dirt accumulated before this run: iteration 0 scans the
-        # whole e-graph anyway, so pre-existing dirt would only bloat the
-        # frontier of iteration 1.
-        egraph.take_dirty()
-        dirty: Optional[List[int]] = None
-        for iteration in range(limits.max_iterations):
+        if resume_from is not None:
+            incremental = resume_from.incremental
+            scheduler = resume_from.scheduler
+            report = resume_from.report
+            dirty = resume_from.dirty
+            first_iteration = resume_from.iteration
+            # The checkpointed run already paid this much wall time; count
+            # it against the time budget of the resumed run.
+            start = time.perf_counter() - resume_from.elapsed
+            egraph.rebuild()  # no-op on a well-formed checkpoint
+        else:
+            incremental = (self.incremental
+                           and all(rule.condition is None for rule in rules))
+            scheduler = limits.build_scheduler()
+            report = RunnerReport(stop_reason=StopReason.ITERATION_LIMIT)
+            start = time.perf_counter()
+            egraph.rebuild()
+            # Discard dirt accumulated before this run: iteration 0 scans
+            # the whole e-graph anyway, so pre-existing dirt would only
+            # bloat the frontier of iteration 1.
+            egraph.take_dirty()
+            dirty = None
+            first_iteration = 0
+        for iteration in range(first_iteration, limits.max_iterations):
             if time.perf_counter() - start > limits.time_limit:
                 report.stop_reason = StopReason.TIME_LIMIT
                 break
@@ -198,20 +293,35 @@ class Runner:
                                     if stat.banned or stat.capped),
             ))
             if unions == 0:
-                if scheduler is not None and scheduler.outstanding():
-                    # Quiet only because rules are held back — lift the bans
-                    # (budgets stay grown) and keep going; the unbanned
-                    # rules re-search their recorded debt next iteration.
-                    scheduler.unban_all()
-                    continue
-                report.stop_reason = StopReason.SATURATED
-                break
-            if num_nodes > limits.max_nodes:
+                if scheduler is None or not scheduler.outstanding():
+                    report.stop_reason = StopReason.SATURATED
+                    break
+                # Quiet only because rules are held back — lift the bans
+                # (budgets stay grown) and keep going; the unbanned rules
+                # re-search their recorded debt next iteration.
+                scheduler.unban_all()
+            elif num_nodes > limits.max_nodes:
                 report.stop_reason = StopReason.NODE_LIMIT
                 break
-            if num_classes > limits.max_classes:
+            elif num_classes > limits.max_classes:
                 report.stop_reason = StopReason.CLASS_LIMIT
                 break
+            # The run continues past this iteration: every side effect —
+            # frontier hand-off, scheduler unbans — has settled, so this is
+            # the one safe place to checkpoint.
+            if (checkpoint_every is not None and on_checkpoint is not None
+                    and (iteration + 1) % checkpoint_every == 0
+                    and iteration + 1 < limits.max_iterations):
+                on_checkpoint(RunnerCheckpoint(
+                    iteration=iteration + 1,
+                    dirty=None if dirty is None else list(dirty),
+                    limits=limits,
+                    incremental=incremental,
+                    debug_check_full=self.debug_check_full,
+                    report=report,
+                    scheduler=scheduler,
+                    elapsed=time.perf_counter() - start,
+                ))
         if (report.stop_reason == StopReason.ITERATION_LIMIT
                 and scheduler is not None and scheduler.outstanding()):
             report.stop_reason = StopReason.RULES_BANNED

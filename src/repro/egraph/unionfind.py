@@ -52,3 +52,21 @@ class UnionFind:
     def in_same_set(self, a: int, b: int) -> bool:
         """Return True if ``a`` and ``b`` are currently equivalent."""
         return self.find(a) == self.find(b)
+
+    # ------------------------------------------------------------------
+    # Snapshot support (repro.store)
+    # ------------------------------------------------------------------
+    def to_list(self) -> List[int]:
+        """Return the raw parent array (a copy) for serialization.
+
+        The tree shape (path-compression state) is preserved so a restored
+        structure answers every :meth:`find` exactly like the original.
+        """
+        return list(self._parent)
+
+    @classmethod
+    def from_list(cls, parents: List[int]) -> "UnionFind":
+        """Rebuild a union-find from a parent array produced by :meth:`to_list`."""
+        instance = cls()
+        instance._parent = list(parents)
+        return instance

@@ -1,0 +1,173 @@
+"""Command-line inspector for repro.store artifact stores.
+
+Usage::
+
+    python -m repro.store [--root DIR] list
+    python -m repro.store [--root DIR] inspect KEY
+    python -m repro.store [--root DIR] verify
+    python -m repro.store [--root DIR] gc [--max-age-days D]
+                                          [--max-bytes N] [--dry-run]
+    python -m repro.store key  --arch csa --width 16 [pipeline options]
+    python -m repro.store warm --arch csa --width 16 [pipeline options]
+                               [--root DIR]
+
+``--root`` defaults to the ``REPRO_STORE_DIR`` environment variable, then
+``.repro-store``.  ``key`` prints the content-addressed cache key of a
+generated benchmark circuit's saturated e-graph (used by CI to key
+``actions/cache``); ``warm`` runs the pipeline against the store so the
+artifact exists — a no-op apart from extraction when already cached.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from .store import ArtifactStore
+
+_DEFAULT_ROOT = os.environ.get("REPRO_STORE_DIR", ".repro-store")
+
+
+def _add_circuit_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--arch", choices=("csa", "booth"), default="csa",
+                        help="benchmark multiplier architecture")
+    parser.add_argument("--width", type=int, default=16,
+                        help="multiplier bitwidth")
+    parser.add_argument("--r1-iterations", type=int, default=3)
+    parser.add_argument("--r2-iterations", type=int, default=3)
+    parser.add_argument("--match-limit", type=int, default=100_000)
+    parser.add_argument("--ban-length", type=int, default=2)
+
+
+def _pipeline_for(args):
+    # Deferred: the core pipeline (and the generators) are only needed by
+    # the key/warm commands, and repro.core itself imports repro.store.
+    from ..core import BoolEOptions, BoolEPipeline
+    from ..generators import booth_multiplier, csa_multiplier
+    from ..opt import post_mapping_flow
+
+    generator = csa_multiplier if args.arch == "csa" else booth_multiplier
+    mapped = post_mapping_flow(generator(args.width).aig)
+    options = BoolEOptions(r1_iterations=args.r1_iterations,
+                           r2_iterations=args.r2_iterations,
+                           match_limit=args.match_limit,
+                           ban_length=args.ban_length)
+    return BoolEPipeline(options), mapped
+
+
+def _format_size(size: int) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if size < 1024 or unit == "GiB":
+            return f"{size:.1f} {unit}" if unit != "B" else f"{size} B"
+        size /= 1024
+    return f"{size} B"  # pragma: no cover - unreachable
+
+
+def _cmd_list(store: ArtifactStore, _args) -> int:
+    entries = store.entries()
+    if not entries:
+        print(f"(empty store at {store.root})")
+        return 0
+    print(f"{'key':<16} {'kind':<20} {'size':>10}  {'created':<20} meta")
+    for entry in entries:
+        created = time.strftime("%Y-%m-%d %H:%M:%S",
+                                time.localtime(entry.created))
+        meta = json.dumps(entry.meta, sort_keys=True) if entry.meta else ""
+        print(f"{entry.key[:16]:<16} {entry.kind:<20} "
+              f"{_format_size(entry.size):>10}  {created:<20} {meta}")
+    print(f"total: {len(entries)} artifacts, "
+          f"{_format_size(store.total_bytes())}")
+    return 0
+
+
+def _cmd_inspect(store: ArtifactStore, args) -> int:
+    header = store.describe(args.key)
+    if header is None:
+        print(f"no artifact {args.key!r} in {store.root}", file=sys.stderr)
+        return 1
+    print(json.dumps(header, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_verify(store: ArtifactStore, _args) -> int:
+    report = store.verify()
+    print(json.dumps(report, indent=2, sort_keys=True))
+    return 1 if report["unreadable"] else 0
+
+
+def _cmd_gc(store: ArtifactStore, args) -> int:
+    removed = store.gc(
+        max_age_seconds=(None if args.max_age_days is None
+                         else args.max_age_days * 86_400.0),
+        max_total_bytes=args.max_bytes,
+        dry_run=args.dry_run)
+    verb = "would remove" if args.dry_run else "removed"
+    print(f"{verb} {len(removed)} artifact(s)")
+    for key in removed:
+        print(f"  {key}")
+    return 0
+
+
+def _cmd_key(_store: ArtifactStore, args) -> int:
+    pipeline, mapped = _pipeline_for(args)
+    print(pipeline.cache_key(mapped))
+    return 0
+
+
+def _cmd_warm(store: ArtifactStore, args) -> int:
+    pipeline, mapped = _pipeline_for(args)
+    key = pipeline.cache_key(mapped)
+    cached_before = store.contains(key)
+    start = time.perf_counter()
+    result = pipeline.run(mapped, store=store)
+    elapsed = time.perf_counter() - start
+    print(f"{args.arch}{args.width}: key={key[:16]}… "
+          f"{'hit' if cached_before else 'miss (saturated + stored)'} "
+          f"in {elapsed:.1f}s — {result.num_exact_fas} exact FAs, "
+          f"{result.egraph_classes} classes")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.store",
+        description="Inspect and maintain a repro.store artifact store.")
+    parser.add_argument("--root", default=_DEFAULT_ROOT,
+                        help=f"store directory (default: {_DEFAULT_ROOT})")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list indexed artifacts")
+    inspect = commands.add_parser("inspect",
+                                  help="show one artifact's header")
+    inspect.add_argument("key")
+    commands.add_parser("verify",
+                        help="cross-check index against object files")
+    gc = commands.add_parser("gc", help="evict artifacts")
+    gc.add_argument("--max-age-days", type=float, default=None)
+    gc.add_argument("--max-bytes", type=int, default=None)
+    gc.add_argument("--dry-run", action="store_true")
+    key = commands.add_parser(
+        "key", help="print a benchmark circuit's saturated-cache key")
+    _add_circuit_options(key)
+    warm = commands.add_parser(
+        "warm", help="saturate (or load) a benchmark circuit via the store")
+    _add_circuit_options(warm)
+
+    args = parser.parse_args(argv)
+    store = ArtifactStore(args.root)
+    handler = {
+        "list": _cmd_list,
+        "inspect": _cmd_inspect,
+        "verify": _cmd_verify,
+        "gc": _cmd_gc,
+        "key": _cmd_key,
+        "warm": _cmd_warm,
+    }[args.command]
+    return handler(store, args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

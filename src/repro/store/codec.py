@@ -1,0 +1,438 @@
+"""Versioned snapshot codec for e-graphs and resumable saturation runs.
+
+The codec turns the in-memory state exported by
+:meth:`repro.egraph.EGraph.export_state`,
+:meth:`repro.egraph.BackoffScheduler.export_state` and
+:class:`repro.egraph.RunnerCheckpoint` into a compact JSON *wire form* and
+back, and reads/writes the wire form as gzip-compressed snapshot files.
+
+Design points:
+
+* **Interning.**  E-nodes appear many times (class node sets, parent
+  lists, the hashcons); each distinct node is written once into a node
+  table and referenced by index, with operators and leaf payloads interned
+  into their own tables.
+* **Determinism.**  Collections are serialized in the stable orders the
+  e-graph hands out (class ids ascending, nodes by
+  :func:`~repro.egraph.egraph.enode_sort_key`) and JSON is written with
+  sorted keys, so snapshotting the same e-graph twice — under any
+  ``PYTHONHASHSEED`` — produces byte-identical files (gzip is written with
+  a zeroed mtime for the same reason).
+* **Versioning.**  Every file carries ``codec_version``; loading a
+  mismatched version raises :class:`SnapshotVersionError`.  The version
+  also salts every fingerprint (:mod:`repro.store.fingerprint`), so a
+  codec bump invalidates all previously cached artifacts at the key level
+  — stale snapshots are never even opened.
+* **Atomicity.**  Files are written to a temporary sibling and
+  ``os.replace``d into place, so readers never observe a half-written
+  snapshot and a crashed writer leaves at most a ``*.tmp*`` file for GC.
+
+The derived e-graph structures (operator index, e-node cache, class
+order) are *not* serialized; ``EGraph.from_state`` rebuilds them on load.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+import os
+import tempfile
+import warnings
+from pathlib import Path
+from typing import Dict, Hashable, List, Optional, Tuple, Union
+
+from ..egraph import (
+    BackoffScheduler,
+    EGraph,
+    ENode,
+    IterationReport,
+    RuleStats,
+    RunnerCheckpoint,
+    RunnerLimits,
+    RunnerReport,
+)
+
+__all__ = [
+    "CODEC_VERSION",
+    "SNAPSHOT_FORMAT",
+    "KIND_EGRAPH",
+    "KIND_CHECKPOINT",
+    "KIND_SATURATED",
+    "SnapshotError",
+    "SnapshotVersionError",
+    "egraph_to_wire",
+    "egraph_from_wire",
+    "scheduler_to_wire",
+    "scheduler_from_wire",
+    "report_to_wire",
+    "report_from_wire",
+    "checkpoint_to_wire",
+    "checkpoint_from_wire",
+    "write_snapshot",
+    "read_snapshot",
+    "save_egraph",
+    "load_egraph",
+    "save_checkpoint",
+    "load_checkpoint",
+]
+
+#: Bump on any change to the wire layout below.  The version is embedded in
+#: every snapshot file *and* salts every content fingerprint, so a bump
+#: atomically invalidates all cached artifacts.
+CODEC_VERSION = 1
+
+SNAPSHOT_FORMAT = "repro.store/snapshot"
+
+#: Snapshot file kinds written by this module / the pipeline cache.
+KIND_EGRAPH = "egraph"
+KIND_CHECKPOINT = "checkpoint"
+KIND_SATURATED = "saturated-pipeline"
+
+
+class SnapshotError(RuntimeError):
+    """A snapshot file is malformed or of an unexpected kind."""
+
+
+class SnapshotVersionError(SnapshotError):
+    """A snapshot was written by a different codec version."""
+
+
+# ----------------------------------------------------------------------
+# E-node interning
+# ----------------------------------------------------------------------
+class _NodeTable:
+    """Interns operators, leaf payloads and e-nodes into index tables."""
+
+    def __init__(self) -> None:
+        self.ops: List[str] = []
+        self._op_index: Dict[str, int] = {}
+        self.payloads: List[List] = []
+        self._payload_index: Dict[Tuple[str, Hashable], int] = {}
+        self.nodes: List[List] = []
+        self._node_index: Dict[ENode, int] = {}
+
+    def _intern_op(self, op: str) -> int:
+        index = self._op_index.get(op)
+        if index is None:
+            index = self._op_index[op] = len(self.ops)
+            self.ops.append(op)
+        return index
+
+    def _intern_payload(self, payload: Hashable) -> int:
+        if payload is None:
+            return -1
+        if isinstance(payload, bool):
+            wire = ["b", payload]
+        elif isinstance(payload, str):
+            wire = ["s", payload]
+        elif isinstance(payload, int):
+            wire = ["i", payload]
+        else:
+            raise SnapshotError(
+                f"cannot serialize e-node payload of type "
+                f"{type(payload).__name__!r} (supported: str, bool, int)")
+        key = (wire[0], payload)
+        index = self._payload_index.get(key)
+        if index is None:
+            index = self._payload_index[key] = len(self.payloads)
+            self.payloads.append(wire)
+        return index
+
+    def intern(self, node: ENode) -> int:
+        index = self._node_index.get(node)
+        if index is None:
+            index = self._node_index[node] = len(self.nodes)
+            self.nodes.append([self._intern_op(node.op),
+                               list(node.children),
+                               self._intern_payload(node.payload)])
+        return index
+
+
+def _decode_payload(wire) -> Hashable:
+    tag, value = wire
+    if tag == "b":
+        return bool(value)
+    if tag == "s":
+        return str(value)
+    if tag == "i":
+        return int(value)
+    raise SnapshotError(f"unknown payload tag {tag!r}")
+
+
+def _decode_nodes(wire: Dict) -> List[ENode]:
+    ops = wire["ops"]
+    payloads = [_decode_payload(entry) for entry in wire["payloads"]]
+    return [ENode(ops[op_i], tuple(children),
+                  None if payload_i < 0 else payloads[payload_i])
+            for op_i, children, payload_i in wire["nodes"]]
+
+
+# ----------------------------------------------------------------------
+# E-graph wire form
+# ----------------------------------------------------------------------
+def egraph_to_wire(egraph: EGraph) -> Dict:
+    """Encode the complete e-graph state as a JSON-serializable dict."""
+    state = egraph.export_state()
+    table = _NodeTable()
+    classes = [
+        [class_id,
+         [table.intern(node) for node in nodes],
+         [[table.intern(node), parent_class]
+          for node, parent_class in parents]]
+        for class_id, (nodes, parents) in state["classes"].items()
+    ]
+    hashcons = [[table.intern(node), class_id]
+                for node, class_id in state["hashcons"].items()]
+    seq = state["seq"]
+    return {
+        "parents_array": state["parents_array"],
+        "clean": state["clean"],
+        "pending": state["pending"],
+        "dirty": state["dirty"],
+        "seq": [[class_id, seq[class_id]] for class_id in sorted(seq)],
+        "ops": table.ops,
+        "payloads": table.payloads,
+        "nodes": table.nodes,
+        "classes": classes,
+        "hashcons": hashcons,
+    }
+
+
+def egraph_from_wire(wire: Dict) -> EGraph:
+    """Decode :func:`egraph_to_wire` output back into a live e-graph."""
+    nodes = _decode_nodes(wire)
+    state = {
+        "parents_array": wire["parents_array"],
+        "classes": {
+            class_id: ([nodes[i] for i in node_indices],
+                       [(nodes[i], parent_class)
+                        for i, parent_class in parents])
+            for class_id, node_indices, parents in wire["classes"]
+        },
+        "hashcons": {nodes[i]: class_id for i, class_id in wire["hashcons"]},
+        "pending": list(wire["pending"]),
+        "clean": wire["clean"],
+        "dirty": list(wire["dirty"]),
+        "seq": {class_id: seq for class_id, seq in wire["seq"]},
+    }
+    return EGraph.from_state(state)
+
+
+# ----------------------------------------------------------------------
+# Scheduler / report / checkpoint wire forms
+# ----------------------------------------------------------------------
+def scheduler_to_wire(scheduler: Optional[BackoffScheduler]) -> Optional[Dict]:
+    """Encode a back-off scheduler (``None`` passes through)."""
+    if scheduler is None:
+        return None
+    return scheduler.export_state()
+
+
+def scheduler_from_wire(wire: Optional[Dict]) -> Optional[BackoffScheduler]:
+    """Decode :func:`scheduler_to_wire` output."""
+    if wire is None:
+        return None
+    return BackoffScheduler.from_state(wire)
+
+
+def report_to_wire(report: RunnerReport) -> Dict:
+    """Encode a :class:`RunnerReport` (rule stats included)."""
+    return {
+        "stop_reason": report.stop_reason,
+        "total_time": report.total_time,
+        "scheduler_stats": dict(report.scheduler_stats),
+        "iterations": [
+            {
+                "index": it.index,
+                "num_classes": it.num_classes,
+                "num_nodes": it.num_nodes,
+                "unions": it.unions,
+                "elapsed": it.elapsed,
+                "frontier_size": it.frontier_size,
+                "banned_rules": list(it.banned_rules),
+                "rule_stats": {
+                    name: [stat.matches, stat.applications, stat.unions,
+                           stat.capped, stat.banned]
+                    for name, stat in sorted(it.rule_stats.items())
+                },
+            }
+            for it in report.iterations
+        ],
+    }
+
+
+def report_from_wire(wire: Dict) -> RunnerReport:
+    """Decode :func:`report_to_wire` output."""
+    report = RunnerReport(stop_reason=wire["stop_reason"],
+                          total_time=wire["total_time"],
+                          scheduler_stats=dict(wire["scheduler_stats"]))
+    for entry in wire["iterations"]:
+        report.iterations.append(IterationReport(
+            index=entry["index"],
+            num_classes=entry["num_classes"],
+            num_nodes=entry["num_nodes"],
+            unions=entry["unions"],
+            elapsed=entry["elapsed"],
+            rule_stats={
+                name: RuleStats(matches=values[0], applications=values[1],
+                                unions=values[2], capped=values[3],
+                                banned=values[4])
+                for name, values in entry["rule_stats"].items()
+            },
+            frontier_size=entry["frontier_size"],
+            banned_rules=list(entry["banned_rules"]),
+        ))
+    return report
+
+
+def _limits_to_wire(limits: RunnerLimits) -> Dict:
+    return {
+        "max_iterations": limits.max_iterations,
+        "max_nodes": limits.max_nodes,
+        "max_classes": limits.max_classes,
+        "time_limit": limits.time_limit,
+        "match_limit": limits.match_limit,
+        "ban_length": limits.ban_length,
+        "max_matches_per_rule": limits.max_matches_per_rule,
+    }
+
+
+def _limits_from_wire(wire: Dict) -> RunnerLimits:
+    with warnings.catch_warnings():
+        # Restoring a checkpoint that was (legitimately) created through the
+        # deprecated alias must not re-warn.
+        warnings.simplefilter("ignore", DeprecationWarning)
+        return RunnerLimits(**wire)
+
+
+def checkpoint_to_wire(checkpoint: RunnerCheckpoint) -> Dict:
+    """Encode runner-resume state (the e-graph travels separately)."""
+    return {
+        "iteration": checkpoint.iteration,
+        "dirty": checkpoint.dirty,
+        "incremental": checkpoint.incremental,
+        "debug_check_full": checkpoint.debug_check_full,
+        "elapsed": checkpoint.elapsed,
+        "limits": _limits_to_wire(checkpoint.limits),
+        "report": report_to_wire(checkpoint.report),
+        "scheduler": scheduler_to_wire(checkpoint.scheduler),
+    }
+
+
+def checkpoint_from_wire(wire: Dict) -> RunnerCheckpoint:
+    """Decode :func:`checkpoint_to_wire` output."""
+    return RunnerCheckpoint(
+        iteration=wire["iteration"],
+        dirty=None if wire["dirty"] is None else list(wire["dirty"]),
+        limits=_limits_from_wire(wire["limits"]),
+        incremental=wire["incremental"],
+        debug_check_full=wire["debug_check_full"],
+        report=report_from_wire(wire["report"]),
+        scheduler=scheduler_from_wire(wire["scheduler"]),
+        elapsed=wire["elapsed"],
+    )
+
+
+# ----------------------------------------------------------------------
+# Snapshot file I/O
+# ----------------------------------------------------------------------
+def write_snapshot(path: Union[str, Path], kind: str, payload: Dict,
+                   meta: Optional[Dict] = None) -> Path:
+    """Atomically write a versioned, gzip-compressed snapshot file.
+
+    The document is JSON with sorted keys inside a gzip stream whose mtime
+    field is zeroed, so identical state produces byte-identical files.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    document = {
+        "format": SNAPSHOT_FORMAT,
+        "codec_version": CODEC_VERSION,
+        "kind": kind,
+        "meta": meta or {},
+        "payload": payload,
+    }
+    handle, tmp_name = tempfile.mkstemp(dir=path.parent,
+                                        prefix=path.name, suffix=".tmp")
+    try:
+        with os.fdopen(handle, "wb") as raw:
+            with gzip.GzipFile(fileobj=raw, mode="wb", mtime=0) as zipped:
+                zipped.write(json.dumps(
+                    document, sort_keys=True,
+                    separators=(",", ":")).encode("utf-8"))
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def read_snapshot(path: Union[str, Path],
+                  expected_kind: Optional[str] = None) -> Dict:
+    """Read a snapshot document, validating format, version and kind."""
+    path = Path(path)
+    try:
+        with gzip.open(path, "rb") as stream:
+            document = json.loads(stream.read().decode("utf-8"))
+    except (OSError, ValueError) as error:
+        raise SnapshotError(f"cannot read snapshot {path}: {error}") from error
+    if not isinstance(document, dict) or document.get("format") != SNAPSHOT_FORMAT:
+        raise SnapshotError(f"{path} is not a {SNAPSHOT_FORMAT} file")
+    version = document.get("codec_version")
+    if version != CODEC_VERSION:
+        raise SnapshotVersionError(
+            f"{path} was written by codec version {version}, "
+            f"this build reads version {CODEC_VERSION}")
+    if expected_kind is not None and document.get("kind") != expected_kind:
+        raise SnapshotError(
+            f"{path} holds a {document.get('kind')!r} snapshot, "
+            f"expected {expected_kind!r}")
+    return document
+
+
+def save_egraph(path: Union[str, Path], egraph: EGraph,
+                meta: Optional[Dict] = None) -> Path:
+    """Write a standalone e-graph snapshot."""
+    return write_snapshot(path, KIND_EGRAPH,
+                          {"egraph": egraph_to_wire(egraph)}, meta=meta)
+
+
+def load_egraph(path: Union[str, Path]) -> EGraph:
+    """Load a standalone e-graph snapshot."""
+    document = read_snapshot(path, expected_kind=KIND_EGRAPH)
+    return egraph_from_wire(document["payload"]["egraph"])
+
+
+def save_checkpoint(path: Union[str, Path], egraph: EGraph,
+                    checkpoint: RunnerCheckpoint,
+                    meta: Optional[Dict] = None) -> Path:
+    """Write a mid-saturation checkpoint (e-graph + runner state).
+
+    Intended to be called from a :meth:`Runner.run` ``on_checkpoint``
+    callback — the snapshot is fully materialised before the call returns,
+    so the run may keep mutating the live objects afterwards.
+    """
+    payload = {
+        "egraph": egraph_to_wire(egraph),
+        "runner": checkpoint_to_wire(checkpoint),
+    }
+    return write_snapshot(path, KIND_CHECKPOINT, payload, meta=meta)
+
+
+def load_checkpoint(path: Union[str, Path]
+                    ) -> Tuple[EGraph, RunnerCheckpoint]:
+    """Load a checkpoint; returns the restored e-graph and runner state.
+
+    Resume with::
+
+        egraph, checkpoint = load_checkpoint(path)
+        report = Runner.from_checkpoint(checkpoint).run(
+            egraph, rules, resume_from=checkpoint)
+    """
+    document = read_snapshot(path, expected_kind=KIND_CHECKPOINT)
+    payload = document["payload"]
+    return (egraph_from_wire(payload["egraph"]),
+            checkpoint_from_wire(payload["runner"]))

@@ -1,0 +1,147 @@
+"""Stable content fingerprints for cacheable saturation inputs.
+
+A saturated e-graph is (since the determinism work of PR 2) a pure
+function of three inputs: the netlist, the pipeline options and the
+ruleset.  Each gets a SHA-256 fingerprint over a canonical serialization,
+salted with the snapshot codec version, and the three fingerprints
+combine into a single content-addressed cache key
+(:func:`pipeline_cache_key`).  Identical inputs — across processes,
+machines and ``PYTHONHASHSEED`` values — always map to the same key;
+*any* difference that can change the saturated e-graph changes the key.
+
+Invalidation rules (see ``docs/serialization.md``):
+
+* the codec version salts every digest, so a wire-format bump orphans all
+  old artifacts at the key level;
+* AIG fingerprints cover structure and signal names but **not** the
+  netlist's display name, so structurally identical circuits share cache
+  entries;
+* option fingerprints cover every field except ``extract`` (extraction
+  runs after the cache boundary); unknown future fields are picked up
+  automatically via ``dataclasses.fields``;
+* ruleset fingerprints cover each rule's name, pattern text, direction,
+  group and the qualified names of condition/applier callables.  A change
+  to a callable's *body* is invisible to the fingerprint — pass a new
+  ``revision`` tag (or bump the codec version) when editing rule
+  semantics in place.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Iterable, Sequence
+
+from ..aig import AIG
+from ..egraph import Rewrite
+from .codec import CODEC_VERSION
+
+__all__ = [
+    "canonical_digest",
+    "combine_cache_key",
+    "fingerprint_aig",
+    "fingerprint_options",
+    "fingerprint_ruleset",
+    "pipeline_cache_key",
+]
+
+
+def canonical_digest(payload) -> str:
+    """SHA-256 hex digest of a JSON-serializable payload, codec-salted.
+
+    The payload is rendered as canonical JSON (sorted keys, no
+    whitespace); the digest input is prefixed with the codec version so
+    every wire-format bump invalidates all derived cache keys.
+    """
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    digest = hashlib.sha256()
+    digest.update(f"repro.store/v{CODEC_VERSION}\0".encode("utf-8"))
+    digest.update(canonical.encode("utf-8"))
+    return digest.hexdigest()
+
+
+def fingerprint_aig(aig: AIG) -> str:
+    """Fingerprint an AIG's structure and signal names.
+
+    Covers inputs (variable indices and names), every AND gate and every
+    output literal/name.  The netlist's display ``name`` is deliberately
+    excluded: it does not influence saturation, and excluding it lets
+    structurally identical circuits share cached artifacts.
+    """
+    return canonical_digest({
+        "kind": "aig",
+        "inputs": [[var, aig.input_names[var]] for var in aig.inputs],
+        "gates": [[gate.out_var, gate.fanin0, gate.fanin1]
+                  for gate in aig.gates],
+        "outputs": [[lit, name]
+                    for lit, name in zip(aig.outputs, aig.output_names)],
+    })
+
+
+def fingerprint_options(options) -> str:
+    """Fingerprint a :class:`~repro.core.pipeline.BoolEOptions` instance.
+
+    Every dataclass field except ``extract`` participates: extraction runs
+    *after* the cache boundary, so two configurations differing only in
+    ``extract`` share the saturated artifact.  Fields added in future
+    revisions are included automatically, which errs on the side of cache
+    misses rather than wrong hits.
+    """
+    payload = {field.name: getattr(options, field.name)
+               for field in dataclasses.fields(options)
+               if field.name != "extract"}
+    return canonical_digest({"kind": "options", "fields": payload})
+
+
+def _describe_callable(func) -> str:
+    if func is None:
+        return ""
+    return f"{getattr(func, '__module__', '?')}.{getattr(func, '__qualname__', repr(func))}"
+
+
+def fingerprint_ruleset(rules: Iterable[Rewrite],
+                        revision: str = "") -> str:
+    """Fingerprint a ruleset by each rule's observable definition.
+
+    ``revision`` is an opaque tag mixed into the digest; rule modules can
+    bump it when a condition/applier *body* changes (the fingerprint only
+    sees callables' qualified names).
+    """
+    return canonical_digest({
+        "kind": "ruleset",
+        "revision": revision,
+        "rules": [
+            [rule.name, str(rule.lhs), str(rule.rhs), rule.bidirectional,
+             rule.group, _describe_callable(rule.condition),
+             _describe_callable(rule.applier)]
+            for rule in rules
+        ],
+    })
+
+
+def combine_cache_key(aig_fingerprint: str, options_fingerprint: str,
+                      ruleset_fingerprints: Sequence[str]) -> str:
+    """Combine already-computed fingerprints into one store key.
+
+    Split out from :func:`pipeline_cache_key` so callers that probe many
+    netlists under one configuration (the pipeline, the batch driver) can
+    compute the options/ruleset fingerprints once and vary only the AIG.
+    """
+    return canonical_digest({
+        "kind": "pipeline-cache-key",
+        "aig": aig_fingerprint,
+        "options": options_fingerprint,
+        "rulesets": list(ruleset_fingerprints),
+    })
+
+
+def pipeline_cache_key(aig: AIG, options,
+                       rulesets: Sequence[Iterable[Rewrite]],
+                       revision: str = "") -> str:
+    """Combine input fingerprints into one content-addressed store key."""
+    return combine_cache_key(
+        fingerprint_aig(aig),
+        fingerprint_options(options),
+        [fingerprint_ruleset(rules, revision=revision)
+         for rules in rulesets])

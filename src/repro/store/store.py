@@ -1,0 +1,279 @@
+"""Content-addressed on-disk artifact store for e-graph snapshots.
+
+Layout (all under one root directory)::
+
+    <root>/
+      objects/<k[:2]>/<key>.json.gz   # snapshot files (codec wire format)
+      index.json                      # advisory metadata index
+
+Artifacts are addressed by the SHA-256 content key of their *inputs*
+(:mod:`repro.store.fingerprint`), never by position or name, so a store
+can be shared between branches, machines and CI runs: an entry is either
+exactly the artifact you asked for or absent.
+
+Concurrency/atomicity model: object files are written via temp-file +
+``os.replace`` (readers never see partial snapshots, concurrent writers
+of the same key race benignly — both write identical bytes).  The index
+is *advisory*: it is rewritten atomically under an in-process lock, and a
+lost update (two processes writing simultaneously) loses only metadata,
+never objects — :meth:`verify` re-adopts any orphaned object file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from .codec import SnapshotError, read_snapshot, write_snapshot
+
+__all__ = ["ArtifactStore", "StoreEntry"]
+
+_KEY_RE = re.compile(r"^[0-9a-f]{8,64}$")
+_OBJECT_SUFFIX = ".json.gz"
+
+
+@dataclass
+class StoreEntry:
+    """Index record of one stored artifact."""
+
+    key: str
+    kind: str
+    created: float
+    size: int
+    meta: Dict = field(default_factory=dict)
+
+
+class ArtifactStore:
+    """A content-addressed store of snapshot artifacts.
+
+    Example::
+
+        store = ArtifactStore("~/.cache/repro-store")
+        store.put(key, {"egraph": wire}, kind="egraph", meta={"width": 16})
+        payload = store.get(key)        # None on miss
+
+    Args:
+        root: store directory (created on first write; ``~`` expanded).
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root).expanduser()
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+    @property
+    def _objects_dir(self) -> Path:
+        return self.root / "objects"
+
+    @property
+    def _index_path(self) -> Path:
+        return self.root / "index.json"
+
+    def path_for(self, key: str) -> Path:
+        """Object-file path of ``key`` (the file may not exist)."""
+        self._check_key(key)
+        return self._objects_dir / key[:2] / f"{key}{_OBJECT_SUFFIX}"
+
+    @staticmethod
+    def _check_key(key: str) -> None:
+        if not _KEY_RE.match(key):
+            raise ValueError(f"invalid store key {key!r} (want lowercase hex)")
+
+    # ------------------------------------------------------------------
+    # Core operations
+    # ------------------------------------------------------------------
+    def contains(self, key: str) -> bool:
+        """True when an artifact for ``key`` is on disk."""
+        return self.path_for(key).exists()
+
+    def put(self, key: str, payload: Dict, *, kind: str,
+            meta: Optional[Dict] = None) -> Path:
+        """Store ``payload`` under ``key``; returns the object path.
+
+        Writing the same key twice is idempotent (content addressing makes
+        the bytes identical); the index keeps the latest metadata.
+        """
+        path = self.path_for(key)
+        write_snapshot(path, kind, payload, meta=meta)
+        self._index_update(key, StoreEntry(
+            key=key, kind=kind, created=time.time(),
+            size=path.stat().st_size, meta=dict(meta or {})))
+        return path
+
+    def get(self, key: str, *,
+            expected_kind: Optional[str] = None) -> Optional[Dict]:
+        """Return the stored payload for ``key``, or ``None`` on a miss.
+
+        A hit bumps the object's mtime so :meth:`gc` can evict least
+        recently *used* (not written) artifacts.
+        """
+        path = self.path_for(key)
+        if not path.exists():
+            return None
+        document = read_snapshot(path, expected_kind=expected_kind)
+        try:
+            os.utime(path)
+        except OSError:  # pragma: no cover - mtime bump is best-effort
+            pass
+        return document["payload"]
+
+    def describe(self, key: str) -> Optional[Dict]:
+        """Return a stored artifact's header (kind, meta, size) sans payload."""
+        path = self.path_for(key)
+        if not path.exists():
+            return None
+        document = read_snapshot(path)
+        return {
+            "key": key,
+            "kind": document["kind"],
+            "codec_version": document["codec_version"],
+            "meta": document["meta"],
+            "size": path.stat().st_size,
+        }
+
+    # ------------------------------------------------------------------
+    # Index
+    # ------------------------------------------------------------------
+    def _read_index(self) -> Dict[str, Dict]:
+        try:
+            with open(self._index_path, "r", encoding="utf-8") as stream:
+                data = json.load(stream)
+            return data if isinstance(data, dict) else {}
+        except (OSError, ValueError):
+            return {}
+
+    def _write_index(self, index: Dict[str, Dict]) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        handle, tmp_name = tempfile.mkstemp(dir=self.root,
+                                            prefix="index", suffix=".tmp")
+        with os.fdopen(handle, "w", encoding="utf-8") as stream:
+            json.dump(index, stream, sort_keys=True, indent=1)
+        os.replace(tmp_name, self._index_path)
+
+    def _index_update(self, key: str, entry: StoreEntry) -> None:
+        with self._lock:
+            index = self._read_index()
+            index[key] = {"kind": entry.kind, "created": entry.created,
+                          "size": entry.size, "meta": entry.meta}
+            self._write_index(index)
+
+    def entries(self) -> List[StoreEntry]:
+        """Indexed artifacts, newest first."""
+        index = self._read_index()
+        listed = [StoreEntry(key=key, kind=record.get("kind", "?"),
+                             created=record.get("created", 0.0),
+                             size=record.get("size", 0),
+                             meta=record.get("meta", {}))
+                  for key, record in index.items()]
+        return sorted(listed, key=lambda entry: -entry.created)
+
+    def total_bytes(self) -> int:
+        """Total size of all object files on disk."""
+        if not self._objects_dir.exists():
+            return 0
+        return sum(path.stat().st_size
+                   for path in self._objects_dir.rglob("*" + _OBJECT_SUFFIX))
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def _object_files(self) -> List[Path]:
+        if not self._objects_dir.exists():
+            return []
+        return sorted(self._objects_dir.rglob("*" + _OBJECT_SUFFIX))
+
+    def verify(self) -> Dict[str, List[str]]:
+        """Cross-check index and objects; adopt orphans, drop ghosts.
+
+        Returns a report dict: ``unreadable`` objects (corrupt/obsolete
+        codec — left in place for :meth:`gc`), ``adopted`` object keys that
+        were missing from the index, and ``dropped`` index entries whose
+        object files are gone.
+        """
+        report: Dict[str, List[str]] = {
+            "unreadable": [], "adopted": [], "dropped": []}
+        with self._lock:
+            index = self._read_index()
+            on_disk = {}
+            for path in self._object_files():
+                key = path.name[:-len(_OBJECT_SUFFIX)]
+                try:
+                    document = read_snapshot(path)
+                except SnapshotError:
+                    report["unreadable"].append(str(path))
+                    continue
+                on_disk[key] = (path, document)
+            for key, (path, document) in on_disk.items():
+                if key not in index:
+                    index[key] = {"kind": document["kind"],
+                                  "created": path.stat().st_mtime,
+                                  "size": path.stat().st_size,
+                                  "meta": document["meta"]}
+                    report["adopted"].append(key)
+            for key in list(index):
+                if key not in on_disk:
+                    del index[key]
+                    report["dropped"].append(key)
+            self._write_index(index)
+        return report
+
+    def gc(self, *, max_age_seconds: Optional[float] = None,
+           max_total_bytes: Optional[int] = None,
+           dry_run: bool = False) -> List[str]:
+        """Evict artifacts; returns the removed (or would-remove) keys.
+
+        Policy, applied in order:
+
+        1. objects that cannot be read (corrupt, or written by another
+           codec version) are always eligible;
+        2. objects unused for more than ``max_age_seconds`` (mtime is
+           bumped on every :meth:`get` hit);
+        3. oldest-used objects beyond ``max_total_bytes``.
+
+        With neither limit set, only unreadable objects are collected.
+        """
+        now = time.time()
+        removed: List[str] = []
+        survivors: List[Path] = []
+        for path in self._object_files():
+            key = path.name[:-len(_OBJECT_SUFFIX)]
+            try:
+                read_snapshot(path)
+            except SnapshotError:
+                removed.append(key)
+                if not dry_run:
+                    path.unlink(missing_ok=True)
+                continue
+            if (max_age_seconds is not None
+                    and now - path.stat().st_mtime > max_age_seconds):
+                removed.append(key)
+                if not dry_run:
+                    path.unlink(missing_ok=True)
+                continue
+            survivors.append(path)
+        if max_total_bytes is not None:
+            # Evict least-recently-used until under budget.
+            survivors.sort(key=lambda p: p.stat().st_mtime)
+            total = sum(path.stat().st_size for path in survivors)
+            while survivors and total > max_total_bytes:
+                path = survivors.pop(0)
+                total -= path.stat().st_size
+                removed.append(path.name[:-len(_OBJECT_SUFFIX)])
+                if not dry_run:
+                    path.unlink(missing_ok=True)
+        if not dry_run and removed:
+            with self._lock:
+                index = self._read_index()
+                for key in removed:
+                    index.pop(key, None)
+                self._write_index(index)
+        return removed

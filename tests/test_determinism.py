@@ -16,6 +16,7 @@ import json
 import os
 import subprocess
 import sys
+import warnings
 from pathlib import Path
 
 import pytest
@@ -304,7 +305,8 @@ class TestRunnerBackoffAccounting:
                    for it in report.iterations[1:])
 
     def test_deprecated_flat_cap_builds_flat_scheduler(self):
-        limits = RunnerLimits(max_matches_per_rule=7)
+        with pytest.warns(DeprecationWarning):
+            limits = RunnerLimits(max_matches_per_rule=7)
         scheduler = limits.build_scheduler()
         assert scheduler.budget("any") == 7
         scheduler.begin_iteration()
@@ -326,6 +328,69 @@ class TestRunnerBackoffAccounting:
         for i in range(pairs):
             eg.add_expr(("&", f"a{i}", f"b{i}"))
         return eg
+
+
+class TestDeprecatedAliasCoverage:
+    """The deprecated ``max_matches_per_rule`` alias: it must warn loudly,
+    refuse to coexist with an explicit scheduler configuration, and still
+    work (flat compatibility scheduler) in both the Runner and the
+    BoolEOptions paths."""
+
+    def test_runner_limits_alias_warns(self):
+        with pytest.warns(DeprecationWarning, match="max_matches_per_rule"):
+            limits = RunnerLimits(max_matches_per_rule=5)
+        assert limits.build_scheduler().budget("any") == 5
+
+    def test_runner_limits_alias_with_explicit_match_limit_raises(self):
+        with pytest.raises(ValueError, match="match_limit"):
+            RunnerLimits(match_limit=5_000, max_matches_per_rule=5)
+
+    def test_runner_limits_alias_with_disabled_backoff_allowed(self):
+        """``match_limit=None`` is not an explicit scheduler config — the
+        alias may override it (the bench flat-cap series relies on this)."""
+        with pytest.warns(DeprecationWarning):
+            limits = RunnerLimits(match_limit=None, max_matches_per_rule=5)
+        scheduler = limits.build_scheduler()
+        assert scheduler is not None
+        assert scheduler.ban_growth == 1  # flat: windows never grow
+
+    def test_boole_options_alias_warns(self):
+        from repro.core import BoolEOptions
+
+        with pytest.warns(DeprecationWarning, match="max_matches_per_rule"):
+            options = BoolEOptions(max_matches_per_rule=5)
+        assert options.max_matches_per_rule == 5
+
+    def test_boole_options_alias_with_explicit_match_limit_raises(self):
+        from repro.core import BoolEOptions
+
+        with pytest.raises(ValueError, match="match_limit"):
+            BoolEOptions(match_limit=50, max_matches_per_rule=5)
+
+    def test_pipeline_runs_flat_scheduler_through_alias(self):
+        """End-to-end: the alias drives a flat scheduler inside the
+        pipeline without re-warning per phase, and the run completes."""
+        from repro.core import BoolEOptions, BoolEPipeline
+
+        with pytest.warns(DeprecationWarning):
+            options = BoolEOptions(r1_iterations=4, r2_iterations=1,
+                                   match_limit=None, max_matches_per_rule=4,
+                                   extract=False, count_npn=False)
+        aig = AIG(name="tiny")
+        a, b, c = (aig.add_input(name) for name in "abc")
+        aig.add_output(aig.and_(aig.and_(a, b), c), "f")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            result = BoolEPipeline(options).run(aig)
+        assert result.r1_report.num_iterations >= 1
+
+    def test_apply_rules_alias_with_explicit_scheduler_raises(self):
+        eg = EGraph()
+        eg.add_expr(("&", "a", "b"))
+        rule = Rewrite.parse("comm", "(& ?x ?y)", "(& ?y ?x)")
+        with pytest.raises(ValueError, match="scheduler"):
+            apply_rules(eg, [rule], max_matches_per_rule=1,
+                        scheduler=BackoffScheduler(10))
 
 
 @st.composite

@@ -1,0 +1,575 @@
+"""repro.store: snapshot codec, artifact store, resumable saturation.
+
+The headline property (ISSUE acceptance): checkpoint a saturation run at
+iteration *k*, serialize to disk, restore, continue — the final e-graph
+and its extraction are bit-identical to an uninterrupted run, for both
+the back-off scheduler and the deprecated flat alias, and across
+``PYTHONHASHSEED`` values (subprocess cases).  Everything else pins the
+codec (round trips, versioning, atomicity guarantees), the
+content-addressed store semantics (put/get, index, verify, GC) and the
+pipeline/batch cache integration.
+"""
+
+import gzip
+import hashlib
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core import BatchJob, BatchPipeline, BoolEOptions, BoolEPipeline, run_boole
+from repro.core.construct import aig_to_egraph
+from repro.core.extraction import BoolEExtractor
+from repro.core.fa_structure import insert_fa_structures
+from repro.core.rules_basic import basic_rules
+from repro.core.rules_xor_maj import identification_rules
+from repro.egraph import (
+    BackoffScheduler,
+    EGraph,
+    ENode,
+    Op,
+    Runner,
+    RunnerLimits,
+)
+from repro.generators import csa_multiplier, ripple_carry_adder
+from repro.opt import post_mapping_flow
+from repro.store import (
+    ArtifactStore,
+    SnapshotError,
+    SnapshotVersionError,
+    egraph_from_wire,
+    egraph_to_wire,
+    fingerprint_aig,
+    fingerprint_options,
+    fingerprint_ruleset,
+    load_checkpoint,
+    load_egraph,
+    read_snapshot,
+    save_checkpoint,
+    save_egraph,
+    scheduler_from_wire,
+    scheduler_to_wire,
+    write_snapshot,
+)
+
+SRC_DIR = str(Path(__file__).resolve().parent.parent / "src")
+
+
+def _mapped_csa3():
+    return post_mapping_flow(csa_multiplier(3).aig)
+
+
+def _saturated_egraph():
+    """A small but non-trivial e-graph: saturated width-2 CSA multiplier."""
+    construction = aig_to_egraph(post_mapping_flow(csa_multiplier(2).aig))
+    Runner(RunnerLimits(max_iterations=4)).run(construction.egraph,
+                                               basic_rules())
+    return construction.egraph
+
+
+def _wire_bytes(egraph: EGraph) -> str:
+    return json.dumps(egraph_to_wire(egraph), sort_keys=True)
+
+
+def _extraction_signature(egraph: EGraph) -> str:
+    """Digest of the complete extraction choice set (order-independent)."""
+    insert_fa_structures(egraph)
+    extraction = BoolEExtractor().extract(egraph)
+    entries = sorted((class_id, entry.size, len(entry.fa_classes),
+                      str(entry.node))
+                     for class_id, entry in extraction.entries.items())
+    blob = json.dumps([egraph.num_classes, egraph.num_canonical_nodes(),
+                       entries])
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class TestEGraphRoundTrip:
+    def test_wire_round_trip_is_byte_identical(self):
+        egraph = _saturated_egraph()
+        first = _wire_bytes(egraph)
+        restored = egraph_from_wire(json.loads(first))
+        assert _wire_bytes(restored) == first
+
+    def test_round_trip_preserves_queries(self):
+        egraph = _saturated_egraph()
+        restored = egraph_from_wire(egraph_to_wire(egraph))
+        assert restored.class_ids() == egraph.class_ids()
+        assert restored.num_canonical_nodes() == egraph.num_canonical_nodes()
+        assert restored.peek_dirty() == egraph.peek_dirty()
+        for class_id in egraph.class_ids():
+            assert restored.enodes(class_id) == egraph.enodes(class_id)
+            assert restored.seq(class_id) == egraph.seq(class_id)
+            for node in egraph.enodes(class_id):
+                assert restored.lookup(node) == egraph.lookup(node)
+
+    def test_op_index_rebuilt_on_load(self):
+        egraph = _saturated_egraph()
+        restored = egraph_from_wire(egraph_to_wire(egraph))
+        for op in (Op.AND, Op.NOT, Op.VAR):
+            wanted = {class_id for class_id in egraph.class_ids()
+                      if any(node.op == op
+                             for node in egraph.enodes(class_id))}
+            assert wanted <= restored.candidate_classes(op)
+
+    def test_restored_graph_saturates_identically(self):
+        """Mutating a restored snapshot behaves exactly like the original:
+        continuing saturation with a second ruleset converges to the same
+        e-graph."""
+        original = _saturated_egraph()
+        restored = egraph_from_wire(egraph_to_wire(original))
+        rules = identification_rules(include_variants=True)
+        Runner(RunnerLimits(max_iterations=4)).run(original, rules)
+        Runner(RunnerLimits(max_iterations=4)).run(restored, rules)
+        assert _wire_bytes(restored) == _wire_bytes(original)
+
+    def test_unsupported_payload_rejected(self):
+        egraph = EGraph()
+        egraph.add(ENode("weird", (), payload=(1, 2)))
+        with pytest.raises(SnapshotError, match="payload"):
+            egraph_to_wire(egraph)
+
+
+class TestSnapshotFiles:
+    def test_save_load_egraph(self, tmp_path):
+        egraph = _saturated_egraph()
+        path = save_egraph(tmp_path / "graph.json.gz", egraph,
+                           meta={"width": 2})
+        assert _wire_bytes(load_egraph(path)) == _wire_bytes(egraph)
+        document = read_snapshot(path)
+        assert document["meta"] == {"width": 2}
+
+    def test_identical_state_writes_identical_bytes(self, tmp_path):
+        egraph = _saturated_egraph()
+        first = save_egraph(tmp_path / "a.json.gz", egraph)
+        second = save_egraph(tmp_path / "b.json.gz", egraph)
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_version_mismatch_raises(self, tmp_path):
+        path = save_egraph(tmp_path / "graph.json.gz", EGraph())
+        document = json.loads(gzip.decompress(path.read_bytes()))
+        document["codec_version"] = 999
+        path.write_bytes(gzip.compress(
+            json.dumps(document).encode("utf-8")))
+        with pytest.raises(SnapshotVersionError):
+            load_egraph(path)
+
+    def test_kind_mismatch_raises(self, tmp_path):
+        path = write_snapshot(tmp_path / "x.json.gz", "something-else", {})
+        with pytest.raises(SnapshotError, match="kind|expected"):
+            load_egraph(path)
+
+    def test_garbage_file_raises(self, tmp_path):
+        path = tmp_path / "garbage.json.gz"
+        path.write_bytes(b"definitely not gzip json")
+        with pytest.raises(SnapshotError):
+            read_snapshot(path)
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        save_egraph(tmp_path / "graph.json.gz", EGraph())
+        leftovers = [p for p in tmp_path.iterdir() if "tmp" in p.name]
+        assert leftovers == []
+
+
+class TestSchedulerRoundTrip:
+    def test_bans_budgets_and_debt_survive(self):
+        scheduler = BackoffScheduler(match_limit=4, ban_length=2)
+        scheduler.begin_iteration()
+        scheduler.ban("boom", searched=[3, 1, 2])
+        scheduler.defer("boom", [7])
+        scheduler.ban("flood", searched=None)
+        restored = scheduler_from_wire(scheduler_to_wire(scheduler))
+        assert restored.iteration == scheduler.iteration
+        for name in ("boom", "flood", "never-banned"):
+            assert restored.is_banned(name) == scheduler.is_banned(name)
+            assert restored.budget(name) == scheduler.budget(name)
+            assert restored.has_debt(name) == scheduler.has_debt(name)
+        assert restored.frontier_for("boom", {9}) == {1, 2, 3, 7, 9}
+        assert restored.frontier_for("flood", {9}) is None
+        assert restored.export_state() == scheduler.export_state()
+
+    def test_none_scheduler_passes_through(self):
+        assert scheduler_to_wire(None) is None
+        assert scheduler_from_wire(None) is None
+
+
+def _run_limits(flavor: str) -> RunnerLimits:
+    if flavor == "backoff":
+        return RunnerLimits(max_iterations=12, match_limit=60, ban_length=1)
+    with pytest.warns(DeprecationWarning):
+        return RunnerLimits(max_iterations=12, match_limit=None,
+                            max_matches_per_rule=60)
+
+
+class TestCheckpointResume:
+    @pytest.mark.parametrize("flavor", ["backoff", "flat-alias"])
+    def test_resume_bit_identical_to_uninterrupted(self, flavor, tmp_path):
+        """Checkpoint at iteration k -> save -> load -> continue == one
+        uninterrupted run, down to the serialized e-graph bytes and the
+        extraction choices."""
+        aig = _mapped_csa3()
+        rules = basic_rules() + identification_rules(True)
+
+        reference = aig_to_egraph(aig)
+        ref_report = Runner(_run_limits(flavor)).run(reference.egraph, rules)
+
+        checkpointed = aig_to_egraph(aig)
+        paths = []
+
+        def on_checkpoint(checkpoint):
+            path = tmp_path / f"cp{checkpoint.iteration}.json.gz"
+            save_checkpoint(path, checkpointed.egraph, checkpoint)
+            paths.append(path)
+
+        Runner(_run_limits(flavor)).run(checkpointed.egraph, rules,
+                                        checkpoint_every=3,
+                                        on_checkpoint=on_checkpoint)
+        assert paths, "run finished before the first checkpoint; " \
+                      "tighten the budget"
+
+        for path in paths:
+            restored, checkpoint = load_checkpoint(path)
+            report = Runner.from_checkpoint(checkpoint).run(
+                restored, rules, resume_from=checkpoint)
+            assert report.stop_reason == ref_report.stop_reason
+            assert report.num_iterations == ref_report.num_iterations
+            assert _wire_bytes(restored) == _wire_bytes(reference.egraph)
+        assert (_extraction_signature(restored)
+                == _extraction_signature(reference.egraph))
+
+    def test_checkpoint_cadence_and_shape(self, tmp_path):
+        egraph = aig_to_egraph(_mapped_csa3()).egraph
+        rules = basic_rules()
+        seen = []
+        # Checkpoints alias live state, so record the interesting facts at
+        # callback time (the report keeps growing after the callback).
+        Runner(RunnerLimits(max_iterations=6, match_limit=60,
+                            ban_length=1)).run(
+            egraph, rules, checkpoint_every=2,
+            on_checkpoint=lambda cp: seen.append(
+                (cp.iteration, len(cp.report.iterations))))
+        assert seen, "no checkpoints taken"
+        for iteration, completed in seen:
+            assert iteration % 2 == 0
+            assert iteration == completed
+            assert iteration < 6  # never after a stop decision
+
+    def test_resume_without_callback_is_plain_run(self):
+        """checkpoint_every without on_checkpoint is inert."""
+        aig = _mapped_csa3()
+        plain = aig_to_egraph(aig)
+        Runner(RunnerLimits(max_iterations=4)).run(plain.egraph,
+                                                   basic_rules())
+        silent = aig_to_egraph(aig)
+        Runner(RunnerLimits(max_iterations=4)).run(
+            silent.egraph, basic_rules(), checkpoint_every=1)
+        assert _wire_bytes(silent.egraph) == _wire_bytes(plain.egraph)
+
+
+_SUBPROCESS_SCRIPT = """
+import sys, json, hashlib, warnings
+from repro.core.construct import aig_to_egraph
+from repro.core.extraction import BoolEExtractor
+from repro.core.fa_structure import insert_fa_structures
+from repro.core.rules_basic import basic_rules
+from repro.core.rules_xor_maj import identification_rules
+from repro.egraph import Runner, RunnerLimits
+from repro.generators import csa_multiplier
+from repro.opt import post_mapping_flow
+from repro.store import save_checkpoint, load_checkpoint
+
+mode, path, flavor = sys.argv[1], sys.argv[2], sys.argv[3]
+aig = post_mapping_flow(csa_multiplier(3).aig)
+rules = basic_rules() + identification_rules(True)
+with warnings.catch_warnings():
+    warnings.simplefilter("ignore", DeprecationWarning)
+    if flavor == "backoff":
+        limits = RunnerLimits(max_iterations=12, match_limit=60, ban_length=1)
+    else:
+        limits = RunnerLimits(max_iterations=12, match_limit=None,
+                              max_matches_per_rule=60)
+
+def signature(egraph):
+    insert_fa_structures(egraph)
+    extraction = BoolEExtractor().extract(egraph)
+    entries = sorted((cid, e.size, len(e.fa_classes), str(e.node))
+                     for cid, e in extraction.entries.items())
+    blob = json.dumps([egraph.num_classes, egraph.num_canonical_nodes(),
+                       entries])
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+if mode == "full":
+    con = aig_to_egraph(aig)
+    Runner(limits).run(con.egraph, rules)
+    print(signature(con.egraph))
+elif mode == "checkpoint":
+    con = aig_to_egraph(aig)
+    saved = []
+    def on_checkpoint(cp):
+        if not saved:
+            save_checkpoint(path, con.egraph, cp)
+            saved.append(cp.iteration)
+    Runner(limits).run(con.egraph, rules, checkpoint_every=3,
+                       on_checkpoint=on_checkpoint)
+    print(saved[0] if saved else -1)
+else:
+    egraph, cp = load_checkpoint(path)
+    Runner.from_checkpoint(cp).run(egraph, rules, resume_from=cp)
+    print(signature(egraph))
+"""
+
+
+def _subprocess(mode: str, path: str, flavor: str, hash_seed: int) -> str:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = str(hash_seed)
+    env["PYTHONPATH"] = SRC_DIR + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    proc = subprocess.run(
+        [sys.executable, "-c", _SUBPROCESS_SCRIPT, mode, path, flavor],
+        env=env, capture_output=True, text=True, timeout=600)
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout.strip()
+
+
+class TestCheckpointResumeAcrossHashSeeds:
+    @pytest.mark.parametrize("flavor", ["backoff", "flat-alias"])
+    def test_three_processes_three_seeds_one_result(self, flavor, tmp_path):
+        """Uninterrupted (seed A), checkpoint writer (seed B) and resumer
+        (seed C) all land on the same saturated e-graph + extraction."""
+        path = str(tmp_path / "checkpoint.json.gz")
+        reference = _subprocess("full", path, flavor, hash_seed=0)
+        first_checkpoint = _subprocess("checkpoint", path, flavor,
+                                       hash_seed=31337)
+        assert int(first_checkpoint) > 0, "no checkpoint was written"
+        resumed = _subprocess("resume", path, flavor, hash_seed=98765)
+        assert resumed == reference
+
+
+class TestArtifactStore:
+    def test_put_get_contains(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        key = "ab" * 20
+        assert not store.contains(key)
+        assert store.get(key) is None
+        store.put(key, {"hello": [1, 2]}, kind="egraph",
+                  meta={"width": 4})
+        assert store.contains(key)
+        assert store.get(key) == {"hello": [1, 2]}
+        header = store.describe(key)
+        assert header["kind"] == "egraph"
+        assert header["meta"] == {"width": 4}
+
+    def test_invalid_key_rejected(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        with pytest.raises(ValueError):
+            store.put("../escape", {}, kind="egraph")
+        with pytest.raises(ValueError):
+            store.contains("UPPERCASE-NOT-HEX")
+
+    def test_index_lists_newest_first(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.put("aa" * 20, {}, kind="one")
+        store.put("bb" * 20, {}, kind="two")
+        entries = store.entries()
+        assert [entry.kind for entry in entries] == ["two", "one"]
+        assert store.total_bytes() > 0
+
+    def test_verify_adopts_orphans_and_drops_ghosts(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        kept, lost = "aa" * 20, "bb" * 20
+        store.put(kept, {}, kind="egraph")
+        store.put(lost, {}, kind="egraph")
+        (tmp_path / "index.json").unlink()          # orphan both objects
+        store.path_for(lost).unlink()               # ...and lose one
+        report = store.verify()
+        assert report["adopted"] == [kept]
+        assert report["dropped"] == []
+        assert [entry.key for entry in store.entries()] == [kept]
+
+    def test_gc_unreadable_and_age(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        fresh, stale = "aa" * 20, "bb" * 20
+        store.put(fresh, {}, kind="egraph")
+        store.put(stale, {}, kind="egraph")
+        corrupt = store.path_for("cc" * 20)
+        corrupt.parent.mkdir(parents=True, exist_ok=True)
+        corrupt.write_bytes(b"junk")
+        old = store.path_for(stale)
+        os.utime(old, (1.0, 1.0))
+        would = store.gc(max_age_seconds=3600, dry_run=True)
+        assert set(would) == {"cc" * 20, stale}
+        assert store.contains(stale)                # dry run removed nothing
+        removed = store.gc(max_age_seconds=3600)
+        assert set(removed) == {"cc" * 20, stale}
+        assert store.contains(fresh)
+        assert not store.contains(stale)
+        assert [entry.key for entry in store.entries()] == [fresh]
+
+    def test_gc_size_budget_evicts_lru(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        first, second = "aa" * 20, "bb" * 20
+        store.put(first, {"blob": "x" * 512}, kind="egraph")
+        store.put(second, {"blob": "y" * 512}, kind="egraph")
+        os.utime(store.path_for(first), (1.0, 1.0))   # least recently used
+        removed = store.gc(max_total_bytes=store.path_for(second)
+                           .stat().st_size)
+        assert removed == [first]
+        assert store.contains(second)
+
+
+class TestPipelineStoreCache:
+    OPTIONS = dict(r1_iterations=2, r2_iterations=2)
+
+    def test_miss_then_hit_bit_identical(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        aig = _mapped_csa3()
+        pipeline = BoolEPipeline(BoolEOptions(**self.OPTIONS), store=store)
+        cold = pipeline.run(aig)
+        warm = pipeline.run(aig)
+        assert not cold.cache_hit and warm.cache_hit
+        assert "cache_store" in cold.timings
+        assert "cache_load" in warm.timings and "r1" not in warm.timings
+        assert warm.summary() == {**cold.summary(),
+                                  "runtime": warm.summary()["runtime"]}
+        assert warm.extracted_aig.gates == cold.extracted_aig.gates
+        assert warm.fa_blocks == cold.fa_blocks
+        assert warm.num_npn_fas == cold.num_npn_fas
+        assert warm.r1_report.stop_reason == cold.r1_report.stop_reason
+        assert (warm.r2_report.scheduler_stats
+                == cold.r2_report.scheduler_stats)
+        assert [entry.kind for entry in store.entries()] \
+            == ["saturated-pipeline"]
+
+    def test_display_name_does_not_split_cache(self, tmp_path):
+        aig = _mapped_csa3()
+        renamed = aig.copy()
+        renamed.name = "same-circuit-other-name"
+        store = ArtifactStore(tmp_path)
+        options = BoolEOptions(**self.OPTIONS)
+        first = BoolEPipeline(options, store=store).run(aig)
+        second = BoolEPipeline(options, store=store).run(renamed)
+        assert not first.cache_hit and second.cache_hit
+
+    def test_option_change_misses(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        aig = _mapped_csa3()
+        BoolEPipeline(BoolEOptions(**self.OPTIONS), store=store).run(aig)
+        other = BoolEPipeline(BoolEOptions(r1_iterations=3, r2_iterations=2),
+                              store=store)
+        assert not other.run(aig).cache_hit
+        assert len(store.entries()) == 2
+
+    def test_corrupt_artifact_degrades_to_miss_and_heals(self, tmp_path):
+        """A damaged object file at a live key must not poison the circuit:
+        the run recomputes (miss), overwrites the artifact, and the next
+        run hits again."""
+        store = ArtifactStore(tmp_path)
+        aig = _mapped_csa3()
+        pipeline = BoolEPipeline(BoolEOptions(**self.OPTIONS), store=store)
+        cold = pipeline.run(aig)
+        path = store.path_for(pipeline.cache_key(aig))
+        path.write_bytes(b"corrupted mid-copy")
+        healed = pipeline.run(aig)
+        assert not healed.cache_hit
+        assert healed.fa_blocks == cold.fa_blocks
+        warm = pipeline.run(aig)
+        assert warm.cache_hit
+
+    def test_run_boole_accepts_store_path(self, tmp_path):
+        aig = _mapped_csa3()
+        options = BoolEOptions(**self.OPTIONS)
+        run_boole(aig, options, store=str(tmp_path))
+        warm = run_boole(aig, options, store=str(tmp_path))
+        assert warm.cache_hit
+
+
+class TestBatchStoreIntegration:
+    def test_second_sweep_served_from_cache(self, tmp_path):
+        jobs = [BatchJob(f"rca{width}", ripple_carry_adder(width)[0])
+                for width in (3, 4)]
+        options = BoolEOptions(r1_iterations=2, r2_iterations=1)
+        cold = BatchPipeline(options, max_workers=2,
+                             store=tmp_path / "store").run(jobs)
+        assert cold.num_failed == 0 and cold.num_cached == 0
+        warm = BatchPipeline(options, max_workers=2,
+                             store=tmp_path / "store").run(jobs)
+        assert warm.num_failed == 0
+        assert warm.num_cached == len(jobs)
+        for cold_item, warm_item in zip(cold.items, warm.items):
+            assert warm_item.cached
+            assert warm_item.summary == {
+                **cold_item.summary, "runtime": warm_item.summary["runtime"]}
+
+    def test_store_disabled_keeps_legacy_behavior(self):
+        jobs = [ripple_carry_adder(3)[0]]
+        report = BatchPipeline(BoolEOptions(r1_iterations=1,
+                                            r2_iterations=1,
+                                            extract=False,
+                                            count_npn=False)).run(jobs)
+        assert report.num_cached == 0
+
+
+class TestFingerprints:
+    def test_aig_fingerprint_ignores_display_name_only(self):
+        aig = csa_multiplier(2).aig
+        renamed = aig.copy()
+        renamed.name = "other"
+        assert fingerprint_aig(renamed) == fingerprint_aig(aig)
+        grown = aig.copy()
+        lit = grown.add_input("extra")
+        grown.add_output(lit, "extra_out")
+        assert fingerprint_aig(grown) != fingerprint_aig(aig)
+
+    def test_options_fingerprint_ignores_extract_only(self):
+        base = BoolEOptions()
+        assert (fingerprint_options(BoolEOptions(extract=False))
+                == fingerprint_options(base))
+        assert (fingerprint_options(BoolEOptions(r1_iterations=9))
+                != fingerprint_options(base))
+        assert (fingerprint_options(BoolEOptions(match_limit=None))
+                != fingerprint_options(base))
+
+    def test_ruleset_fingerprint_sensitivity(self):
+        light = basic_rules(lightweight=True)
+        full = basic_rules(lightweight=False)
+        assert fingerprint_ruleset(light) != fingerprint_ruleset(full)
+        assert (fingerprint_ruleset(light, revision="v2")
+                != fingerprint_ruleset(light))
+        assert fingerprint_ruleset(light) == fingerprint_ruleset(
+            basic_rules(lightweight=True))
+
+
+class TestCommandLine:
+    def _cli(self, root, *args):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC_DIR + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+        return subprocess.run(
+            [sys.executable, "-m", "repro.store", "--root", str(root), *args],
+            env=env, capture_output=True, text=True, timeout=300)
+
+    def test_list_inspect_verify_gc(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        key = "cd" * 20
+        store.put(key, {"x": 1}, kind="egraph", meta={"width": 3})
+        listed = self._cli(tmp_path, "list")
+        assert listed.returncode == 0, listed.stderr
+        assert key[:16] in listed.stdout
+
+        inspected = self._cli(tmp_path, "inspect", key)
+        assert inspected.returncode == 0
+        assert json.loads(inspected.stdout)["meta"] == {"width": 3}
+
+        verified = self._cli(tmp_path, "verify")
+        assert verified.returncode == 0
+
+        collected = self._cli(tmp_path, "gc", "--max-age-days", "0",
+                              "--dry-run")
+        assert collected.returncode == 0
+        assert key in collected.stdout
+
+    def test_missing_key_inspect_fails(self, tmp_path):
+        result = self._cli(tmp_path, "inspect", "ef" * 20)
+        assert result.returncode == 1
