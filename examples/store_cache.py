@@ -47,10 +47,17 @@ def demo_pipeline_cache(mapped, store: ArtifactStore) -> None:
     warm = pipeline.run(mapped)
     print(f"warm run : {'HIT' if warm.cache_hit else 'MISS'} — "
           f"loaded in {warm.timings.get('cache_load', 0.0):.2f}s, "
+          f"extraction "
+          f"{'HIT' if warm.extraction_cache_hit else 'MISS'} in "
+          f"{warm.timings.get('extraction_cache_load', 0.0):.2f}s, "
           f"{warm.num_exact_fas} exact FAs, total "
           f"{warm.total_runtime:.2f}s")
 
     assert not cold.cache_hit and warm.cache_hit, "expected a miss then a hit"
+    # Two-level hit: the warm run loads the snapshot *and* the extraction
+    # artifact, skipping cost propagation entirely.
+    assert warm.extraction_cache_hit, "expected an extraction cache hit"
+    assert "extract" not in warm.timings
     assert warm.extracted_aig.gates == cold.extracted_aig.gates
     assert warm.fa_blocks == cold.fa_blocks
     assert warm.num_npn_fas == cold.num_npn_fas

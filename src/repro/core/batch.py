@@ -19,9 +19,11 @@ Two executor backends are supported:
 With a ``store`` (an :class:`~repro.store.ArtifactStore` or directory
 path) the driver consults the content-addressed cache *before*
 dispatching: jobs whose saturated e-graph is already stored run inline on
-the calling thread — a cheap load + extraction instead of a saturation —
-and only genuinely new circuits occupy executor workers, so repeated
-batch sweeps pay only for what changed.
+the calling thread — a cheap load instead of a saturation, and when the
+``kind="extraction"`` artifact is warm too the job skips cost propagation
+as well (``BatchItemResult.extraction_cached``) — and only genuinely new
+circuits occupy executor workers, so repeated batch sweeps pay only for
+what changed.
 """
 
 from __future__ import annotations
@@ -74,6 +76,12 @@ class BatchItemResult:
             with ``keep_results=True``), else ``None``.
         cached: True when the saturated e-graph came from the artifact
             store (the job skipped saturation entirely).
+        extraction_cached: True when the extraction + reconstruction
+            came from a ``kind="extraction"`` artifact (the job skipped
+            cost propagation).  Independent of ``cached``: the extraction
+            artifact can survive snapshot GC, so a job may re-saturate yet
+            still skip extraction.  A fully warm two-level hit is
+            ``cached and extraction_cached``.
     """
 
     name: str
@@ -83,6 +91,7 @@ class BatchItemResult:
     error: Optional[str] = None
     result: Optional[BoolEResult] = None
     cached: bool = False
+    extraction_cached: bool = False
 
 
 @dataclass
@@ -104,8 +113,19 @@ class BatchReport:
 
     @property
     def num_cached(self) -> int:
-        """Number of jobs served from the artifact store."""
+        """Number of jobs whose saturation was served from the store."""
         return sum(1 for item in self.items if item.cached)
+
+    @property
+    def num_extraction_cached(self) -> int:
+        """Number of jobs whose extraction was served from the store.
+
+        Counts extraction hits regardless of the saturation level — a job
+        whose snapshot was GC'd re-saturates but still skips cost
+        propagation.  Count fully warm two-level hits with
+        ``sum(1 for i in report.items if i.cached and i.extraction_cached)``.
+        """
+        return sum(1 for item in self.items if item.extraction_cached)
 
     @property
     def total_runtime(self) -> float:
@@ -165,7 +185,8 @@ def _run_job(job: BatchJob, default_options: Optional[BoolEOptions],
         runtime=time.perf_counter() - start,
         summary=result.summary(),
         result=result if keep_result else None,
-        cached=result.cache_hit)
+        cached=result.cache_hit,
+        extraction_cached=result.extraction_cache_hit)
 
 
 class BatchPipeline:

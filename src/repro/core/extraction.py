@@ -10,16 +10,50 @@ this is the "DAG based extraction" that prevents double counting.
 ``fa``/``fst``/``snd`` triples are atomic: the projection nodes have zero own
 cost and simply propagate the FA set of the tuple node, so selecting a sum
 projection always selects the full adder it belongs to.
+
+Performance and semantics (ISSUE 4 rewrite — the warm-store hot path):
+
+* **Bitmask FA sets.**  The FA-bearing e-classes are enumerated once up
+  front into dense bit positions (``BoolEExtraction.fa_index``, seq order),
+  so every per-entry FA set is an arbitrary-precision ``int``: union is
+  ``|``, the cost key is ``-mask.bit_count()`` and the refresh check is an
+  int compare.  The old per-entry ``frozenset`` unions dominated the whole
+  extraction profile on wide multipliers.  ``CostEntry.fa_classes`` decodes
+  the mask back to a frozenset, so the observable API is unchanged.
+* **Topological worklist.**  Instead of seeding every class into a LIFO
+  fixpoint, a Kahn pass over the child→parent DAG evaluates each e-node
+  once all its children are resolved; classes on cycles fall out to the
+  same queue when an improvement reaches them.  The dependency index is
+  *node-level* (child class → the e-nodes that reference it, in
+  deterministic insertion order): an improved class re-evaluates only the
+  nodes that actually consume it, not every node of every parent class.
+* **Value repair.**  A final bottom-up pass over the chosen-node DAG
+  recomputes every (mask, size) from the final child entries, so stored
+  values are exactly what reconstruction materialises and
+  ``num_exact_fas`` always matches the FA block count.  The pre-rewrite
+  implementation (kept verbatim in
+  :mod:`repro.core.extraction_reference` as the oracle/baseline) shipped
+  *stale* values instead: a child refresh could shrink the FA union a
+  parent's entry was computed from while the accept-only-improvements
+  rule kept the optimistic key forever — on the 16-bit CSA it claimed
+  267 root FAs over a netlist that contains 161.
+
+Results are deterministic across ``PYTHONHASHSEED`` values and agree with
+the reference entry-for-entry wherever the reference is self-consistent;
+measured FA recovery and the quality comparison against the reference's
+(scheduling-lottery) stale numbers are recorded in
+``docs/performance.md``.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from ..aig import AIG
 from ..egraph import EGraph, ENode, Op
-from ..egraph.extract import node_tiebreak_key
+from ..egraph.extract import worklist_tables
 from .construct import ConstructionResult
 
 __all__ = ["CostEntry", "BoolEExtraction", "BoolEExtractor", "FABlockRecord",
@@ -28,29 +62,61 @@ __all__ = ["CostEntry", "BoolEExtraction", "BoolEExtractor", "FABlockRecord",
 _SIZE_CAP = 10**9
 
 
-@dataclass
+@dataclass(slots=True)
 class CostEntry:
-    """Best known extraction choice for one e-class."""
+    """Best known extraction choice for one e-class.
 
-    fa_classes: FrozenSet[int]
+    ``fa_mask`` is the set of distinct exact-FA classes used underneath the
+    choice, encoded as a bitmask over ``fa_index`` (bit *i* set ⇔
+    ``fa_index[i]`` is used).  ``fa_classes`` decodes it on demand.
+    """
+
+    fa_mask: int
     size: int
     node: ENode
+    fa_index: Tuple[int, ...] = ()
+
+    @property
+    def fa_classes(self) -> FrozenSet[int]:
+        """The FA e-class ids encoded in :attr:`fa_mask`."""
+        mask = self.fa_mask
+        index = self.fa_index
+        classes = []
+        while mask:
+            low = mask & -mask
+            classes.append(index[low.bit_length() - 1])
+            mask ^= low
+        return frozenset(classes)
 
     def key(self) -> Tuple[int, int]:
         """Lexicographic cost: maximise FAs, then minimise size."""
-        return (-len(self.fa_classes), self.size)
+        return (-self.fa_mask.bit_count(), self.size)
 
 
 @dataclass
 class BoolEExtraction:
-    """Result of the DAG extraction: one cost entry per reachable e-class."""
+    """Result of the DAG extraction: one cost entry per reachable e-class.
+
+    ``fa_index`` maps bitmask positions back to FA e-class ids (shared by
+    every entry's :attr:`CostEntry.fa_mask`).
+    """
 
     egraph: EGraph
     entries: Dict[int, CostEntry] = field(default_factory=dict)
+    fa_index: Tuple[int, ...] = ()
 
     def entry(self, class_id: int) -> CostEntry:
         """Return the entry for (the canonical class of) ``class_id``."""
         return self.entries[self.egraph.find(class_id)]
+
+    def raw_entry(self, class_id: int) -> CostEntry:
+        """Return the entry of an already-canonical class id.
+
+        Skips the union-find lookup of :meth:`entry`; hot callers that have
+        just canonicalized (reconstruction, cache serialization) use this to
+        avoid paying ``find`` twice per class.
+        """
+        return self.entries[class_id]
 
     def has_entry(self, class_id: int) -> bool:
         """True if the extraction reached ``class_id``."""
@@ -58,11 +124,14 @@ class BoolEExtraction:
 
     def num_exact_fas(self, roots: Sequence[int]) -> int:
         """Number of distinct FAs used by the extraction of ``roots``."""
-        fa_classes: Set[int] = set()
+        mask = 0
+        find = self.egraph.find
+        entries = self.entries
         for root in roots:
-            if self.has_entry(root):
-                fa_classes.update(self.entry(root).fa_classes)
-        return len(fa_classes)
+            entry = entries.get(find(root))
+            if entry is not None:
+                mask |= entry.fa_mask
+        return mask.bit_count()
 
 
 class BoolEExtractor:
@@ -79,90 +148,164 @@ class BoolEExtractor:
                 roots: Optional[Sequence[int]] = None) -> BoolEExtraction:
         """Run the bottom-up cost propagation (Algorithm 2).
 
-        The queue is seeded with every class; whenever a class's cost
-        improves, the classes whose e-nodes reference it are re-examined.
+        A topological (Kahn) first pass evaluates each e-node as soon as all
+        of its child classes have entries; later improvements re-enter the
+        same queue but touch only the nodes that reference the improved
+        class.  All tables are built in one deterministic scan (classes in
+        seq order, nodes in ``enode_sort_key`` order), so the whole pass is
+        independent of ``PYTHONHASHSEED``.
         """
         egraph.rebuild()
-        extraction = BoolEExtraction(egraph=egraph)
-        entries = extraction.entries
+        node_cost = self.node_cost
 
-        # parent map: child class -> classes containing a node that uses it.
-        parents: Dict[int, Set[int]] = {}
-        class_nodes: Dict[int, List[ENode]] = {}
-        # Deterministic tie-break keys, precomputed once per node: the
-        # fixpoint loop below revisits nodes many times, and recomputing
-        # (op, child seqs, payload) on every cost tie used to cost ~10% of
-        # the extraction hot path.  The e-graph is not mutated during
-        # extraction, so the keys stay valid for the whole pass.
-        tiebreak: Dict[ENode, Tuple] = {}
-        for eclass in egraph.classes():
-            class_id = egraph.find(eclass.id)
-            nodes = egraph.enodes(class_id)
-            class_nodes[class_id] = nodes
-            for node in nodes:
-                tiebreak[node] = node_tiebreak_key(egraph, node)
-                for child in node.children:
-                    parents.setdefault(egraph.find(child), set()).add(class_id)
+        # ---- one deterministic setup scan -------------------------------
+        # Shared with TreeCostExtractor: dense class indices in seq order,
+        # nodes flattened with owners/children/tie-breaks, Kahn in-degrees
+        # and the insertion-ordered node-level dependency index.
+        (class_list, nodes, owner, children, tiebreak, waiting,
+         users) = worklist_tables(egraph)
+        num_classes = len(class_list)
 
-        pending: Set[int] = set(class_nodes.keys())
-        queue: List[int] = list(class_nodes.keys())
+        # BoolE-specific node tables: per-operator base costs, and the
+        # FA-bearing classes enumerated into dense bit positions (the nodes
+        # list is in (class seq, node sort) order, so bit assignment is
+        # deterministic).
+        base: List[int] = [node_cost.get(node.op, 1) for node in nodes]
+        fa_index: List[int] = []      # bit position -> FA class id
+        fa_self_bit: List[int] = [0] * len(nodes)
+        fa_bit_of_class: Dict[int, int] = {}
+        for node_id, node in enumerate(nodes):
+            if node.op == Op.FA:
+                class_position = owner[node_id]
+                bit = fa_bit_of_class.get(class_position)
+                if bit is None:
+                    bit = fa_bit_of_class[class_position] = 1 << len(fa_index)
+                    fa_index.append(class_list[class_position])
+                fa_self_bit[node_id] = bit
+
+        # ---- cost propagation -------------------------------------------
+        # Best entry per class as parallel arrays (choice < 0 = no entry).
+        best_mask: List[int] = [0] * num_classes
+        best_size: List[int] = [0] * num_classes
+        choice: List[int] = [-1] * num_classes
+
+        def evaluate(node_id: int) -> Tuple[int, int]:
+            mask = fa_self_bit[node_id]
+            size = base[node_id]
+            for child_position in children[node_id]:
+                mask |= best_mask[child_position]
+                size += best_size[child_position]
+            return mask, (size if size <= _SIZE_CAP else _SIZE_CAP)
+
+        queue = deque(node_id for node_id in range(len(nodes))
+                      if not waiting[node_id])
+        queued = bytearray(len(nodes))
         while queue:
-            class_id = queue.pop()
-            pending.discard(class_id)
-            best = entries.get(class_id)
-            improved = False
-            for node in class_nodes[class_id]:
-                child_entries = []
-                feasible = True
-                for child in node.children:
-                    child_entry = entries.get(egraph.find(child))
-                    if child_entry is None:
-                        feasible = False
-                        break
-                    child_entries.append(child_entry)
-                if not feasible:
-                    continue
-                fa_classes: FrozenSet[int] = frozenset().union(
-                    *[entry.fa_classes for entry in child_entries]) \
-                    if child_entries else frozenset()
-                if node.op == Op.FA:
-                    fa_classes = fa_classes | {class_id}
-                size = min(_SIZE_CAP, self.node_cost.get(node.op, 1)
-                           + sum(entry.size for entry in child_entries))
-                candidate = CostEntry(fa_classes=fa_classes, size=size, node=node)
-                if best is None:
-                    better = True
+            node_id = queue.popleft()
+            queued[node_id] = 0
+            mask, size = evaluate(node_id)
+            class_position = owner[node_id]
+            current = choice[class_position]
+            if current < 0:
+                accept = True
+            else:
+                current_mask = best_mask[class_position]
+                current_size = best_size[class_position]
+                count = mask.bit_count()
+                current_count = current_mask.bit_count()
+                if count != current_count:
+                    accept = count > current_count
+                elif size != current_size:
+                    accept = size < current_size
+                elif node_id == current:
+                    # Same choice, but a child's tie-break swap changed
+                    # *which* FA classes flow up while keeping their count;
+                    # store the refreshed mask and let it propagate.
+                    # (Keeping the strictly-improving discipline here is
+                    # what guarantees the chosen-node graph stays acyclic
+                    # for reconstruction; any residual staleness is fixed
+                    # by the value-repair pass below.)
+                    accept = mask != current_mask
                 else:
-                    candidate_key, best_key = candidate.key(), best.key()
-                    if candidate_key < best_key:
-                        better = True
-                    elif candidate_key == best_key:
-                        if node == best.node:
-                            # Same choice, but a child's tie-break swap may
-                            # have changed *which* FA classes flow up while
-                            # keeping their count; refresh the stored set so
-                            # num_exact_fas matches the reconstructed
-                            # netlist.  (Chosen-node dependencies are
-                            # acyclic — reconstruction rejects cycles — so
-                            # refreshes propagate once and terminate.)
-                            better = fa_classes != best.fa_classes
-                        else:
-                            # Equal (FA count, size): break the tie by (op,
-                            # child seqs, payload) so the chosen
-                            # representative does not depend on node
-                            # iteration order.
-                            better = tiebreak[node] < tiebreak[best.node]
-                    else:
-                        better = False
-                if better:
-                    best = candidate
-                    improved = True
-            if improved and best is not None:
-                entries[class_id] = best
-                for parent in parents.get(class_id, ()):
-                    if parent not in pending:
-                        pending.add(parent)
-                        queue.append(parent)
+                    # Equal (FA count, size): break the tie by (op, child
+                    # seqs, payload) so the chosen representative does not
+                    # depend on evaluation order.
+                    accept = tiebreak[node_id] < tiebreak[current]
+            if not accept:
+                continue
+            propagate = (current < 0
+                         or mask != best_mask[class_position]
+                         or size != best_size[class_position])
+            best_mask[class_position] = mask
+            best_size[class_position] = size
+            choice[class_position] = node_id
+            if current < 0:
+                # First entry: release Kahn successors of this class.
+                for user in users[class_position]:
+                    remaining = waiting[user] - 1
+                    waiting[user] = remaining
+                    if not remaining and not queued[user]:
+                        queued[user] = 1
+                        queue.append(user)
+            elif propagate:
+                # Improvement/refresh: only re-evaluate the e-nodes that
+                # actually consume this class (already-released ones).
+                for user in users[class_position]:
+                    if not waiting[user] and not queued[user]:
+                        queued[user] = 1
+                        queue.append(user)
+
+        # ---- value repair along the chosen DAG --------------------------
+        # The monotone loop never downgrades a stored value, so a child
+        # refresh that shrank the FA union a parent's value was computed
+        # from leaves the parent's (mask, size) stale — the pre-rewrite
+        # extractor shipped those values, making ``num_exact_fas`` claim
+        # FAs the reconstructed netlist does not contain.  The *choices*
+        # stand (they are the deterministic greedy solution and their
+        # dependency graph is acyclic wherever reconstruction can reach);
+        # the values are recomputed bottom-up along the chosen-node DAG so
+        # every reported (mask, size) is exactly what materialising the
+        # choice yields.  Classes on chosen-node cycles (unreachable
+        # bookkeeping only — reconstruction rejects them) keep their
+        # phase-1 values.
+        chosen_indegree = [0] * num_classes
+        chosen_users: List[List[int]] = [[] for _ in range(num_classes)]
+        for class_position in range(num_classes):
+            node_id = choice[class_position]
+            if node_id < 0:
+                continue
+            seen = set()
+            for child_position in children[node_id]:
+                if (child_position != class_position
+                        and child_position not in seen):
+                    seen.add(child_position)
+                    chosen_users[child_position].append(class_position)
+                    chosen_indegree[class_position] += 1
+        repair = deque(class_position for class_position in range(num_classes)
+                       if choice[class_position] >= 0
+                       and not chosen_indegree[class_position])
+        while repair:
+            class_position = repair.popleft()
+            mask, size = evaluate(choice[class_position])
+            best_mask[class_position] = mask
+            best_size[class_position] = size
+            for user in chosen_users[class_position]:
+                chosen_indegree[user] -= 1
+                if not chosen_indegree[user]:
+                    repair.append(user)
+
+        # ---- assemble the result ----------------------------------------
+        fa_index_tuple = tuple(fa_index)
+        extraction = BoolEExtraction(egraph=egraph, fa_index=fa_index_tuple)
+        entries = extraction.entries
+        for class_position, class_id in enumerate(class_list):
+            node_id = choice[class_position]
+            if node_id >= 0:
+                entries[class_id] = CostEntry(
+                    fa_mask=best_mask[class_position],
+                    size=best_size[class_position],
+                    node=nodes[node_id],
+                    fa_index=fa_index_tuple)
         return extraction
 
 
@@ -191,6 +334,7 @@ def reconstruct_aig(construction: ConstructionResult,
     tree to downstream tools such as the SCA verifier.
     """
     egraph = extraction.egraph
+    entries = extraction.entries
     source = construction.aig
     aig = AIG(name=name or f"{source.name}_boole")
     input_literal: Dict[str, int] = {}
@@ -205,7 +349,7 @@ def reconstruct_aig(construction: ConstructionResult,
         class_id = egraph.find(class_id)
         if class_id in fa_memo:
             return fa_memo[class_id]
-        node = extraction.entry(class_id).node
+        node = extraction.raw_entry(class_id).node
         inputs = tuple(materialize(child, visiting) for child in node.children)
         sum_lit, carry_lit = aig.full_adder(*inputs)
         fa_memo[class_id] = (sum_lit, carry_lit)
@@ -219,11 +363,11 @@ def reconstruct_aig(construction: ConstructionResult,
             return literal_memo[class_id]
         if class_id in visiting:
             raise RuntimeError("cyclic extraction choice encountered")
-        if not extraction.has_entry(class_id):
+        entry = entries.get(class_id)
+        if entry is None:
             raise RuntimeError(f"extraction did not reach class {class_id}")
-        node = extraction.entry(class_id).node
         visiting = visiting | {class_id}
-        literal = _materialize_node(node, class_id, visiting)
+        literal = _materialize_node(entry.node, class_id, visiting)
         literal_memo[class_id] = literal
         return literal
 

@@ -1,0 +1,163 @@
+"""Frozen pre-bitmask reference implementation of Algorithm 2.
+
+This module preserves, verbatim in behaviour, the extraction algorithm the
+repo shipped before the bitmask/worklist rewrite of
+:mod:`repro.core.extraction`: per-entry ``frozenset`` FA-class sets and a
+seed-everything LIFO fixpoint over whole e-classes.  It exists for two
+reasons and must not be "optimised":
+
+* **correctness oracle** — ``tests/test_extraction.py`` property-tests the
+  production extractor against it (same chosen node, size and FA set for
+  every reachable class, across ``PYTHONHASHSEED`` values);
+* **benchmark baseline** — ``benchmarks/bench_extraction.py`` measures the
+  production extractor's speedup against it (the ISSUE 4 acceptance
+  criterion is ≥3× on the 16-bit CSA).
+
+A matching reference for the generic tree extractor
+(:class:`repro.egraph.TreeCostExtractor`) lives here too, for the same
+reasons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..egraph import EGraph, ENode, Op
+from ..egraph.extract import CostFunction, default_cost, node_tiebreak_key
+
+__all__ = ["ReferenceEntry", "ReferenceBoolEExtractor", "reference_tree_extract"]
+
+_SIZE_CAP = 10**9
+
+
+@dataclass
+class ReferenceEntry:
+    """Best known extraction choice for one e-class (frozenset form)."""
+
+    fa_classes: FrozenSet[int]
+    size: int
+    node: ENode
+
+    def key(self) -> Tuple[int, int]:
+        return (-len(self.fa_classes), self.size)
+
+
+class ReferenceBoolEExtractor:
+    """The pre-rewrite DAG cost extractor (Algorithm 2), kept as an oracle."""
+
+    def __init__(self, node_cost: Optional[Dict[str, int]] = None) -> None:
+        self.node_cost = node_cost or {
+            Op.VAR: 0, Op.CONST: 0, Op.FST: 0, Op.SND: 0,
+            Op.NOT: 1, Op.AND: 1, Op.OR: 1, Op.XOR: 1, Op.XNOR: 1,
+            Op.NAND: 1, Op.NOR: 1, Op.XOR3: 2, Op.MAJ: 2, Op.FA: 2, Op.HA: 1,
+        }
+
+    def extract(self, egraph: EGraph) -> Dict[int, ReferenceEntry]:
+        """Seed-everything LIFO fixpoint; returns entries per canonical class."""
+        egraph.rebuild()
+        entries: Dict[int, ReferenceEntry] = {}
+
+        parents: Dict[int, Set[int]] = {}
+        class_nodes: Dict[int, List[ENode]] = {}
+        tiebreak: Dict[ENode, Tuple] = {}
+        for eclass in egraph.classes():
+            class_id = egraph.find(eclass.id)
+            nodes = egraph.enodes(class_id)
+            class_nodes[class_id] = nodes
+            for node in nodes:
+                tiebreak[node] = node_tiebreak_key(egraph, node)
+                for child in node.children:
+                    parents.setdefault(egraph.find(child), set()).add(class_id)
+
+        pending: Set[int] = set(class_nodes.keys())
+        queue: List[int] = list(class_nodes.keys())
+        while queue:
+            class_id = queue.pop()
+            pending.discard(class_id)
+            best = entries.get(class_id)
+            improved = False
+            for node in class_nodes[class_id]:
+                child_entries = []
+                feasible = True
+                for child in node.children:
+                    child_entry = entries.get(egraph.find(child))
+                    if child_entry is None:
+                        feasible = False
+                        break
+                    child_entries.append(child_entry)
+                if not feasible:
+                    continue
+                fa_classes: FrozenSet[int] = frozenset().union(
+                    *[entry.fa_classes for entry in child_entries]) \
+                    if child_entries else frozenset()
+                if node.op == Op.FA:
+                    fa_classes = fa_classes | {class_id}
+                size = min(_SIZE_CAP, self.node_cost.get(node.op, 1)
+                           + sum(entry.size for entry in child_entries))
+                candidate = ReferenceEntry(fa_classes=fa_classes, size=size,
+                                           node=node)
+                if best is None:
+                    better = True
+                else:
+                    candidate_key, best_key = candidate.key(), best.key()
+                    if candidate_key < best_key:
+                        better = True
+                    elif candidate_key == best_key:
+                        if node == best.node:
+                            better = fa_classes != best.fa_classes
+                        else:
+                            better = tiebreak[node] < tiebreak[best.node]
+                    else:
+                        better = False
+                if better:
+                    best = candidate
+                    improved = True
+            if improved and best is not None:
+                entries[class_id] = best
+                for parent in parents.get(class_id, ()):
+                    if parent not in pending:
+                        pending.add(parent)
+                        queue.append(parent)
+        return entries
+
+
+def reference_tree_extract(egraph: EGraph,
+                           cost_function: Optional[CostFunction] = None
+                           ) -> Dict[int, Tuple[float, ENode]]:
+    """The pre-rewrite repeated-full-pass tree extractor, kept as an oracle.
+
+    Returns ``{canonical class id: (cost, chosen node)}`` — the same
+    fixpoint :class:`repro.egraph.TreeCostExtractor` must reach.
+    """
+    cost_function = cost_function or default_cost
+    egraph.rebuild()
+    choices: Dict[int, Tuple[float, ENode]] = {}
+
+    changed = True
+    while changed:
+        changed = False
+        for eclass in egraph.classes():
+            class_id = egraph.find(eclass.id)
+            best = choices.get(class_id)
+            for node in egraph.enodes(class_id):
+                child_costs = []
+                feasible = True
+                for child in node.children:
+                    child_choice = choices.get(egraph.find(child))
+                    if child_choice is None:
+                        feasible = False
+                        break
+                    child_costs.append(child_choice[0])
+                if not feasible:
+                    continue
+                cost = cost_function(node, child_costs)
+                better = best is None or cost < best[0] - 1e-12
+                if not better and best is not None and cost <= best[0]:
+                    better = (node_tiebreak_key(egraph, node)
+                              < node_tiebreak_key(egraph, best[1]))
+                if better:
+                    best = (cost, node)
+                    choices[class_id] = best
+                    changed = True
+    return choices

@@ -18,6 +18,12 @@ result can be cached: pass ``store=`` (an
 looks the saturated e-graph up by content fingerprint, skipping straight
 to extraction on a hit and persisting the artifact on a miss (see
 ``docs/serialization.md``).
+
+Stages 5–6 are cached the same way as a second, independent
+``kind="extraction"`` artifact keyed on (saturated-graph key, extractor
+cost table, reconstruction roots): a fully warm run loads the snapshot
+and the extraction products and skips cost propagation entirely, going
+straight to whatever the caller does next (typically verification).
 """
 
 from __future__ import annotations
@@ -31,12 +37,18 @@ from typing import Dict, List, Optional, Tuple, Union
 from ..aig import AIG
 from ..egraph import EGraph, Op, Runner, RunnerLimits, RunnerReport
 from ..store import (
+    KIND_EXTRACTION,
     KIND_SATURATED,
     ArtifactStore,
     SnapshotError,
+    aig_from_wire,
+    aig_to_wire,
     combine_cache_key,
     egraph_from_wire,
     egraph_to_wire,
+    extraction_cache_key,
+    extraction_from_wire,
+    extraction_to_wire,
     fingerprint_aig,
     fingerprint_options,
     fingerprint_ruleset,
@@ -151,6 +163,11 @@ class BoolEResult:
     #: of being recomputed (``timings`` then has ``cache_load`` instead of
     #: the construct/r1/r2/prune/fa_pairing stages).
     cache_hit: bool = False
+    #: True when the extraction + reconstructed netlist came from a
+    #: ``kind="extraction"`` artifact (``timings`` then has
+    #: ``extraction_cache_load`` instead of ``extract``/``reconstruct`` —
+    #: cost propagation was skipped entirely).
+    extraction_cache_hit: bool = False
 
     @property
     def num_exact_fas(self) -> int:
@@ -198,12 +215,18 @@ class BoolEPipeline:
         store: default artifact store for :meth:`run` — an
             :class:`~repro.store.ArtifactStore` or a directory path.
             ``None`` disables caching unless :meth:`run` is given one.
+        extractor: the DAG extractor to run (defaults to a fresh
+            :class:`BoolEExtractor`).  Its ``node_cost`` table participates
+            in the extraction cache key, so a custom cost model never hits
+            a default-cost artifact.
     """
 
     def __init__(self, options: Optional[BoolEOptions] = None, *,
-                 store: Union[ArtifactStore, str, Path, None] = None) -> None:
+                 store: Union[ArtifactStore, str, Path, None] = None,
+                 extractor: Optional[BoolEExtractor] = None) -> None:
         self.options = options or BoolEOptions()
         self.store = _as_store(store)
+        self.extractor = extractor or BoolEExtractor()
         self._r1 = basic_rules(lightweight=self.options.lightweight_rules)
         self._r2 = identification_rules(self.options.include_rule_variants)
         # Options/ruleset fingerprints are per-pipeline constants; computed
@@ -264,7 +287,11 @@ class BoolEPipeline:
         e-graph — stages 1–4 plus the NPN count — is looked up by content
         key first: on a hit the pipeline deserializes the artifact and
         skips straight to extraction (``result.cache_hit``); on a miss it
-        computes the stages and persists them for the next run.
+        computes the stages and persists them for the next run.  The
+        extraction + reconstruction outputs are cached the same way under
+        their own ``kind="extraction"`` key
+        (``result.extraction_cache_hit``), so a fully warm run costs one
+        snapshot load and skips cost propagation entirely.
         """
         options = self.options
         store = _as_store(store) or self.store
@@ -354,12 +381,60 @@ class BoolEPipeline:
         )
 
         if options.extract:
-            t0 = time.perf_counter()
-            extraction = BoolEExtractor().extract(egraph)
-            timings["extract"] = time.perf_counter() - t0
-            t0 = time.perf_counter()
-            extracted, blocks = reconstruct_aig(construction, extraction)
-            timings["reconstruct"] = time.perf_counter() - t0
+            ext_key = None
+            loaded = None
+            if store is not None:
+                # Extraction artifacts are keyed independently of the
+                # saturated snapshot: even when saturation had to be
+                # recomputed (e.g. the snapshot was GC'd), a surviving
+                # extraction artifact is still valid — determinism makes
+                # the recomputed e-graph identical to the one it was
+                # extracted from.
+                ext_key = extraction_cache_key(key, self.extractor.node_cost,
+                                               construction.output_classes)
+                t0 = time.perf_counter()
+                try:
+                    payload = store.get(ext_key,
+                                        expected_kind=KIND_EXTRACTION)
+                except SnapshotError:
+                    # Corrupt/foreign object: degrade to a miss; the
+                    # recompute below overwrites it with a good artifact.
+                    payload = None
+                if payload is not None:
+                    try:
+                        loaded = _extraction_from_state(payload, construction)
+                    except (SnapshotError, KeyError, IndexError, TypeError,
+                            ValueError):
+                        # Well-formed snapshot, malformed payload: same
+                        # degrade-to-recompute policy.
+                        loaded = None
+                if loaded is not None:
+                    timings["extraction_cache_load"] = \
+                        time.perf_counter() - t0
+            if loaded is not None:
+                extraction, extracted, blocks = loaded
+                result.extraction_cache_hit = True
+            else:
+                t0 = time.perf_counter()
+                extraction = self.extractor.extract(egraph)
+                timings["extract"] = time.perf_counter() - t0
+                t0 = time.perf_counter()
+                extracted, blocks = reconstruct_aig(construction, extraction)
+                timings["reconstruct"] = time.perf_counter() - t0
+                if store is not None:
+                    t0 = time.perf_counter()
+                    store.put(ext_key,
+                              _extraction_to_state(extraction, extracted,
+                                                   blocks),
+                              kind=KIND_EXTRACTION,
+                              meta={
+                                  "aig_name": aig.name,
+                                  "exact_fas": len(blocks),
+                                  "extracted_gates": extracted.num_gates,
+                                  "saturated_key": key,
+                              })
+                    timings["extraction_cache_store"] = \
+                        time.perf_counter() - t0
             result.extraction = extraction
             result.extracted_aig = extracted
             result.fa_blocks = blocks
@@ -422,6 +497,33 @@ def _saturated_from_state(state: Dict, aig: AIG) -> Tuple[
             report_from_wire(state["r2_report"]),
             fa_report,
             state["num_npn_fas"])
+
+
+def _extraction_to_state(extraction: BoolEExtraction, extracted: AIG,
+                         blocks: List[FABlockRecord]) -> Dict:
+    """Wire form of everything extraction + reconstruction produce: the
+    per-class cost entries (chosen node, size, FA bitmask + decode table),
+    the reconstructed netlist and the materialised FA blocks."""
+    return {
+        "extraction": extraction_to_wire(extraction),
+        "extracted_aig": aig_to_wire(extracted),
+        "fa_blocks": [[list(block.inputs), block.sum_lit, block.carry_lit]
+                      for block in blocks],
+    }
+
+
+def _extraction_from_state(state: Dict, construction: ConstructionResult
+                           ) -> Tuple[BoolEExtraction, AIG,
+                                      List[FABlockRecord]]:
+    """Rebuild the extraction products against the (loaded or recomputed)
+    saturated e-graph of ``construction``."""
+    extraction = extraction_from_wire(state["extraction"],
+                                      construction.egraph)
+    extracted = aig_from_wire(state["extracted_aig"])
+    blocks = [FABlockRecord(inputs=tuple(inputs), sum_lit=sum_lit,
+                            carry_lit=carry_lit)
+              for inputs, sum_lit, carry_lit in state["fa_blocks"]]
+    return extraction, extracted, blocks
 
 
 def run_boole(aig: AIG, options: Optional[BoolEOptions] = None, *,

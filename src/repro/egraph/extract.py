@@ -14,8 +14,9 @@ adders lives in :mod:`repro.core.extraction`; it reuses the utilities here.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from .egraph import EGraph
 from .enode import ENode, Op
@@ -81,6 +82,48 @@ def node_tiebreak_key(egraph: EGraph, node: ENode):
             str(node.payload))
 
 
+def worklist_tables(egraph: EGraph):
+    """One deterministic setup scan shared by the worklist extractors.
+
+    Returns ``(class_list, nodes, owner, children, tiebreak, waiting,
+    users)``: canonical class ids in seq order; the e-nodes flattened in
+    (class seq, ``enode_sort_key``) order with their owning class
+    position, child class positions and precomputed tie-break keys; the
+    per-node count of distinct unresolved child classes (Kahn in-degrees);
+    and the node-level dependency index — child class position → the node
+    ids that reference it, in insertion order, so propagation walks users
+    deterministically.  Shared by :class:`TreeCostExtractor` and
+    :class:`repro.core.extraction.BoolEExtractor` so fixes to the
+    mechanics cannot diverge between them.
+    """
+    class_list = [egraph.find(eclass.id) for eclass in egraph.classes()]
+    class_index = {class_id: index
+                   for index, class_id in enumerate(class_list)}
+    nodes: List[ENode] = []
+    owner: List[int] = []
+    children: List[Tuple[int, ...]] = []
+    tiebreak: List[Tuple] = []
+    waiting: List[int] = []
+    users: List[List[int]] = [[] for _ in class_list]
+    find = egraph.find
+    for class_position, class_id in enumerate(class_list):
+        for node in egraph.enodes(class_id):
+            node_id = len(nodes)
+            nodes.append(node)
+            owner.append(class_position)
+            tiebreak.append(node_tiebreak_key(egraph, node))
+            child_positions = tuple(class_index[find(child)]
+                                    for child in node.children)
+            children.append(child_positions)
+            seen = set()
+            for child_position in child_positions:
+                if child_position not in seen:
+                    seen.add(child_position)
+                    users[child_position].append(node_id)
+            waiting.append(len(seen))
+    return class_list, nodes, owner, children, tiebreak, waiting, users
+
+
 @dataclass
 class ExtractionResult:
     """Result of extraction: one chosen e-node per reachable e-class."""
@@ -122,7 +165,17 @@ class ExtractionResult:
 
 
 class TreeCostExtractor:
-    """Classic bottom-up extractor minimising an additive tree cost."""
+    """Classic bottom-up extractor minimising an additive tree cost.
+
+    Like :class:`repro.core.extraction.BoolEExtractor`, the fixpoint runs on
+    a topological (Kahn) worklist over e-nodes with a node-level dependency
+    index instead of repeated full passes over every class: an e-node is
+    evaluated once all its child classes have a choice, and an improved
+    class re-evaluates only the e-nodes that reference it.  The fixpoint it
+    reaches is identical to the old repeated-full-pass loop (kept as
+    ``repro.core.extraction_reference.reference_tree_extract`` and
+    property-tested against it).
+    """
 
     def __init__(self, cost_function: Optional[CostFunction] = None) -> None:
         self.cost_function = cost_function or default_cost
@@ -136,42 +189,64 @@ class TreeCostExtractor:
         """
         egraph.rebuild()
         result = ExtractionResult(egraph=egraph)
-        choices = result.choices
+        cost_function = self.cost_function
 
-        changed = True
-        while changed:
-            changed = False
-            for eclass in egraph.classes():
-                class_id = egraph.find(eclass.id)
-                best = choices.get(class_id)
-                for node in egraph.enodes(class_id):
-                    child_choices = []
-                    feasible = True
-                    for child in node.children:
-                        child_choice = choices.get(egraph.find(child))
-                        if child_choice is None:
-                            feasible = False
-                            break
-                        child_choices.append(child_choice.cost)
-                    if not feasible:
-                        continue
-                    cost = self.cost_function(node, child_choices)
-                    better = best is None or cost < best.cost - 1e-12
-                    if not better and best is not None and cost <= best.cost:
-                        # Equal-or-lower cost: break the tie deterministically
-                        # rather than keeping whichever node iterated first.
-                        # The band must not admit cost increases — an
-                        # epsilon-above acceptance would let three nodes a
-                        # few ulps apart beat each other cyclically and spin
-                        # the fixpoint loop forever; requiring
-                        # cost <= best.cost keeps (cost, tiebreak) strictly
-                        # decreasing, so the loop terminates.
-                        better = (node_tiebreak_key(egraph, node)
-                                  < node_tiebreak_key(egraph, best.node))
-                    if better:
-                        best = ExtractionChoice(cost=cost, node=node)
-                        choices[class_id] = best
-                        changed = True
+        (class_list, nodes, owner, children, tiebreak, waiting,
+         users) = worklist_tables(egraph)
+
+        best_cost: List[float] = [0.0] * len(class_list)
+        choice: List[int] = [-1] * len(class_list)
+
+        queue = deque(node_id for node_id in range(len(nodes))
+                      if not waiting[node_id])
+        queued = bytearray(len(nodes))
+        while queue:
+            node_id = queue.popleft()
+            queued[node_id] = 0
+            cost = cost_function(nodes[node_id],
+                                 [best_cost[child_position]
+                                  for child_position in children[node_id]])
+            class_position = owner[node_id]
+            current = choice[class_position]
+            if current < 0:
+                better = True
+            elif cost < best_cost[class_position] - 1e-12:
+                better = True
+            elif cost <= best_cost[class_position]:
+                # Equal-or-lower cost: break the tie deterministically
+                # rather than keeping whichever node evaluated first.  The
+                # band must not admit cost increases — an epsilon-above
+                # acceptance would let three nodes a few ulps apart beat
+                # each other cyclically and spin the fixpoint forever;
+                # requiring cost <= best keeps (cost, tiebreak) strictly
+                # decreasing, so the loop terminates.
+                better = tiebreak[node_id] < tiebreak[current]
+            else:
+                better = False
+            if not better:
+                continue
+            propagate = current < 0 or cost != best_cost[class_position]
+            best_cost[class_position] = cost
+            choice[class_position] = node_id
+            if current < 0:
+                for user in users[class_position]:
+                    remaining = waiting[user] - 1
+                    waiting[user] = remaining
+                    if not remaining and not queued[user]:
+                        queued[user] = 1
+                        queue.append(user)
+            elif propagate:
+                for user in users[class_position]:
+                    if not waiting[user] and not queued[user]:
+                        queued[user] = 1
+                        queue.append(user)
+
+        choices = result.choices
+        for class_position, class_id in enumerate(class_list):
+            node_id = choice[class_position]
+            if node_id >= 0:
+                choices[class_id] = ExtractionChoice(
+                    cost=best_cost[class_position], node=nodes[node_id])
         return result
 
 

@@ -18,13 +18,18 @@ from .codec import (
     CODEC_VERSION,
     KIND_CHECKPOINT,
     KIND_EGRAPH,
+    KIND_EXTRACTION,
     KIND_SATURATED,
     SnapshotError,
     SnapshotVersionError,
+    aig_from_wire,
+    aig_to_wire,
     checkpoint_from_wire,
     checkpoint_to_wire,
     egraph_from_wire,
     egraph_to_wire,
+    extraction_from_wire,
+    extraction_to_wire,
     load_checkpoint,
     load_egraph,
     read_snapshot,
@@ -39,6 +44,7 @@ from .codec import (
 from .fingerprint import (
     canonical_digest,
     combine_cache_key,
+    extraction_cache_key,
     fingerprint_aig,
     fingerprint_options,
     fingerprint_ruleset,
@@ -50,13 +56,18 @@ __all__ = [
     "CODEC_VERSION",
     "KIND_CHECKPOINT",
     "KIND_EGRAPH",
+    "KIND_EXTRACTION",
     "KIND_SATURATED",
     "SnapshotError",
     "SnapshotVersionError",
+    "aig_from_wire",
+    "aig_to_wire",
     "checkpoint_from_wire",
     "checkpoint_to_wire",
     "egraph_from_wire",
     "egraph_to_wire",
+    "extraction_from_wire",
+    "extraction_to_wire",
     "load_checkpoint",
     "load_egraph",
     "read_snapshot",
@@ -69,6 +80,7 @@ __all__ = [
     "write_snapshot",
     "canonical_digest",
     "combine_cache_key",
+    "extraction_cache_key",
     "fingerprint_aig",
     "fingerprint_options",
     "fingerprint_ruleset",

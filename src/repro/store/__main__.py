@@ -8,6 +8,7 @@ Usage::
     python -m repro.store [--root DIR] gc [--max-age-days D]
                                           [--max-bytes N] [--dry-run]
     python -m repro.store key  --arch csa --width 16 [pipeline options]
+                               [--kind saturated|extraction]
     python -m repro.store warm --arch csa --width 16 [pipeline options]
                                [--root DIR]
 
@@ -113,7 +114,19 @@ def _cmd_gc(store: ArtifactStore, args) -> int:
 
 def _cmd_key(_store: ArtifactStore, args) -> int:
     pipeline, mapped = _pipeline_for(args)
-    print(pipeline.cache_key(mapped))
+    key = pipeline.cache_key(mapped)
+    if args.kind == "extraction":
+        # The extraction key strictly extends the saturated key (it digests
+        # it together with the cost model and the reconstruction roots), so
+        # CI caches keyed on it are invalidated by any semantic change to
+        # either artifact.
+        from ..core.construct import aig_to_egraph
+        from .fingerprint import extraction_cache_key
+
+        construction = aig_to_egraph(mapped)
+        key = extraction_cache_key(key, pipeline.extractor.node_cost,
+                                   construction.output_classes)
+    print(key)
     return 0
 
 
@@ -126,6 +139,7 @@ def _cmd_warm(store: ArtifactStore, args) -> int:
     elapsed = time.perf_counter() - start
     print(f"{args.arch}{args.width}: key={key[:16]}… "
           f"{'hit' if cached_before else 'miss (saturated + stored)'} "
+          f"extraction {'hit' if result.extraction_cache_hit else 'stored'} "
           f"in {elapsed:.1f}s — {result.num_exact_fas} exact FAs, "
           f"{result.egraph_classes} classes")
     return 0
@@ -150,8 +164,12 @@ def main(argv=None) -> int:
     gc.add_argument("--max-bytes", type=int, default=None)
     gc.add_argument("--dry-run", action="store_true")
     key = commands.add_parser(
-        "key", help="print a benchmark circuit's saturated-cache key")
+        "key", help="print a benchmark circuit's cache key")
     _add_circuit_options(key)
+    key.add_argument("--kind", choices=("saturated", "extraction"),
+                     default="saturated",
+                     help="which artifact key to print (the extraction key "
+                          "covers the saturated key, cost model and roots)")
     warm = commands.add_parser(
         "warm", help="saturate (or load) a benchmark circuit via the store")
     _add_circuit_options(warm)

@@ -41,6 +41,7 @@ import warnings
 from pathlib import Path
 from typing import Dict, Hashable, List, Optional, Tuple, Union
 
+from ..aig import AIG, AndGate
 from ..egraph import (
     BackoffScheduler,
     EGraph,
@@ -58,10 +59,15 @@ __all__ = [
     "KIND_EGRAPH",
     "KIND_CHECKPOINT",
     "KIND_SATURATED",
+    "KIND_EXTRACTION",
     "SnapshotError",
     "SnapshotVersionError",
     "egraph_to_wire",
     "egraph_from_wire",
+    "aig_to_wire",
+    "aig_from_wire",
+    "extraction_to_wire",
+    "extraction_from_wire",
     "scheduler_to_wire",
     "scheduler_from_wire",
     "report_to_wire",
@@ -79,7 +85,12 @@ __all__ = [
 #: Bump on any change to the wire layout below.  The version is embedded in
 #: every snapshot file *and* salts every content fingerprint, so a bump
 #: atomically invalidates all cached artifacts.
-CODEC_VERSION = 1
+#:
+#: v2: added the ``kind="extraction"`` wire form, and the extraction
+#: rewrite changed entry *semantics* (values are repaired along the chosen
+#: DAG instead of carrying the old stale optimism) — pre-rewrite artifacts
+#: must never hit.
+CODEC_VERSION = 2
 
 SNAPSHOT_FORMAT = "repro.store/snapshot"
 
@@ -87,6 +98,7 @@ SNAPSHOT_FORMAT = "repro.store/snapshot"
 KIND_EGRAPH = "egraph"
 KIND_CHECKPOINT = "checkpoint"
 KIND_SATURATED = "saturated-pipeline"
+KIND_EXTRACTION = "extraction"
 
 
 class SnapshotError(RuntimeError):
@@ -216,6 +228,77 @@ def egraph_from_wire(wire: Dict) -> EGraph:
         "seq": {class_id: seq for class_id, seq in wire["seq"]},
     }
     return EGraph.from_state(state)
+
+
+# ----------------------------------------------------------------------
+# AIG / extraction wire forms (the ``kind="extraction"`` artifact)
+# ----------------------------------------------------------------------
+def aig_to_wire(aig: AIG) -> Dict:
+    """Encode an AIG (structure, signal names, display name) for a snapshot."""
+    return {
+        "name": aig.name,
+        "inputs": [[var, aig.input_names[var]] for var in aig.inputs],
+        "gates": [[gate.out_var, gate.fanin0, gate.fanin1]
+                  for gate in aig.gates],
+        "outputs": [[lit, name]
+                    for lit, name in zip(aig.outputs, aig.output_names)],
+    }
+
+
+def aig_from_wire(wire: Dict) -> AIG:
+    """Decode :func:`aig_to_wire` output back into a live AIG."""
+    return AIG(
+        name=wire["name"],
+        inputs=[var for var, _name in wire["inputs"]],
+        input_names={var: name for var, name in wire["inputs"]},
+        outputs=[lit for lit, _name in wire["outputs"]],
+        output_names=[name for _lit, name in wire["outputs"]],
+        gates=[AndGate(out_var=out_var, fanin0=fanin0, fanin1=fanin1)
+               for out_var, fanin0, fanin1 in wire["gates"]],
+    )
+
+
+def extraction_to_wire(extraction) -> Dict:
+    """Encode a :class:`~repro.core.extraction.BoolEExtraction`.
+
+    Chosen e-nodes are interned exactly like e-graph snapshots; each entry
+    stores ``(class id, node index, size, fa_mask)`` with the shared
+    ``fa_index`` decode table alongside.  Entries are written in ascending
+    class-id order so identical extractions produce identical wire bytes.
+    """
+    table = _NodeTable()
+    entries = [[class_id, table.intern(entry.node), entry.size, entry.fa_mask]
+               for class_id, entry in sorted(extraction.entries.items())]
+    return {
+        "ops": table.ops,
+        "payloads": table.payloads,
+        "nodes": table.nodes,
+        "fa_index": list(extraction.fa_index),
+        "entries": entries,
+    }
+
+
+def extraction_from_wire(wire: Dict, egraph: EGraph):
+    """Decode :func:`extraction_to_wire` output against a live e-graph.
+
+    The class ids in the wire form refer to the deterministic saturated
+    e-graph the extraction was computed on; ``egraph`` must be that graph
+    (typically just deserialized from the sibling ``saturated-pipeline``
+    artifact, or recomputed — determinism makes the ids line up either way).
+    """
+    # Deferred: repro.core imports repro.store at module level; importing it
+    # lazily here breaks the cycle (this function only runs long after both
+    # packages are loaded).
+    from ..core.extraction import BoolEExtraction, CostEntry
+
+    nodes = _decode_nodes(wire)
+    fa_index = tuple(wire["fa_index"])
+    extraction = BoolEExtraction(egraph=egraph, fa_index=fa_index)
+    for class_id, node_index, size, fa_mask in wire["entries"]:
+        extraction.entries[class_id] = CostEntry(
+            fa_mask=fa_mask, size=size, node=nodes[node_index],
+            fa_index=fa_index)
+    return extraction
 
 
 # ----------------------------------------------------------------------

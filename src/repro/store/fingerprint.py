@@ -31,7 +31,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
-from typing import Iterable, Sequence
+from typing import Dict, Iterable, Sequence
 
 from ..aig import AIG
 from ..egraph import Rewrite
@@ -40,6 +40,7 @@ from .codec import CODEC_VERSION
 __all__ = [
     "canonical_digest",
     "combine_cache_key",
+    "extraction_cache_key",
     "fingerprint_aig",
     "fingerprint_options",
     "fingerprint_ruleset",
@@ -133,6 +134,26 @@ def combine_cache_key(aig_fingerprint: str, options_fingerprint: str,
         "aig": aig_fingerprint,
         "options": options_fingerprint,
         "rulesets": list(ruleset_fingerprints),
+    })
+
+
+def extraction_cache_key(saturated_key: str, node_cost: Dict[str, int],
+                         roots: Sequence[int]) -> str:
+    """Content key of a ``kind="extraction"`` artifact.
+
+    Extraction + reconstruction are a pure function of the saturated
+    e-graph (addressed by ``saturated_key``, which already covers the
+    netlist, the options, the rulesets and the codec version), the
+    extractor's per-operator cost table and the reconstruction roots
+    (construction-time output class ids).  Changing any of the three — or
+    bumping ``CODEC_VERSION``, which salts :func:`canonical_digest` —
+    changes the key, so stale extraction artifacts are never even opened.
+    """
+    return canonical_digest({
+        "kind": "extraction-cache-key",
+        "saturated": saturated_key,
+        "node_cost": sorted(node_cost.items()),
+        "roots": list(roots),
     })
 
 

@@ -439,8 +439,10 @@ class TestPipelineStoreCache:
         assert warm.r1_report.stop_reason == cold.r1_report.stop_reason
         assert (warm.r2_report.scheduler_stats
                 == cold.r2_report.scheduler_stats)
-        assert [entry.kind for entry in store.entries()] \
-            == ["saturated-pipeline"]
+        # The cold run persists both cache levels: the saturated snapshot
+        # and the extraction artifact.
+        assert (sorted(entry.kind for entry in store.entries())
+                == ["extraction", "saturated-pipeline"])
 
     def test_display_name_does_not_split_cache(self, tmp_path):
         aig = _mapped_csa3()
@@ -459,7 +461,8 @@ class TestPipelineStoreCache:
         other = BoolEPipeline(BoolEOptions(r1_iterations=3, r2_iterations=2),
                               store=store)
         assert not other.run(aig).cache_hit
-        assert len(store.entries()) == 2
+        # Two (saturated, extraction) artifact pairs: one per option set.
+        assert len(store.entries()) == 4
 
     def test_corrupt_artifact_degrades_to_miss_and_heals(self, tmp_path):
         """A damaged object file at a live key must not poison the circuit:
