@@ -1,0 +1,84 @@
+"""Process-backend batch sweep against a shared artifact store.
+
+Runs eight width-W circuits (adders plus pre- and post-mapping
+multipliers) through :class:`~repro.core.BatchPipeline` on its default
+``executor="process"`` backend.  The first run against a store saturates
+everything in parallel worker processes and persists the phase artifacts;
+the second run is served inline from the store and never spins the pool
+up.  CI uses this script as the process-backend smoke test::
+
+    python examples/batch_sweep.py 8 .ci-batch-store                # cold
+    python examples/batch_sweep.py 8 .ci-batch-store --expect-warm  # warm
+
+Note the ``if __name__ == "__main__"`` guard: the forkserver/spawn start
+methods re-import the main module, so (as with any use of
+``multiprocessing``) batch scripts must keep their work behind the guard.
+"""
+
+import sys
+import time
+
+from repro.core import BatchJob, BatchPipeline, BoolEOptions
+from repro.generators import (
+    booth_multiplier,
+    csa_multiplier,
+    ripple_carry_adder,
+    wallace_multiplier,
+)
+from repro.opt import post_mapping_flow
+
+
+def sweep_jobs(width: int):
+    """Eight distinct circuits at the given width."""
+    return [
+        BatchJob(f"rca{width}", ripple_carry_adder(width)[0]),
+        BatchJob(f"rca{width + 1}", ripple_carry_adder(width + 1)[0]),
+        BatchJob(f"csa{width}-pre", csa_multiplier(width).aig),
+        BatchJob(f"wallace{width}-pre", wallace_multiplier(width).aig),
+        BatchJob(f"booth{width}-pre", booth_multiplier(width).aig),
+        BatchJob(f"csa{width}-mapped",
+                 post_mapping_flow(csa_multiplier(width).aig)),
+        BatchJob(f"wallace{width}-mapped",
+                 post_mapping_flow(wallace_multiplier(width).aig)),
+        BatchJob(f"booth{width}-mapped",
+                 post_mapping_flow(booth_multiplier(width).aig)),
+    ]
+
+
+def main(argv) -> int:
+    width = int(argv[1]) if len(argv) > 1 else 8
+    store = argv[2] if len(argv) > 2 else ".repro-store"
+    expect_warm = "--expect-warm" in argv
+
+    jobs = sweep_jobs(width)
+    options = BoolEOptions(r1_iterations=3, r2_iterations=3)
+    pipeline = BatchPipeline(options, executor="process", max_workers=4,
+                             keep_results=False, store=store)
+    started = time.perf_counter()
+    report = pipeline.run(jobs)
+    wall = time.perf_counter() - started
+
+    for item in report.items:
+        state = ("warm" if item.cached and item.extraction_cached
+                 else "snapshot" if item.cached else "cold")
+        status = "ok" if item.ok else f"FAILED: {item.error}"
+        print(f"  {item.name:<18} {state:<8} {item.runtime:6.2f}s  "
+              f"{int(item.summary.get('exact_fas', 0)):3d} exact FAs  "
+              f"{status}")
+    print(f"{len(jobs)} circuits in {wall:.2f}s "
+          f"({report.num_cached} cached, "
+          f"{report.num_extraction_cached} extraction-cached, "
+          f"throughput {report.throughput:.2f}/s)")
+
+    if report.num_failed:
+        print("FAILURES:", report.failures())
+        return 1
+    if expect_warm and report.num_cached != len(jobs):
+        print(f"expected all {len(jobs)} jobs cached, "
+              f"got {report.num_cached}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -15,6 +15,7 @@ from .fa_structure import (
     count_npn_fa_pairs,
     insert_fa_structures,
 )
+from .phases import Phase, PhaseContext, PhaseGraph, boole_phases
 from .pipeline import BoolEOptions, BoolEPipeline, BoolEResult, run_boole
 from .rules_basic import basic_rules, full_basic_rules, lightweight_basic_rules
 from .rules_xor_maj import identification_rules, maj_rules, ruleset_summary, xor_rules
@@ -35,6 +36,10 @@ __all__ = [
     "FAPair",
     "count_npn_fa_pairs",
     "insert_fa_structures",
+    "Phase",
+    "PhaseContext",
+    "PhaseGraph",
+    "boole_phases",
     "BoolEOptions",
     "BoolEPipeline",
     "BoolEResult",

@@ -1,33 +1,54 @@
 """Batch driver: run many netlists through :class:`BoolEPipeline` at once.
 
-``BatchPipeline`` executes a set of :class:`BatchJob` items on a
-``concurrent.futures`` executor, applies per-circuit resource limits (each
-job may carry its own :class:`BoolEOptions`), isolates failures (one broken
-circuit never aborts the batch), and aggregates everything into a
-:class:`BatchReport` suitable for the benchmark harness.
+``BatchPipeline`` executes a set of :class:`BatchJob` items on a worker
+pool, applies per-circuit resource limits (each job may carry its own
+:class:`BoolEOptions`), isolates failures (one broken circuit never aborts
+the batch), and aggregates everything into a :class:`BatchReport` suitable
+for the benchmark harness.
 
-Two executor backends are supported:
+Three executor backends are supported:
 
-* ``"thread"`` (default) — a ``ThreadPoolExecutor``.  The pipeline is pure
-  Python, so threads mostly interleave rather than parallelise under the
-  GIL, but results can carry the full :class:`BoolEResult` objects and
-  nothing needs to be picklable.
-* ``"process"`` — a ``ProcessPoolExecutor``.  True parallelism; jobs and
-  their options are pickled into the workers, and only the numeric summary
-  travels back (``BatchItemResult.result`` is ``None``).
+* ``"process"`` (default) — a ``ProcessPoolExecutor`` on a **forkserver**
+  context.  True parallelism for the pure-Python pipeline.  Workers are
+  initialised once with the batch's store root and default options, so the
+  parsed rulesets and the store handle are built per *worker*, not per
+  job; jobs are submitted in **chunks** so thousands-of-circuit sweeps pay
+  one pickle round-trip per chunk instead of per circuit.  Results travel
+  back as :meth:`~repro.core.pipeline.BoolEResult.lightweight` copies —
+  reports, counts, the reconstructed netlist and timings, everything
+  except the e-graph — so ``keep_results=True`` works on every backend.
+  If a worker dies (OOM-killed, segfault, machine reboot), the broken pool
+  is rebuilt and the undone jobs are **requeued** (up to ``retries``
+  times); with a store configured the retried jobs resume from whatever
+  phase artifacts and ``kind="checkpoint"`` snapshots the dead worker
+  already persisted, so only the genuinely unfinished phase re-runs.
+* ``"thread"`` — a ``ThreadPoolExecutor``.  The pipeline is pure Python,
+  so threads mostly interleave rather than parallelise under the GIL, but
+  nothing needs to be picklable and results carry the full
+  :class:`BoolEResult` objects (e-graph included).
+* ``"serial"`` — run every job inline on the calling thread, reusing one
+  pipeline per distinct options object.  The reference backend for
+  determinism comparisons and the cheapest for small batches.
+
+All three backends produce bit-identical summaries and aggregates for the
+same job list (``tests/test_batch.py`` holds this across backends and
+``PYTHONHASHSEED`` values).
 
 With a ``store`` (an :class:`~repro.store.ArtifactStore` or directory
 path) the driver consults the content-addressed cache *before*
 dispatching: jobs whose saturated e-graph is already stored run inline on
-the calling thread — a cheap load instead of a saturation, and when the
-``kind="extraction"`` artifact is warm too the job skips cost propagation
-as well (``BatchItemResult.extraction_cached``) — and only genuinely new
-circuits occupy executor workers, so repeated batch sweeps pay only for
-what changed.
+the calling thread — a cheap load instead of a saturation — and only
+genuinely cold circuits occupy pool workers.  Inside a worker the phase
+graph applies the same logic per *phase*: a job whose snapshot is warm
+but whose extraction artifact is not computes only extraction, so only
+genuinely new phases ever cross a process boundary.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import multiprocessing
+import os
 import time
 from concurrent.futures import (
     Future,
@@ -35,15 +56,27 @@ from concurrent.futures import (
     ThreadPoolExecutor,
     as_completed,
 )
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..aig import AIG
 from ..store import ArtifactStore
 from .pipeline import BoolEOptions, BoolEPipeline, BoolEResult
 
 __all__ = ["BatchJob", "BatchItemResult", "BatchReport", "BatchPipeline"]
+
+#: Auto-chunking splits the cold-job list into roughly this many chunks
+#: per worker, balancing pickle amortisation against tail latency.
+_CHUNKS_PER_WORKER = 4
+
+#: Test-only fault injection: when this environment variable names a path
+#: that does not exist yet, the first chunk processed by any process
+#: worker creates it and hard-kills the worker (``os._exit``), simulating
+#: an OOM-kill mid-batch.  Used by the requeue tests; never set it in
+#: production.
+_KILL_ENV = "_REPRO_BATCH_KILL_WORKER_ONCE"
 
 
 @dataclass
@@ -72,8 +105,11 @@ class BatchItemResult:
         runtime: wall-clock seconds spent inside the pipeline for this job.
         summary: the :meth:`BoolEResult.summary` numbers (empty on failure).
         error: the formatted exception when ``ok`` is False.
-        result: the full :class:`BoolEResult` when available (thread backend
-            with ``keep_results=True``), else ``None``.
+        result: the :class:`BoolEResult` when ``keep_results=True`` — the
+            full object on the serial/thread backends and for store-warm
+            inline jobs, a :meth:`~BoolEResult.lightweight` copy (reports,
+            counts, reconstructed netlist; no e-graph) from process
+            workers.
         cached: True when the saturated e-graph came from the artifact
             store (the job skipped saturation entirely).
         extraction_cached: True when the extraction + reconstruction
@@ -82,6 +118,10 @@ class BatchItemResult:
             artifact can survive snapshot GC, so a job may re-saturate yet
             still skip extraction.  A fully warm two-level hit is
             ``cached and extraction_cached``.
+        resumed_phase: phase the job resumed from a ``kind="checkpoint"``
+            artifact, if any (see ``BoolEOptions.checkpoint_every``).
+        attempts: 1 for first-try completions; >1 when the job was
+            requeued after a broken worker pool.
     """
 
     name: str
@@ -92,6 +132,8 @@ class BatchItemResult:
     result: Optional[BoolEResult] = None
     cached: bool = False
     extraction_cached: bool = False
+    resumed_phase: Optional[str] = None
+    attempts: int = 1
 
 
 @dataclass
@@ -128,6 +170,11 @@ class BatchReport:
         return sum(1 for item in self.items if item.extraction_cached)
 
     @property
+    def num_requeued(self) -> int:
+        """Number of jobs that needed more than one attempt."""
+        return sum(1 for item in self.items if item.attempts > 1)
+
+    @property
     def total_runtime(self) -> float:
         """Sum of per-circuit pipeline runtimes (CPU-ish seconds)."""
         return sum(item.runtime for item in self.items)
@@ -156,37 +203,142 @@ class BatchReport:
                 totals[key] = totals.get(key, 0.0) + value
         return totals
 
+    def deterministic_aggregate(self) -> Dict[str, float]:
+        """:meth:`aggregate` minus the wall-clock column.
+
+        Everything left is a pure function of the job list, so two runs —
+        any backend, any worker count, any ``PYTHONHASHSEED`` — must agree
+        exactly (the cross-backend property test pins this).
+        """
+        totals = self.aggregate()
+        totals.pop("runtime", None)
+        return totals
+
     def failures(self) -> List[Tuple[str, str]]:
         """Return ``(name, error)`` pairs of the failed jobs."""
         return [(item.name, item.error or "unknown error")
                 for item in self.items if not item.ok]
 
 
-def _run_job(job: BatchJob, default_options: Optional[BoolEOptions],
-             keep_result: bool,
-             store_root: Optional[str] = None) -> BatchItemResult:
-    """Worker body: run one job, capturing any failure.
+# ----------------------------------------------------------------------
+# Worker bodies (module-level so the process backend can pickle them)
+# ----------------------------------------------------------------------
+def _options_cache_key(options: Optional[BoolEOptions]):
+    return None if options is None else dataclasses.astuple(options)
 
-    Module-level so the process backend can pickle it; the store travels
-    as its root path (an :class:`ArtifactStore` holds an unpicklable lock)
-    and is reopened inside the worker.
+
+def _run_one(cache: "_PipelineCache", job: BatchJob,
+             keep_result: bool, lighten: bool) -> BatchItemResult:
+    """Run one job, capturing any failure.
+
+    Pipeline construction happens *inside* the capture: a job whose
+    options are invalid (bad refine_rounds, conflicting match caps) must
+    fail alone, never abort the batch or take its chunk-mates with it.
     """
     start = time.perf_counter()
     try:
-        pipeline = BoolEPipeline(job.options or default_options)
-        result = pipeline.run(job.aig, store=store_root)
+        pipeline = cache.pipeline_for(job.options)
+        result = pipeline.run(job.aig)
     except Exception as error:  # noqa: BLE001 - failure isolation is the point
         return BatchItemResult(
             name=job.name, ok=False,
             runtime=time.perf_counter() - start,
             error=f"{type(error).__name__}: {error}")
+    kept = None
+    if keep_result:
+        kept = result.lightweight() if lighten else result
     return BatchItemResult(
         name=job.name, ok=True,
         runtime=time.perf_counter() - start,
         summary=result.summary(),
-        result=result if keep_result else None,
+        result=kept,
         cached=result.cache_hit,
-        extraction_cached=result.extraction_cache_hit)
+        extraction_cached=result.extraction_cache_hit,
+        resumed_phase=result.resumed_phase)
+
+
+class _PipelineCache:
+    """One pipeline per distinct options object, store handle shared.
+
+    Reusing a pipeline reuses its parsed rulesets and memoized
+    options/ruleset fingerprints — in a process worker that means the
+    read-only ruleset initialisation happens once per worker instead of
+    once per job.
+    """
+
+    def __init__(self, default_options: Optional[BoolEOptions],
+                 store_root: Optional[str]) -> None:
+        self.default_options = default_options
+        self.store_root = store_root
+        self.store = (ArtifactStore(store_root)
+                      if store_root is not None else None)
+        self._pipelines: Dict[object, BoolEPipeline] = {}
+
+    def pipeline_for(self, options: Optional[BoolEOptions]) -> BoolEPipeline:
+        options = options or self.default_options
+        key = _options_cache_key(options)
+        pipeline = self._pipelines.get(key)
+        if pipeline is None:
+            pipeline = BoolEPipeline(options, store=self.store)
+            self._pipelines[key] = pipeline
+        return pipeline
+
+
+#: Per-process worker state, filled by :func:`_process_worker_init`.
+_WORKER: Dict[str, object] = {}
+
+
+def _process_worker_init(store_root: Optional[str],
+                         default_options: Optional[BoolEOptions],
+                         fault_marker: Optional[str]) -> None:
+    """Process-pool initializer: one store handle + pre-parsed rulesets.
+
+    Building the default pipeline here moves the shared read-only setup
+    (ruleset parsing, fingerprint memoization, store open) off the job
+    path: every job the worker ever runs reuses it.  ``fault_marker`` is
+    the test-only kill switch, resolved in the *parent* because the
+    forkserver daemon freezes its environment when it starts.
+    """
+    cache = _PipelineCache(default_options, store_root)
+    cache.pipeline_for(None)
+    _WORKER["cache"] = cache
+    _WORKER["fault_marker"] = fault_marker
+
+
+def _maybe_inject_worker_fault() -> None:
+    marker = _WORKER.get("fault_marker")
+    if not marker:
+        return
+    try:
+        # O_EXCL makes exactly one worker die even when several race.
+        handle = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return
+    os.close(handle)
+    os._exit(17)
+
+
+def _run_process_chunk(jobs: List[BatchJob],
+                       keep_results: bool) -> List[BatchItemResult]:
+    """Worker body: run a chunk of jobs against the per-worker cache."""
+    _maybe_inject_worker_fault()
+    cache = _WORKER["cache"]
+    return [_run_one(cache, job, keep_results, lighten=True)
+            for job in jobs]
+
+
+def _run_thread_job(job: BatchJob, default_options: Optional[BoolEOptions],
+                    keep_result: bool,
+                    store_root: Optional[str]) -> BatchItemResult:
+    """Thread-pool body: per-job cache (rulesets are not shared between
+    concurrently running saturations)."""
+    cache = _PipelineCache(default_options, store_root)
+    return _run_one(cache, job, keep_result, lighten=False)
+
+
+def _chunked(indices: Sequence[int], size: int) -> List[List[int]]:
+    return [list(indices[start:start + size])
+            for start in range(0, len(indices), size)]
 
 
 class BatchPipeline:
@@ -200,26 +352,40 @@ class BatchPipeline:
 
     Args:
         options: default :class:`BoolEOptions` for jobs that carry none.
-        max_workers: executor pool size (``None`` = executor default).
-        executor: ``"thread"`` or ``"process"`` (see module docstring).
-        keep_results: attach the full :class:`BoolEResult` to each item
-            (forced off on the process backend to avoid shipping e-graphs
-            between processes).
+        max_workers: pool size (``None`` = executor default; ignored by
+            the serial backend).
+        executor: ``"process"`` (default), ``"thread"`` or ``"serial"``
+            (see module docstring).
+        keep_results: attach a :class:`BoolEResult` to each item — the
+            full object on serial/thread, a lightweight copy (reports +
+            counts + reconstructed netlist, no e-graph) from process
+            workers.
         store: artifact store (or its directory path) consulted before
-            dispatch; cached jobs bypass the executor entirely.
+            dispatch; jobs with a warm saturated snapshot bypass the pool
+            entirely, and pool workers reuse the store per phase.
+        chunk_size: jobs per process-pool submission (``None`` = automatic
+            from the batch and pool size).
+        retries: times a broken process pool is rebuilt and the undone
+            jobs requeued before they are reported as failures.
     """
 
     def __init__(self, options: Optional[BoolEOptions] = None, *,
                  max_workers: Optional[int] = None,
-                 executor: str = "thread",
+                 executor: str = "process",
                  keep_results: bool = True,
-                 store: Union[ArtifactStore, str, Path, None] = None) -> None:
-        if executor not in ("thread", "process"):
+                 store: Union[ArtifactStore, str, Path, None] = None,
+                 chunk_size: Optional[int] = None,
+                 retries: int = 1) -> None:
+        if executor not in ("serial", "thread", "process"):
             raise ValueError(f"unknown executor backend {executor!r}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
         self.options = options
         self.max_workers = max_workers
         self.executor = executor
-        self.keep_results = keep_results and executor == "thread"
+        self.keep_results = keep_results
+        self.chunk_size = chunk_size
+        self.retries = max(0, retries)
         if isinstance(store, ArtifactStore):
             self.store_root: Optional[str] = str(store.root)
         elif store is not None:
@@ -227,20 +393,7 @@ class BatchPipeline:
         else:
             self.store_root = None
 
-    def _probe_pipeline(self, job: BatchJob,
-                        cache: Dict[int, BoolEPipeline]) -> BoolEPipeline:
-        """One fingerprinting pipeline per distinct options object.
-
-        Jobs overwhelmingly share the batch default options; reusing the
-        pipeline reuses its parsed rulesets and memoized options/ruleset
-        fingerprints, so probing N jobs costs N AIG digests, not N full
-        ruleset fingerprints."""
-        options = job.options or self.options
-        pipeline = cache.get(id(options))
-        if pipeline is None:
-            pipeline = cache[id(options)] = BoolEPipeline(options)
-        return pipeline
-
+    # ------------------------------------------------------------------
     def run(self, jobs: Iterable[Union[BatchJob, AIG]]) -> BatchReport:
         """Execute every job and return the aggregated report.
 
@@ -249,8 +402,8 @@ class BatchPipeline:
         the report matches submission order regardless of completion order.
 
         With a store configured, every job's cache key is probed first:
-        hits run inline on this thread (load + extraction only) while the
-        executor works on the misses in parallel.
+        snapshot hits run inline on this thread (load + extraction only)
+        while the pool works on the misses in parallel.
         """
         normalized = [self._normalize(job, index)
                       for index, job in enumerate(jobs)]
@@ -258,29 +411,57 @@ class BatchPipeline:
         if not normalized:
             return report
 
-        store = (ArtifactStore(self.store_root)
-                 if self.store_root is not None else None)
-        pool_cls = (ThreadPoolExecutor if self.executor == "thread"
-                    else ProcessPoolExecutor)
         start = time.perf_counter()
         results: Dict[int, BatchItemResult] = {}
-        probe_cache: Dict[int, BoolEPipeline] = {}
-        with pool_cls(max_workers=self.max_workers) as pool:
-            futures: Dict[Future, int] = {}
-            inline: List[int] = []
-            for index, job in enumerate(normalized):
-                if store is not None and store.contains(
-                        self._probe_pipeline(job, probe_cache)
-                        .cache_key(job.aig)):
-                    inline.append(index)
-                else:
-                    futures[pool.submit(_run_job, job, self.options,
-                                        self.keep_results,
-                                        self.store_root)] = index
+        probe_cache = _PipelineCache(self.options, self.store_root)
+        inline: List[int] = []
+        cold: List[int] = []
+        for index, job in enumerate(normalized):
+            if probe_cache.store is None:
+                cold.append(index)
+                continue
+            try:
+                warm = probe_cache.store.contains(
+                    probe_cache.pipeline_for(job.options)
+                    .cache_key(job.aig))
+            except Exception:  # noqa: BLE001 - bad job options/netlist
+                # Schedule it cold; the worker-side capture turns the
+                # same failure into this job's own error item.
+                warm = False
+            (inline if warm else cold).append(index)
+
+        if self.executor == "serial":
+            for index in inline + cold:
+                results[index] = _run_one(probe_cache, normalized[index],
+                                          self.keep_results, lighten=False)
+        elif self.executor == "thread":
+            self._run_thread(normalized, inline, cold, results, probe_cache)
+        else:
+            self._run_process(normalized, inline, cold, results, probe_cache)
+
+        report.items = [results[index] for index in range(len(normalized))]
+        report.wall_time = time.perf_counter() - start
+        return report
+
+    # ------------------------------------------------------------------
+    def _serve_inline(self, normalized: List[BatchJob], inline: List[int],
+                      results: Dict[int, BatchItemResult],
+                      probe_cache: _PipelineCache) -> None:
+        """Serve store-warm jobs on the calling thread."""
+        for index in inline:
+            results[index] = _run_one(probe_cache, normalized[index],
+                                      self.keep_results, lighten=False)
+
+    def _run_thread(self, normalized: List[BatchJob], inline: List[int],
+                    cold: List[int], results: Dict[int, BatchItemResult],
+                    probe_cache: _PipelineCache) -> None:
+        with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+            futures: Dict[Future, int] = {
+                pool.submit(_run_thread_job, normalized[index], self.options,
+                            self.keep_results, self.store_root): index
+                for index in cold}
             # Cached jobs are served while the pool chews on the misses.
-            for index in inline:
-                results[index] = _run_job(normalized[index], self.options,
-                                          self.keep_results, self.store_root)
+            self._serve_inline(normalized, inline, results, probe_cache)
             for future in as_completed(futures):
                 index = futures[future]
                 try:
@@ -289,9 +470,89 @@ class BatchPipeline:
                     results[index] = BatchItemResult(
                         name=normalized[index].name, ok=False,
                         error=f"{type(error).__name__}: {error}")
-        report.items = [results[index] for index in range(len(normalized))]
-        report.wall_time = time.perf_counter() - start
-        return report
+
+    def _pool_size(self, pending: int) -> int:
+        if self.max_workers is not None:
+            return self.max_workers
+        return min(pending, os.cpu_count() or 1)
+
+    def _chunk_size_for(self, pending: int, workers: int) -> int:
+        if self.chunk_size is not None:
+            return self.chunk_size
+        return max(1, pending // max(1, workers * _CHUNKS_PER_WORKER))
+
+    def _run_process(self, normalized: List[BatchJob], inline: List[int],
+                     cold: List[int], results: Dict[int, BatchItemResult],
+                     probe_cache: _PipelineCache) -> None:
+        method = ("forkserver" if "forkserver"
+                  in multiprocessing.get_all_start_methods() else "spawn")
+        mp_context = multiprocessing.get_context(method)
+        pending = list(cold)
+        attempt = 0
+        served_inline = False
+        while True:
+            if not pending:
+                if not served_inline:
+                    self._serve_inline(normalized, inline, results,
+                                       probe_cache)
+                return
+            workers = self._pool_size(len(pending))
+            chunk_size = self._chunk_size_for(len(pending), workers)
+            try:
+                with ProcessPoolExecutor(
+                        max_workers=workers,
+                        mp_context=mp_context,
+                        initializer=_process_worker_init,
+                        initargs=(self.store_root, self.options,
+                                  os.environ.get(_KILL_ENV))) as pool:
+                    futures: Dict[Future, List[int]] = {
+                        pool.submit(_run_process_chunk,
+                                    [normalized[i] for i in chunk],
+                                    self.keep_results): chunk
+                        for chunk in _chunked(pending, chunk_size)}
+                    if not served_inline:
+                        # Cached jobs are served while the pool chews on
+                        # the misses.
+                        self._serve_inline(normalized, inline, results,
+                                           probe_cache)
+                        served_inline = True
+                    for future in as_completed(futures):
+                        chunk = futures[future]
+                        try:
+                            items = future.result()
+                        except BrokenProcessPool:
+                            continue  # requeued below
+                        except Exception as error:  # noqa: BLE001
+                            for index in chunk:
+                                results[index] = BatchItemResult(
+                                    name=normalized[index].name, ok=False,
+                                    error=f"{type(error).__name__}: {error}",
+                                    attempts=attempt + 1)
+                            continue
+                        for index, item in zip(chunk, items):
+                            item.attempts = attempt + 1
+                            results[index] = item
+            except BrokenProcessPool:
+                pass
+            pending = [index for index in pending if index not in results]
+            if not pending:
+                continue  # loop exits at the top
+            # A worker died hard and took its chunk(s) with it: rebuild
+            # the pool and requeue.  With a store configured the retried
+            # jobs resume from the phase artifacts and checkpoints the
+            # dead worker already persisted.
+            attempt += 1
+            if attempt > self.retries:
+                for index in pending:
+                    results[index] = BatchItemResult(
+                        name=normalized[index].name, ok=False,
+                        error="worker process pool broke "
+                              f"(after {attempt} attempt(s))",
+                        attempts=attempt)
+                if not served_inline:
+                    self._serve_inline(normalized, inline, results,
+                                       probe_cache)
+                return
 
     @staticmethod
     def _normalize(job: Union[BatchJob, AIG], index: int) -> BatchJob:

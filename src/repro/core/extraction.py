@@ -135,14 +135,32 @@ class BoolEExtraction:
 
 
 class BoolEExtractor:
-    """DAG cost extractor maximising the number of exact full adders."""
+    """DAG cost extractor maximising the number of exact full adders.
 
-    def __init__(self, node_cost: Optional[Dict[str, int]] = None) -> None:
+    Args:
+        node_cost: per-operator base costs (participates in the extraction
+            cache key).
+        refine_rounds: bounded choose→repair refinement iterations after
+            the first pass.  The greedy fixpoint keeps *repaired* (true)
+            values, so re-running the propagation from them can discover
+            choices the optimistic first pass missed (the "unapplied
+            improvement" headroom of ``docs/performance.md``); each round
+            re-seeds every resolved e-node, propagates, repairs, and the
+            round with the best materialised FA count at the extraction
+            roots wins.  Rounds stop early once a sweep changes nothing.
+            ``0`` (default) keeps the single-pass behaviour exactly.
+    """
+
+    def __init__(self, node_cost: Optional[Dict[str, int]] = None, *,
+                 refine_rounds: int = 0) -> None:
         self.node_cost = node_cost or {
             Op.VAR: 0, Op.CONST: 0, Op.FST: 0, Op.SND: 0,
             Op.NOT: 1, Op.AND: 1, Op.OR: 1, Op.XOR: 1, Op.XNOR: 1,
             Op.NAND: 1, Op.NOR: 1, Op.XOR3: 2, Op.MAJ: 2, Op.FA: 2, Op.HA: 1,
         }
+        if refine_rounds < 0:
+            raise ValueError("refine_rounds must be >= 0")
+        self.refine_rounds = refine_rounds
 
     def extract(self, egraph: EGraph,
                 roots: Optional[Sequence[int]] = None) -> BoolEExtraction:
@@ -197,102 +215,180 @@ class BoolEExtractor:
                 size += best_size[child_position]
             return mask, (size if size <= _SIZE_CAP else _SIZE_CAP)
 
-        queue = deque(node_id for node_id in range(len(nodes))
-                      if not waiting[node_id])
-        queued = bytearray(len(nodes))
-        while queue:
-            node_id = queue.popleft()
-            queued[node_id] = 0
-            mask, size = evaluate(node_id)
-            class_position = owner[node_id]
-            current = choice[class_position]
-            if current < 0:
-                accept = True
-            else:
-                current_mask = best_mask[class_position]
-                current_size = best_size[class_position]
-                count = mask.bit_count()
-                current_count = current_mask.bit_count()
-                if count != current_count:
-                    accept = count > current_count
-                elif size != current_size:
-                    accept = size < current_size
-                elif node_id == current:
-                    # Same choice, but a child's tie-break swap changed
-                    # *which* FA classes flow up while keeping their count;
-                    # store the refreshed mask and let it propagate.
-                    # (Keeping the strictly-improving discipline here is
-                    # what guarantees the chosen-node graph stays acyclic
-                    # for reconstruction; any residual staleness is fixed
-                    # by the value-repair pass below.)
-                    accept = mask != current_mask
+        def propagate(seeds) -> bool:
+            """Run the worklist fixpoint from ``seeds``; True if anything
+            was accepted."""
+            queue = deque(seeds)
+            queued = bytearray(len(nodes))
+            for node_id in queue:
+                queued[node_id] = 1
+            changed = False
+            while queue:
+                node_id = queue.popleft()
+                queued[node_id] = 0
+                mask, size = evaluate(node_id)
+                class_position = owner[node_id]
+                current = choice[class_position]
+                if current < 0:
+                    accept = True
                 else:
-                    # Equal (FA count, size): break the tie by (op, child
-                    # seqs, payload) so the chosen representative does not
-                    # depend on evaluation order.
-                    accept = tiebreak[node_id] < tiebreak[current]
-            if not accept:
-                continue
-            propagate = (current < 0
-                         or mask != best_mask[class_position]
-                         or size != best_size[class_position])
-            best_mask[class_position] = mask
-            best_size[class_position] = size
-            choice[class_position] = node_id
-            if current < 0:
-                # First entry: release Kahn successors of this class.
-                for user in users[class_position]:
-                    remaining = waiting[user] - 1
-                    waiting[user] = remaining
-                    if not remaining and not queued[user]:
-                        queued[user] = 1
-                        queue.append(user)
-            elif propagate:
-                # Improvement/refresh: only re-evaluate the e-nodes that
-                # actually consume this class (already-released ones).
-                for user in users[class_position]:
-                    if not waiting[user] and not queued[user]:
-                        queued[user] = 1
-                        queue.append(user)
+                    current_mask = best_mask[class_position]
+                    current_size = best_size[class_position]
+                    count = mask.bit_count()
+                    current_count = current_mask.bit_count()
+                    if count != current_count:
+                        accept = count > current_count
+                    elif size != current_size:
+                        accept = size < current_size
+                    elif node_id == current:
+                        # Same choice, but a child's tie-break swap changed
+                        # *which* FA classes flow up while keeping their
+                        # count; store the refreshed mask and let it
+                        # propagate.  (Keeping the strictly-improving
+                        # discipline here is what keeps the chosen-node
+                        # graph acyclic for reconstruction; any residual
+                        # staleness is fixed by the value-repair pass.)
+                        accept = mask != current_mask
+                    else:
+                        # Equal (FA count, size): break the tie by (op,
+                        # child seqs, payload) so the chosen representative
+                        # does not depend on evaluation order.
+                        accept = tiebreak[node_id] < tiebreak[current]
+                if not accept:
+                    continue
+                changed = True
+                spread = (current < 0
+                          or mask != best_mask[class_position]
+                          or size != best_size[class_position])
+                best_mask[class_position] = mask
+                best_size[class_position] = size
+                choice[class_position] = node_id
+                if current < 0:
+                    # First entry: release Kahn successors of this class.
+                    for user in users[class_position]:
+                        remaining = waiting[user] - 1
+                        waiting[user] = remaining
+                        if not remaining and not queued[user]:
+                            queued[user] = 1
+                            queue.append(user)
+                elif spread:
+                    # Improvement/refresh: only re-evaluate the e-nodes
+                    # that actually consume this class (released ones).
+                    for user in users[class_position]:
+                        if not waiting[user] and not queued[user]:
+                            queued[user] = 1
+                            queue.append(user)
+            return changed
 
-        # ---- value repair along the chosen DAG --------------------------
-        # The monotone loop never downgrades a stored value, so a child
-        # refresh that shrank the FA union a parent's value was computed
-        # from leaves the parent's (mask, size) stale — the pre-rewrite
-        # extractor shipped those values, making ``num_exact_fas`` claim
-        # FAs the reconstructed netlist does not contain.  The *choices*
-        # stand (they are the deterministic greedy solution and their
-        # dependency graph is acyclic wherever reconstruction can reach);
-        # the values are recomputed bottom-up along the chosen-node DAG so
-        # every reported (mask, size) is exactly what materialising the
-        # choice yields.  Classes on chosen-node cycles (unreachable
-        # bookkeeping only — reconstruction rejects them) keep their
-        # phase-1 values.
-        chosen_indegree = [0] * num_classes
-        chosen_users: List[List[int]] = [[] for _ in range(num_classes)]
-        for class_position in range(num_classes):
-            node_id = choice[class_position]
-            if node_id < 0:
-                continue
-            seen = set()
-            for child_position in children[node_id]:
-                if (child_position != class_position
-                        and child_position not in seen):
-                    seen.add(child_position)
-                    chosen_users[child_position].append(class_position)
-                    chosen_indegree[class_position] += 1
-        repair = deque(class_position for class_position in range(num_classes)
-                       if choice[class_position] >= 0
-                       and not chosen_indegree[class_position])
-        while repair:
-            class_position = repair.popleft()
-            mask, size = evaluate(choice[class_position])
-            best_mask[class_position] = mask
-            best_size[class_position] = size
-            for user in chosen_users[class_position]:
-                chosen_indegree[user] -= 1
-                if not chosen_indegree[user]:
-                    repair.append(user)
+        def repair() -> bytearray:
+            """Value repair along the chosen DAG.
+
+            The monotone loop never downgrades a stored value, so a child
+            refresh that shrank the FA union a parent's value was computed
+            from leaves the parent's (mask, size) stale — the pre-rewrite
+            extractor shipped those values, making ``num_exact_fas`` claim
+            FAs the reconstructed netlist does not contain.  The *choices*
+            stand; the values are recomputed bottom-up along the
+            chosen-node DAG so every reported (mask, size) is exactly what
+            materialising the choice yields.  Returns the repaired-class
+            bitmap: classes on chosen-node cycles stay 0 (unreachable
+            bookkeeping only — reconstruction rejects them).
+            """
+            chosen_indegree = [0] * num_classes
+            chosen_users: List[List[int]] = [[] for _ in range(num_classes)]
+            for class_position in range(num_classes):
+                node_id = choice[class_position]
+                if node_id < 0:
+                    continue
+                seen = set()
+                for child_position in children[node_id]:
+                    if (child_position != class_position
+                            and child_position not in seen):
+                        seen.add(child_position)
+                        chosen_users[child_position].append(class_position)
+                        chosen_indegree[class_position] += 1
+            repaired = bytearray(num_classes)
+            queue = deque(
+                class_position for class_position in range(num_classes)
+                if choice[class_position] >= 0
+                and not chosen_indegree[class_position])
+            while queue:
+                class_position = queue.popleft()
+                repaired[class_position] = 1
+                mask, size = evaluate(choice[class_position])
+                best_mask[class_position] = mask
+                best_size[class_position] = size
+                for user in chosen_users[class_position]:
+                    chosen_indegree[user] -= 1
+                    if not chosen_indegree[user]:
+                        queue.append(user)
+            return repaired
+
+        propagate(node_id for node_id in range(len(nodes))
+                  if not waiting[node_id])
+        repaired = repair()
+
+        # ---- bounded choose→repair refinement ---------------------------
+        # The repaired values are the *true* costs of the first-pass
+        # choices; re-seeding the fixpoint from them lets nodes that beat
+        # their class's stored choice under true (rather than stale
+        # optimistic) child values take over, and another repair trues the
+        # values again.  Rounds are scored by the materialised FA count at
+        # the extraction roots (all classes when no roots are given) and
+        # the best round wins; a round whose chosen DAG turns cyclic under
+        # a root is discarded and refinement stops.
+        if self.refine_rounds > 0:
+            if roots is not None:
+                class_index = {class_id: position for position, class_id
+                               in enumerate(class_list)}
+                root_positions = []
+                seen_roots = set()
+                for root in roots:
+                    position = class_index.get(egraph.find(root))
+                    if position is not None and position not in seen_roots:
+                        seen_roots.add(position)
+                        root_positions.append(position)
+            else:
+                root_positions = [position for position in range(num_classes)
+                                  if choice[position] >= 0]
+
+            def round_score(repaired_bitmap: bytearray):
+                """(valid, FA count, -size) of the current choice set."""
+                mask = 0
+                size = 0
+                stack = list(root_positions)
+                visited = bytearray(num_classes)
+                while stack:
+                    position = stack.pop()
+                    if visited[position]:
+                        continue
+                    visited[position] = 1
+                    node_id = choice[position]
+                    if node_id < 0 or not repaired_bitmap[position]:
+                        # Unreachable root or a chosen-node cycle under a
+                        # root: materialising this round would fail.
+                        return None
+                    stack.extend(children[node_id])
+                for position in root_positions:
+                    mask |= best_mask[position]
+                    size += best_size[position]
+                return (mask.bit_count(), -size)
+
+            best_score = round_score(repaired)
+            snapshot = (best_mask[:], best_size[:], choice[:])
+            for _ in range(self.refine_rounds):
+                changed = propagate(node_id for node_id in range(len(nodes))
+                                    if not waiting[node_id])
+                if not changed:
+                    break
+                repaired = repair()
+                score = round_score(repaired)
+                if score is None:
+                    break
+                if best_score is None or score > best_score:
+                    best_score = score
+                    snapshot = (best_mask[:], best_size[:], choice[:])
+            best_mask[:], best_size[:], choice[:] = snapshot
 
         # ---- assemble the result ----------------------------------------
         fa_index_tuple = tuple(fa_index)

@@ -1,0 +1,636 @@
+"""Phase-graph execution layer: the pipeline as resumable, cacheable phases.
+
+The paper's Figure-2 flow is six distinct stages; this module makes each
+stage a first-class :class:`Phase` whose boundary is (optionally) a store
+artifact, and a :class:`PhaseGraph` executor that knows how to
+
+* **restore** — skip a suffix-covering phase entirely when its artifact is
+  already in the store (the ``kind="saturated-pipeline"`` and
+  ``kind="extraction"`` artifacts each cover everything up to their
+  boundary),
+* **resume** — pick a killed saturation phase back up mid-phase from a
+  ``kind="checkpoint"`` artifact (the :class:`~repro.egraph.Runner`
+  checkpoint plus the cumulative upstream state it depends on), and
+* **run** — compute a phase the ordinary way, persisting its boundary
+  artifact and clearing any superseded checkpoint afterwards.
+
+Phases communicate exclusively through a :class:`PhaseContext`: a run is a
+pure fold of phases over the context, which is what lets the batch driver
+ship *phases* rather than whole circuits across process boundaries — a
+worker that finds the saturated artifact warm computes only extraction,
+and a worker that finds a checkpoint replays only the remainder of the
+interrupted phase.  Every restore/resume decision is keyed by content
+fingerprints (:mod:`repro.store.fingerprint`), so a stale artifact can
+mislead scheduling at worst, never results.
+
+The six concrete BoolE phases (``construct``, ``saturate-r1``,
+``saturate-r2``, ``insert-fa``, ``extract``, ``reconstruct``) live here
+too; :class:`~repro.core.pipeline.BoolEPipeline` is a thin shell that
+builds the graph, executes it and assembles the result bundle.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Tuple
+
+from ..egraph import Op, Runner, RunnerCheckpoint
+from ..store import (
+    KIND_CHECKPOINT,
+    KIND_EXTRACTION,
+    KIND_SATURATED,
+    ArtifactStore,
+    SnapshotError,
+    aig_from_wire,
+    aig_to_wire,
+    checkpoint_from_wire,
+    checkpoint_to_wire,
+    egraph_from_wire,
+    egraph_to_wire,
+    extraction_from_wire,
+    extraction_to_wire,
+    phase_checkpoint_key,
+    report_from_wire,
+    report_to_wire,
+)
+from .construct import ConstructionResult, aig_to_egraph
+from .extraction import FABlockRecord, reconstruct_aig
+from .fa_structure import FAPair, FAInsertionReport, count_npn_fa_pairs, insert_fa_structures
+
+__all__ = ["Phase", "PhaseContext", "PhaseGraph", "boole_phases"]
+
+#: Exceptions that mean "this artifact payload cannot be decoded" — the
+#: executor degrades them to a cache miss (recompute + overwrite), exactly
+#: like a missing object, instead of poisoning every run of the circuit.
+_DECODE_ERRORS = (SnapshotError, KeyError, IndexError, TypeError, ValueError)
+
+
+class PhaseContext:
+    """Mutable state threaded through one :meth:`PhaseGraph.execute` call.
+
+    Attributes:
+        store: artifact store consulted for restore/resume (``None``
+            disables every store interaction).
+        state: named phase products (``"construction"``, ``"r1_report"``,
+            ...) plus the run inputs (``"aig"``, ``"base_key"``).
+        timings: per-step wall-clock seconds, same keys the monolithic
+            pipeline used to write (``construct``/``r1``/``cache_load``/...).
+        artifact_hits: phase name → True when the phase was restored from
+            its boundary artifact instead of computed.
+        resumed_phase: name of the phase that resumed from a
+            ``kind="checkpoint"`` artifact this run, if any.
+    """
+
+    def __init__(self, store: Optional[ArtifactStore] = None) -> None:
+        self.store = store
+        self.state: Dict[str, object] = {}
+        self.timings: Dict[str, float] = {}
+        self.artifact_hits: Dict[str, bool] = {}
+        self.resumed_phase: Optional[str] = None
+
+    def __getitem__(self, name: str):
+        return self.state[name]
+
+    def __setitem__(self, name: str, value) -> None:
+        self.state[name] = value
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.state
+
+    def get(self, name: str, default=None):
+        return self.state.get(name, default)
+
+
+class Phase:
+    """One resumable unit of the pipeline.
+
+    The protocol a :class:`PhaseGraph` drives:
+
+    * ``name`` — unique label (progress, checkpoint keys, reporting).
+    * ``kind`` — artifact kind persisted at this phase's boundary, or
+      ``None`` for phases whose output only lives inside a later phase's
+      artifact.
+    * :meth:`cache_key` — content key of the boundary artifact; ``None``
+      when not yet computable from the context (the executor will ask
+      again once more state exists) or never cacheable.
+    * :meth:`run` — compute the phase, mutating the context.  ``resume``
+      carries a mid-phase token produced by :meth:`load_checkpoint`.
+    * :meth:`to_wire` / :meth:`from_wire` — (de)serialize the *cumulative*
+      state the boundary artifact covers, so restoring a deep phase
+      substitutes for running every phase up to it.
+    """
+
+    name: str = "?"
+    kind: Optional[str] = None
+    #: ``timings`` keys used by the executor for artifact load/store time.
+    load_timing: Optional[str] = None
+    store_timing: Optional[str] = None
+
+    def enabled(self, ctx: PhaseContext) -> bool:
+        """False skips the phase entirely (e.g. ``extract=False``)."""
+        return True
+
+    def cache_key(self, ctx: PhaseContext) -> Optional[str]:
+        return None
+
+    def restorable(self, ctx: PhaseContext) -> bool:
+        """True when :meth:`from_wire` could decode against ``ctx`` now."""
+        return True
+
+    def checkpoint_key(self, ctx: PhaseContext) -> Optional[str]:
+        """Content key of this phase's mid-phase checkpoint artifact."""
+        return None
+
+    def run(self, ctx: PhaseContext, resume=None) -> None:
+        raise NotImplementedError
+
+    def to_wire(self, ctx: PhaseContext) -> Dict:
+        raise NotImplementedError
+
+    def from_wire(self, ctx: PhaseContext, payload: Dict) -> None:
+        raise NotImplementedError
+
+    def load_checkpoint(self, ctx: PhaseContext, payload: Dict):
+        """Restore mid-phase state into ``ctx``; return the resume token."""
+        raise NotImplementedError
+
+    def artifact_meta(self, ctx: PhaseContext) -> Dict:
+        return {}
+
+
+class PhaseGraph:
+    """Executor: fold a phase sequence over a context, cheapest path first.
+
+    At every step the executor prefers, in order:
+
+    1. **restoring** the deepest not-yet-passed phase whose boundary
+       artifact exists and is decodable against the current context (a
+       restored phase stands in for every phase before it);
+    2. **resuming** the deepest phase with a live ``kind="checkpoint"``
+       artifact (the checkpoint carries the cumulative upstream state, so
+       earlier phases never re-run);
+    3. **running** the next phase normally.
+
+    After a phase runs, its boundary artifact is persisted (when the phase
+    declares a ``kind``) and its checkpoint artifact — now superseded — is
+    deleted.  Corrupt or undecodable artifacts degrade to recomputes that
+    overwrite them.
+    """
+
+    def __init__(self, phases: List[Phase]) -> None:
+        names = [phase.name for phase in phases]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate phase names in {names}")
+        self.phases = list(phases)
+
+    # ------------------------------------------------------------------
+    def execute(self, ctx: PhaseContext) -> None:
+        """Run the graph to completion over ``ctx``."""
+        phases = self.phases
+        index = 0
+        while index < len(phases):
+            if not phases[index].enabled(ctx):
+                index += 1
+                continue
+            if ctx.store is not None:
+                jump = self._try_restore(ctx, index)
+                if jump is None:
+                    jump = self._try_resume(ctx, index)
+                if jump is not None:
+                    index = jump
+                    continue
+            self._run_phase(ctx, phases[index])
+            index += 1
+
+    # ------------------------------------------------------------------
+    def _safe_get(self, ctx: PhaseContext, key: str,
+                  kind: str) -> Optional[Dict]:
+        """Store lookup that treats corrupt/foreign objects as misses."""
+        try:
+            return ctx.store.get(key, expected_kind=kind)
+        except SnapshotError:
+            return None
+
+    def _try_restore(self, ctx: PhaseContext, index: int) -> Optional[int]:
+        """Restore the deepest phase ≥ ``index`` from its artifact."""
+        for j in reversed(range(index, len(self.phases))):
+            phase = self.phases[j]
+            if phase.kind is None or not phase.enabled(ctx):
+                continue
+            if not phase.restorable(ctx):
+                continue
+            key = phase.cache_key(ctx)
+            if key is None:
+                continue
+            started = time.perf_counter()
+            payload = self._safe_get(ctx, key, phase.kind)
+            if payload is None:
+                continue
+            try:
+                phase.from_wire(ctx, payload)
+            except _DECODE_ERRORS:
+                # Well-formed snapshot, malformed payload: degrade to a
+                # recompute (which overwrites the bad artifact).
+                continue
+            if phase.load_timing:
+                ctx.timings[phase.load_timing] = \
+                    time.perf_counter() - started
+            ctx.artifact_hits[phase.name] = True
+            # Checkpoints of the phases this artifact covers are now
+            # superseded; without this, a checkpoint orphaned by a kill
+            # would sit in the store (a full e-graph snapshot) for as
+            # long as another run's boundary artifact keeps skipping the
+            # phase that owns it.
+            for covered in self.phases[index:j + 1]:
+                checkpoint_key = covered.checkpoint_key(ctx)
+                if checkpoint_key is not None:
+                    ctx.store.delete(checkpoint_key)
+            return j + 1
+        return None
+
+    def _try_resume(self, ctx: PhaseContext, index: int) -> Optional[int]:
+        """Resume the deepest phase ≥ ``index`` from a checkpoint."""
+        for j in reversed(range(index, len(self.phases))):
+            phase = self.phases[j]
+            if not phase.enabled(ctx):
+                continue
+            key = phase.checkpoint_key(ctx)
+            if key is None:
+                continue
+            payload = self._safe_get(ctx, key, KIND_CHECKPOINT)
+            if payload is None:
+                continue
+            try:
+                resume = phase.load_checkpoint(ctx, payload)
+            except _DECODE_ERRORS:
+                continue
+            ctx.resumed_phase = phase.name
+            self._run_phase(ctx, phase, resume=resume)
+            return j + 1
+        return None
+
+    def _run_phase(self, ctx: PhaseContext, phase: Phase,
+                   resume=None) -> None:
+        phase.run(ctx, resume=resume)
+        if ctx.store is None:
+            return
+        key = phase.cache_key(ctx) if phase.kind is not None else None
+        if key is not None:
+            started = time.perf_counter()
+            ctx.store.put(key, phase.to_wire(ctx), kind=phase.kind,
+                          meta=phase.artifact_meta(ctx))
+            if phase.store_timing:
+                ctx.timings[phase.store_timing] = \
+                    time.perf_counter() - started
+        checkpoint_key = phase.checkpoint_key(ctx)
+        if checkpoint_key is not None:
+            # The phase completed: any mid-phase checkpoint is superseded
+            # by the boundary artifact (or by the phases that follow).
+            ctx.store.delete(checkpoint_key)
+
+
+# ----------------------------------------------------------------------
+# Shared wire helpers (construction bookkeeping travels with several
+# artifact kinds; the e-graph itself is serialized separately).
+# ----------------------------------------------------------------------
+def _construction_to_wire(construction: ConstructionResult) -> Dict:
+    return {
+        "class_of_var": sorted(construction.class_of_var.items()),
+        "output_classes": list(construction.output_classes),
+        "literal_classes": sorted(construction.literal_classes.items()),
+    }
+
+
+def _construction_from_wire(wire: Dict, egraph, aig) -> ConstructionResult:
+    return ConstructionResult(
+        egraph=egraph,
+        aig=aig,
+        class_of_var={var: class_id
+                      for var, class_id in wire["class_of_var"]},
+        output_classes=list(wire["output_classes"]),
+        literal_classes={lit: class_id
+                         for lit, class_id in wire["literal_classes"]},
+    )
+
+
+class _BoolEPhase(Phase):
+    """Base for the concrete phases: holds the owning pipeline."""
+
+    def __init__(self, pipeline) -> None:
+        self.pipeline = pipeline
+
+    @property
+    def options(self):
+        return self.pipeline.options
+
+
+class ConstructPhase(_BoolEPhase):
+    """Stage 1: AIG → e-graph (Algorithm 1)."""
+
+    name = "construct"
+
+    def run(self, ctx: PhaseContext, resume=None) -> None:
+        started = time.perf_counter()
+        ctx["construction"] = aig_to_egraph(ctx["aig"])
+        ctx.timings["construct"] = time.perf_counter() - started
+
+
+class SaturatePhase(_BoolEPhase):
+    """Stages 2/3: one ruleset saturation run, checkpointable mid-phase.
+
+    The checkpoint artifact carries the e-graph, the runner resume state
+    *and* the cumulative upstream products (construction bookkeeping,
+    earlier phase reports), so a cold process can resume the phase without
+    re-running anything before it.
+    """
+
+    def __init__(self, pipeline, name: str, rules_attr: str,
+                 iterations_attr: str, report_field: str, timing: str,
+                 prior_reports: Tuple[str, ...] = ()) -> None:
+        super().__init__(pipeline)
+        self.name = name
+        self.rules_attr = rules_attr
+        self.iterations_attr = iterations_attr
+        self.report_field = report_field
+        self.timing = timing
+        self.prior_reports = prior_reports
+
+    @property
+    def rules(self):
+        return getattr(self.pipeline, self.rules_attr)
+
+    def checkpoint_key(self, ctx: PhaseContext) -> Optional[str]:
+        base_key = ctx.get("base_key")
+        if base_key is None:
+            return None
+        return phase_checkpoint_key(base_key, self.name)
+
+    def _checkpoint_payload(self, ctx: PhaseContext,
+                            checkpoint: RunnerCheckpoint) -> Dict:
+        construction: ConstructionResult = ctx["construction"]
+        return {
+            # Superset of the standalone checkpoint layout, so
+            # ``repro.store.codec.load_checkpoint`` consumers can read
+            # phase checkpoints too.
+            "egraph": egraph_to_wire(construction.egraph),
+            "runner": checkpoint_to_wire(checkpoint),
+            "phase": self.name,
+            "prior": {
+                "construction": _construction_to_wire(construction),
+                "reports": {field: report_to_wire(ctx[field])
+                            for field in self.prior_reports},
+            },
+        }
+
+    def load_checkpoint(self, ctx: PhaseContext, payload: Dict):
+        if payload.get("phase") != self.name:
+            raise SnapshotError(
+                f"checkpoint belongs to phase {payload.get('phase')!r}, "
+                f"not {self.name!r}")
+        # Decode everything into locals before touching the context: a
+        # payload that fails halfway must leave ctx exactly as it was
+        # (the executor degrades the failure to a fresh run).
+        egraph = egraph_from_wire(payload["egraph"])
+        prior = payload["prior"]
+        construction = _construction_from_wire(
+            prior["construction"], egraph, ctx["aig"])
+        reports = {field: report_from_wire(wire)
+                   for field, wire in prior["reports"].items()}
+        checkpoint = checkpoint_from_wire(payload["runner"])
+        ctx["construction"] = construction
+        for field, report in reports.items():
+            ctx[field] = report
+        return checkpoint
+
+    def run(self, ctx: PhaseContext, resume=None) -> None:
+        pipeline = self.pipeline
+        options = self.options
+        construction: ConstructionResult = ctx["construction"]
+        checkpoint_every = options.checkpoint_every
+        on_checkpoint = None
+        if checkpoint_every is not None and ctx.store is not None:
+            key = self.checkpoint_key(ctx)
+            if key is not None:
+                store = ctx.store
+
+                def on_checkpoint(checkpoint: RunnerCheckpoint) -> None:
+                    store.put(key, self._checkpoint_payload(ctx, checkpoint),
+                              kind=KIND_CHECKPOINT,
+                              meta={
+                                  "phase": self.name,
+                                  "aig_name": ctx["aig"].name,
+                                  "iteration": checkpoint.iteration,
+                                  "saturation_seconds":
+                                      round(checkpoint.elapsed, 3),
+                              })
+
+        started = time.perf_counter()
+        if resume is not None:
+            runner = Runner.from_checkpoint(resume)
+        else:
+            limits = pipeline._phase_limits(
+                getattr(options, self.iterations_attr))
+            runner = Runner(limits, incremental=options.incremental,
+                            debug_check_full=options.debug_check_full)
+        ctx[self.report_field] = runner.run(
+            construction.egraph, self.rules,
+            checkpoint_every=checkpoint_every,
+            on_checkpoint=on_checkpoint,
+            resume_from=resume)
+        ctx.timings[self.timing] = time.perf_counter() - started
+
+
+class InsertFAPhase(_BoolEPhase):
+    """Stage 4: redundancy pruning, FA pairing and the NPN count.
+
+    Its boundary artifact is the ``kind="saturated-pipeline"`` snapshot —
+    everything the pipeline produces before extraction — so restoring it
+    replaces phases 1–4 wholesale.
+    """
+
+    name = "insert-fa"
+    kind = KIND_SATURATED
+    load_timing = "cache_load"
+    store_timing = "cache_store"
+
+    def cache_key(self, ctx: PhaseContext) -> Optional[str]:
+        return ctx.get("base_key")
+
+    def run(self, ctx: PhaseContext, resume=None) -> None:
+        options = self.options
+        egraph = ctx["construction"].egraph
+        if options.prune_redundant:
+            started = time.perf_counter()
+            egraph.prune_duplicates(
+                {Op.XOR3, Op.MAJ, Op.FA, Op.XOR, Op.AND, Op.OR})
+            ctx.timings["prune"] = time.perf_counter() - started
+        started = time.perf_counter()
+        ctx["fa_report"] = insert_fa_structures(egraph)
+        ctx.timings["fa_pairing"] = time.perf_counter() - started
+        ctx["num_npn"] = 0
+        if options.count_npn:
+            started = time.perf_counter()
+            ctx["num_npn"] = count_npn_fa_pairs(egraph)
+            ctx.timings["npn_count"] = time.perf_counter() - started
+
+    def to_wire(self, ctx: PhaseContext) -> Dict:
+        construction: ConstructionResult = ctx["construction"]
+        fa_report: FAInsertionReport = ctx["fa_report"]
+        return {
+            "egraph": egraph_to_wire(construction.egraph),
+            "construction": _construction_to_wire(construction),
+            "r1_report": report_to_wire(ctx["r1_report"]),
+            "r2_report": report_to_wire(ctx["r2_report"]),
+            "fa_pairs": [[list(pair.inputs), pair.sum_class,
+                          pair.carry_class, pair.fa_class]
+                         for pair in fa_report.pairs],
+            "num_npn_fas": ctx["num_npn"],
+        }
+
+    def from_wire(self, ctx: PhaseContext, payload: Dict) -> None:
+        # Fully decode before publishing anything into the context: a
+        # payload whose tail is malformed must not leave a half-restored
+        # (already saturated!) e-graph for the fresh phases to mangle.
+        egraph = egraph_from_wire(payload["egraph"])
+        construction = _construction_from_wire(
+            payload["construction"], egraph, ctx["aig"])
+        r1_report = report_from_wire(payload["r1_report"])
+        r2_report = report_from_wire(payload["r2_report"])
+        fa_report = FAInsertionReport(pairs=[
+            FAPair(inputs=tuple(inputs), sum_class=sum_class,
+                   carry_class=carry_class, fa_class=fa_class)
+            for inputs, sum_class, carry_class, fa_class
+            in payload["fa_pairs"]
+        ])
+        num_npn = payload["num_npn_fas"]
+        ctx["construction"] = construction
+        ctx["r1_report"] = r1_report
+        ctx["r2_report"] = r2_report
+        ctx["fa_report"] = fa_report
+        ctx["num_npn"] = num_npn
+
+    def artifact_meta(self, ctx: PhaseContext) -> Dict:
+        aig = ctx["aig"]
+        egraph = ctx["construction"].egraph
+        timings = ctx.timings
+        # Rebuild cost for the store's cost-aware GC.  The saturation
+        # share comes from the runner reports' total_time, which is
+        # cumulative across kill/resume cycles — a resumed run's own
+        # timings only cover the replayed tail, and under-reporting here
+        # would make gc --max-bytes evict exactly the artifacts that
+        # were expensive enough to need checkpointing.
+        rebuild = sum(timings.get(step, 0.0)
+                      for step in ("construct", "prune", "fa_pairing",
+                                   "npn_count"))
+        rebuild += ctx["r1_report"].total_time
+        rebuild += ctx["r2_report"].total_time
+        return {
+            "aig_name": aig.name,
+            "aig_gates": aig.num_gates,
+            "egraph_classes": egraph.num_classes,
+            "exact_fas": ctx["fa_report"].num_exact_fas,
+            "saturation_seconds": round(rebuild, 3),
+        }
+
+
+class ExtractPhase(_BoolEPhase):
+    """Stage 5: DAG cost propagation (Algorithm 2).
+
+    No boundary artifact of its own — the ``reconstruct`` artifact covers
+    stages 5–6 together (the two are only ever consumed as a pair).
+    """
+
+    name = "extract"
+
+    def enabled(self, ctx: PhaseContext) -> bool:
+        return self.options.extract
+
+    def run(self, ctx: PhaseContext, resume=None) -> None:
+        construction: ConstructionResult = ctx["construction"]
+        started = time.perf_counter()
+        ctx["extraction"] = self.pipeline.extractor.extract(
+            construction.egraph, roots=construction.output_classes)
+        ctx.timings["extract"] = time.perf_counter() - started
+
+
+class ReconstructPhase(_BoolEPhase):
+    """Stage 6: materialise the extraction as an AIG with explicit FAs."""
+
+    name = "reconstruct"
+    kind = KIND_EXTRACTION
+    load_timing = "extraction_cache_load"
+    store_timing = "extraction_cache_store"
+
+    def enabled(self, ctx: PhaseContext) -> bool:
+        return self.options.extract
+
+    def cache_key(self, ctx: PhaseContext) -> Optional[str]:
+        base_key = ctx.get("base_key")
+        if base_key is None or "construction" not in ctx:
+            return None
+        return self.pipeline.extraction_key(
+            base_key, ctx["construction"].output_classes)
+
+    def restorable(self, ctx: PhaseContext) -> bool:
+        # Extraction entries refer to class ids of the *saturated* e-graph;
+        # decoding against anything earlier would bind them to the wrong
+        # classes.  ``fa_report`` marks the saturation boundary.
+        return "fa_report" in ctx
+
+    def run(self, ctx: PhaseContext, resume=None) -> None:
+        started = time.perf_counter()
+        extracted, blocks = reconstruct_aig(ctx["construction"],
+                                            ctx["extraction"])
+        ctx["extracted_aig"] = extracted
+        ctx["fa_blocks"] = blocks
+        ctx.timings["reconstruct"] = time.perf_counter() - started
+
+    def to_wire(self, ctx: PhaseContext) -> Dict:
+        blocks: List[FABlockRecord] = ctx["fa_blocks"]
+        return {
+            "extraction": extraction_to_wire(ctx["extraction"]),
+            "extracted_aig": aig_to_wire(ctx["extracted_aig"]),
+            "fa_blocks": [[list(block.inputs), block.sum_lit,
+                           block.carry_lit] for block in blocks],
+        }
+
+    def from_wire(self, ctx: PhaseContext, payload: Dict) -> None:
+        # Fully decode before publishing (see InsertFAPhase.from_wire).
+        construction: ConstructionResult = ctx["construction"]
+        extraction = extraction_from_wire(payload["extraction"],
+                                          construction.egraph)
+        extracted_aig = aig_from_wire(payload["extracted_aig"])
+        fa_blocks = [
+            FABlockRecord(inputs=tuple(inputs), sum_lit=sum_lit,
+                          carry_lit=carry_lit)
+            for inputs, sum_lit, carry_lit in payload["fa_blocks"]
+        ]
+        ctx["extraction"] = extraction
+        ctx["extracted_aig"] = extracted_aig
+        ctx["fa_blocks"] = fa_blocks
+
+    def artifact_meta(self, ctx: PhaseContext) -> Dict:
+        timings = ctx.timings
+        return {
+            "aig_name": ctx["aig"].name,
+            "exact_fas": len(ctx["fa_blocks"]),
+            "extracted_gates": ctx["extracted_aig"].num_gates,
+            "saturated_key": ctx.get("base_key"),
+            "saturation_seconds": round(
+                timings.get("extract", 0.0)
+                + timings.get("reconstruct", 0.0), 3),
+        }
+
+
+def boole_phases(pipeline) -> List[Phase]:
+    """The six Figure-2 phases wired to ``pipeline``, in execution order."""
+    return [
+        ConstructPhase(pipeline),
+        SaturatePhase(pipeline, "saturate-r1", "_r1", "r1_iterations",
+                      "r1_report", "r1"),
+        SaturatePhase(pipeline, "saturate-r2", "_r2", "r2_iterations",
+                      "r2_report", "r2", prior_reports=("r1_report",)),
+        InsertFAPhase(pipeline),
+        ExtractPhase(pipeline),
+        ReconstructPhase(pipeline),
+    ]

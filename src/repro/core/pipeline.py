@@ -1,73 +1,57 @@
 """The end-to-end BoolE pipeline (Figure 2 of the paper).
 
-``BoolEPipeline.run`` takes a gate-level AIG and performs:
+``BoolEPipeline.run`` executes a :class:`~repro.core.phases.PhaseGraph`
+of six first-class phases (see ``docs/architecture.md``):
 
-1. e-graph construction (Algorithm 1),
-2. two-phase incremental saturation — R1 basic Boolean rules followed by R2
-   XOR/MAJ identification rules (optimisation trick 2),
-3. redundancy pruning of permuted XOR3/MAJ/FA e-nodes (trick 3),
-4. multi-output FA structure insertion (Figure 3),
-5. DAG-based exact extraction (Algorithm 2) and
-6. reconstruction of the extracted netlist as an AIG exposing the recovered
-   full adders.
+1. ``construct`` — e-graph construction (Algorithm 1),
+2. ``saturate-r1`` — basic Boolean rules (optimisation trick 2),
+3. ``saturate-r2`` — XOR/MAJ identification rules,
+4. ``insert-fa`` — redundancy pruning (trick 3), multi-output FA
+   structure insertion (Figure 3) and the NPN count,
+5. ``extract`` — DAG-based exact extraction (Algorithm 2), and
+6. ``reconstruct`` — the extracted netlist as an AIG exposing the
+   recovered full adders.
 
-Stages 1–4 are a pure function of ``(netlist, options, ruleset)`` — the
+Phases 1–4 are a pure function of ``(netlist, options, ruleset)`` — the
 determinism guarantees of ``docs/performance.md`` — so their combined
-result can be cached: pass ``store=`` (an
-:class:`~repro.store.ArtifactStore` or a directory path) and the pipeline
-looks the saturated e-graph up by content fingerprint, skipping straight
-to extraction on a hit and persisting the artifact on a miss (see
-``docs/serialization.md``).
+boundary is a cacheable artifact: pass ``store=`` (an
+:class:`~repro.store.ArtifactStore` or a directory path) and the executor
+restores the deepest warm phase instead of recomputing, persisting
+boundary artifacts on the way (see ``docs/serialization.md``).  Phases
+5–6 share a second, independent ``kind="extraction"`` artifact keyed on
+(saturated-graph key, extractor cost table, reconstruction roots,
+refinement budget): a fully warm run loads the snapshot and the
+extraction products and skips cost propagation entirely.
 
-Stages 5–6 are cached the same way as a second, independent
-``kind="extraction"`` artifact keyed on (saturated-graph key, extractor
-cost table, reconstruction roots): a fully warm run loads the snapshot
-and the extraction products and skips cost propagation entirely, going
-straight to whatever the caller does next (typically verification).
+With ``checkpoint_every`` set, the two saturation phases additionally
+write mid-phase ``kind="checkpoint"`` artifacts every N iterations: a
+killed run — say a 32-bit R2 phase — resumes from its latest checkpoint
+(replaying only the remaining iterations, bit-identical to an
+uninterrupted run) instead of restarting the phase.
 """
 
 from __future__ import annotations
 
 import time
 import warnings
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
 from ..aig import AIG
-from ..egraph import EGraph, Op, Runner, RunnerLimits, RunnerReport
+from ..egraph import RunnerLimits, RunnerReport
 from ..store import (
-    KIND_EXTRACTION,
-    KIND_SATURATED,
     ArtifactStore,
-    SnapshotError,
-    aig_from_wire,
-    aig_to_wire,
     combine_cache_key,
-    egraph_from_wire,
-    egraph_to_wire,
     extraction_cache_key,
-    extraction_from_wire,
-    extraction_to_wire,
     fingerprint_aig,
     fingerprint_options,
     fingerprint_ruleset,
-    report_from_wire,
-    report_to_wire,
 )
-from .construct import ConstructionResult, aig_to_egraph
-from .extraction import (
-    BoolEExtraction,
-    BoolEExtractor,
-    FABlockRecord,
-    reconstruct_aig,
-)
-from .fa_structure import (
-    FAInsertionReport,
-    FAPair,
-    count_npn_fa_pairs,
-    insert_fa_structures,
-)
+from .construct import ConstructionResult
+from .extraction import BoolEExtraction, BoolEExtractor, FABlockRecord
+from .fa_structure import FAInsertionReport
+from .phases import PhaseContext, PhaseGraph, boole_phases
 from .rules_basic import basic_rules
 from .rules_xor_maj import identification_rules
 
@@ -106,9 +90,19 @@ class BoolEOptions:
         prune_redundant: delete duplicate permuted XOR3/MAJ/FA e-nodes after
             saturation (paper trick 3).
         extract: run DAG extraction and netlist reconstruction.
+        refine_rounds: bounded choose→repair refinement iterations after
+            the first extraction pass; the best materialised FA count
+            wins (see :class:`~repro.core.extraction.BoolEExtractor`).
+            ``0`` keeps the single-pass extractor.
         count_npn: count NPN FA pairs on the saturated e-graph.
         incremental: use delta e-matching after each phase's first iteration
             (see ``docs/performance.md``); disable to force full scans.
+        checkpoint_every: with a store configured, write a mid-phase
+            ``kind="checkpoint"`` artifact after every this-many
+            saturation iterations (both R1 and R2); a killed run resumes
+            from its latest checkpoint.  ``None`` disables checkpointing.
+            Cadence never changes results, so it is excluded from cache
+            fingerprints.
         debug_check_full: assert after every delta iteration that a full
             scan finds nothing more (very slow; debugging only).
     """
@@ -124,11 +118,19 @@ class BoolEOptions:
     max_matches_per_rule: Optional[int] = None
     prune_redundant: bool = True
     extract: bool = True
+    refine_rounds: int = 0
     count_npn: bool = True
     incremental: bool = True
+    checkpoint_every: Optional[int] = None
     debug_check_full: bool = False
 
     def __post_init__(self) -> None:
+        if self.checkpoint_every is not None and self.checkpoint_every < 1:
+            raise ValueError(
+                "checkpoint_every must be >= 1 (or None to disable "
+                "checkpointing)")
+        if self.refine_rounds < 0:
+            raise ValueError("refine_rounds must be >= 0")
         if self.max_matches_per_rule is None:
             return
         if (self.match_limit is not None
@@ -150,7 +152,9 @@ class BoolEResult:
     """Everything the pipeline produces for one input netlist."""
 
     source: AIG
-    construction: ConstructionResult
+    #: ``None`` on :meth:`lightweight` copies (the e-graph and the
+    #: construction bookkeeping do not cross process boundaries).
+    construction: Optional[ConstructionResult]
     r1_report: RunnerReport
     r2_report: RunnerReport
     fa_report: FAInsertionReport
@@ -168,6 +172,13 @@ class BoolEResult:
     #: ``extraction_cache_load`` instead of ``extract``/``reconstruct`` —
     #: cost propagation was skipped entirely).
     extraction_cache_hit: bool = False
+    #: Name of the phase this run resumed mid-way from a
+    #: ``kind="checkpoint"`` artifact (``None`` for uninterrupted runs).
+    resumed_phase: Optional[str] = None
+    #: (classes, nodes) snapshot kept by :meth:`lightweight` so the shape
+    #: properties survive dropping the e-graph.
+    _egraph_shape: Optional[Tuple[int, int]] = field(default=None,
+                                                     repr=False)
 
     @property
     def num_exact_fas(self) -> int:
@@ -187,12 +198,30 @@ class BoolEResult:
     @property
     def egraph_classes(self) -> int:
         """Number of e-classes after saturation."""
+        if self.construction is None:
+            return self._egraph_shape[0] if self._egraph_shape else 0
         return self.construction.egraph.num_classes
 
     @property
     def egraph_nodes(self) -> int:
         """Number of e-nodes after saturation."""
+        if self.construction is None:
+            return self._egraph_shape[1] if self._egraph_shape else 0
         return self.construction.egraph.num_nodes
+
+    def lightweight(self) -> "BoolEResult":
+        """A copy safe to ship across process boundaries.
+
+        Drops the two members that are heavy and bound to live e-graph
+        state — the construction (with its e-graph) and the extraction
+        entry table — while keeping everything report-shaped: both runner
+        reports, the FA pairing report, the reconstructed netlist, the FA
+        blocks, the counts and the timings.  ``summary()`` and all shape
+        properties keep answering identically.
+        """
+        return replace(
+            self, construction=None, extraction=None,
+            _egraph_shape=(self.egraph_classes, self.egraph_nodes))
 
     def summary(self) -> Dict[str, float]:
         """Compact numeric summary used by the benchmark harness."""
@@ -215,10 +244,11 @@ class BoolEPipeline:
         store: default artifact store for :meth:`run` — an
             :class:`~repro.store.ArtifactStore` or a directory path.
             ``None`` disables caching unless :meth:`run` is given one.
-        extractor: the DAG extractor to run (defaults to a fresh
-            :class:`BoolEExtractor`).  Its ``node_cost`` table participates
-            in the extraction cache key, so a custom cost model never hits
-            a default-cost artifact.
+        extractor: the DAG extractor to run.  Defaults to a fresh
+            :class:`BoolEExtractor` configured with
+            ``options.refine_rounds``.  Its ``node_cost`` table and
+            refinement budget participate in the extraction cache key, so
+            a custom cost model never hits a default-cost artifact.
     """
 
     def __init__(self, options: Optional[BoolEOptions] = None, *,
@@ -226,9 +256,11 @@ class BoolEPipeline:
                  extractor: Optional[BoolEExtractor] = None) -> None:
         self.options = options or BoolEOptions()
         self.store = _as_store(store)
-        self.extractor = extractor or BoolEExtractor()
+        self.extractor = extractor or BoolEExtractor(
+            refine_rounds=self.options.refine_rounds)
         self._r1 = basic_rules(lightweight=self.options.lightweight_rules)
         self._r2 = identification_rules(self.options.include_rule_variants)
+        self._graph = PhaseGraph(boole_phases(self))
         # Options/ruleset fingerprints are per-pipeline constants; computed
         # lazily once so batch sweeps pay only the per-AIG digest per job.
         self._static_fingerprints: Optional[Tuple[str, List[str]]] = None
@@ -237,6 +269,11 @@ class BoolEPipeline:
     def num_rules(self) -> Dict[str, int]:
         """Rule counts of the two phases."""
         return {"R1": len(self._r1), "R2": len(self._r2)}
+
+    @property
+    def phases(self) -> List[str]:
+        """Names of the pipeline's phases, in execution order."""
+        return [phase.name for phase in self._graph.phases]
 
     def cache_key(self, aig: AIG) -> str:
         """Content-addressed store key of ``aig``'s saturated e-graph.
@@ -253,6 +290,14 @@ class BoolEPipeline:
         options_fp, ruleset_fps = self._static_fingerprints
         return combine_cache_key(fingerprint_aig(aig), options_fp,
                                  ruleset_fps)
+
+    def extraction_key(self, saturated_key: str,
+                       roots: List[int]) -> str:
+        """Content key of the ``kind="extraction"`` artifact for this
+        pipeline's extractor over ``roots``."""
+        return extraction_cache_key(saturated_key, self.extractor.node_cost,
+                                    roots,
+                                    refine_rounds=self.extractor.refine_rounds)
 
     def _phase_limits(self, iterations: int) -> RunnerLimits:
         options = self.options
@@ -283,164 +328,41 @@ class BoolEPipeline:
             ) -> BoolEResult:
         """Run the full BoolE flow on an AIG and return the result bundle.
 
-        With a ``store`` (argument or constructor default), the saturated
-        e-graph — stages 1–4 plus the NPN count — is looked up by content
-        key first: on a hit the pipeline deserializes the artifact and
-        skips straight to extraction (``result.cache_hit``); on a miss it
-        computes the stages and persists them for the next run.  The
-        extraction + reconstruction outputs are cached the same way under
-        their own ``kind="extraction"`` key
-        (``result.extraction_cache_hit``), so a fully warm run costs one
-        snapshot load and skips cost propagation entirely.
+        With a ``store`` (argument or constructor default), the phase
+        graph restores the deepest warm phase by content key instead of
+        recomputing: the saturated boundary (phases 1–4 plus the NPN
+        count, ``result.cache_hit``) and the extraction boundary (phases
+        5–6, ``result.extraction_cache_hit``) are each one artifact, and
+        interrupted saturation phases resume from their
+        ``kind="checkpoint"`` artifact (``result.resumed_phase``).  A
+        fully warm run costs one snapshot load and skips cost propagation
+        entirely.
         """
-        options = self.options
         store = _as_store(store) or self.store
-        timings: Dict[str, float] = {}
         start = time.perf_counter()
 
-        key = None
-        saturated = None
-        if store is not None:
-            key = self.cache_key(aig)
-            t0 = time.perf_counter()
-            try:
-                payload = store.get(key, expected_kind=KIND_SATURATED)
-            except SnapshotError:
-                # A corrupt/foreign object at a live key must degrade to a
-                # miss, not poison every run of this circuit; the recompute
-                # below overwrites it with a good artifact.
-                payload = None
-            if payload is not None:
-                saturated = _saturated_from_state(payload, aig)
-                timings["cache_load"] = time.perf_counter() - t0
+        ctx = PhaseContext(store=store)
+        ctx["aig"] = aig
+        ctx["base_key"] = self.cache_key(aig) if store is not None else None
+        self._graph.execute(ctx)
 
-        if saturated is not None:
-            construction, r1_report, r2_report, fa_report, num_npn = saturated
-            egraph = construction.egraph
-            cache_hit = True
-        else:
-            cache_hit = False
-            t0 = time.perf_counter()
-            construction = aig_to_egraph(aig)
-            timings["construct"] = time.perf_counter() - t0
-            egraph = construction.egraph
-
-            t0 = time.perf_counter()
-            r1_report = Runner(self._phase_limits(options.r1_iterations),
-                               incremental=options.incremental,
-                               debug_check_full=options.debug_check_full
-                               ).run(egraph, self._r1)
-            timings["r1"] = time.perf_counter() - t0
-
-            t0 = time.perf_counter()
-            r2_report = Runner(self._phase_limits(options.r2_iterations),
-                               incremental=options.incremental,
-                               debug_check_full=options.debug_check_full
-                               ).run(egraph, self._r2)
-            timings["r2"] = time.perf_counter() - t0
-
-            if options.prune_redundant:
-                t0 = time.perf_counter()
-                egraph.prune_duplicates(
-                    {Op.XOR3, Op.MAJ, Op.FA, Op.XOR, Op.AND, Op.OR})
-                timings["prune"] = time.perf_counter() - t0
-
-            t0 = time.perf_counter()
-            fa_report = insert_fa_structures(egraph)
-            timings["fa_pairing"] = time.perf_counter() - t0
-
-            num_npn = 0
-            if options.count_npn:
-                t0 = time.perf_counter()
-                num_npn = count_npn_fa_pairs(egraph)
-                timings["npn_count"] = time.perf_counter() - t0
-
-            if store is not None:
-                t0 = time.perf_counter()
-                store.put(key,
-                          _saturated_to_state(construction, r1_report,
-                                              r2_report, fa_report, num_npn),
-                          kind=KIND_SATURATED,
-                          meta={
-                              "aig_name": aig.name,
-                              "aig_gates": aig.num_gates,
-                              "egraph_classes": egraph.num_classes,
-                              "exact_fas": fa_report.num_exact_fas,
-                          })
-                timings["cache_store"] = time.perf_counter() - t0
-
-        result = BoolEResult(
-            source=aig,
-            construction=construction,
-            r1_report=r1_report,
-            r2_report=r2_report,
-            fa_report=fa_report,
-            num_npn_fas=num_npn,
-            timings=timings,
-            cache_hit=cache_hit,
-        )
-
-        if options.extract:
-            ext_key = None
-            loaded = None
-            if store is not None:
-                # Extraction artifacts are keyed independently of the
-                # saturated snapshot: even when saturation had to be
-                # recomputed (e.g. the snapshot was GC'd), a surviving
-                # extraction artifact is still valid — determinism makes
-                # the recomputed e-graph identical to the one it was
-                # extracted from.
-                ext_key = extraction_cache_key(key, self.extractor.node_cost,
-                                               construction.output_classes)
-                t0 = time.perf_counter()
-                try:
-                    payload = store.get(ext_key,
-                                        expected_kind=KIND_EXTRACTION)
-                except SnapshotError:
-                    # Corrupt/foreign object: degrade to a miss; the
-                    # recompute below overwrites it with a good artifact.
-                    payload = None
-                if payload is not None:
-                    try:
-                        loaded = _extraction_from_state(payload, construction)
-                    except (SnapshotError, KeyError, IndexError, TypeError,
-                            ValueError):
-                        # Well-formed snapshot, malformed payload: same
-                        # degrade-to-recompute policy.
-                        loaded = None
-                if loaded is not None:
-                    timings["extraction_cache_load"] = \
-                        time.perf_counter() - t0
-            if loaded is not None:
-                extraction, extracted, blocks = loaded
-                result.extraction_cache_hit = True
-            else:
-                t0 = time.perf_counter()
-                extraction = self.extractor.extract(egraph)
-                timings["extract"] = time.perf_counter() - t0
-                t0 = time.perf_counter()
-                extracted, blocks = reconstruct_aig(construction, extraction)
-                timings["reconstruct"] = time.perf_counter() - t0
-                if store is not None:
-                    t0 = time.perf_counter()
-                    store.put(ext_key,
-                              _extraction_to_state(extraction, extracted,
-                                                   blocks),
-                              kind=KIND_EXTRACTION,
-                              meta={
-                                  "aig_name": aig.name,
-                                  "exact_fas": len(blocks),
-                                  "extracted_gates": extracted.num_gates,
-                                  "saturated_key": key,
-                              })
-                    timings["extraction_cache_store"] = \
-                        time.perf_counter() - t0
-            result.extraction = extraction
-            result.extracted_aig = extracted
-            result.fa_blocks = blocks
-
+        timings = ctx.timings
         timings["total"] = time.perf_counter() - start
-        return result
+        return BoolEResult(
+            source=aig,
+            construction=ctx["construction"],
+            r1_report=ctx["r1_report"],
+            r2_report=ctx["r2_report"],
+            fa_report=ctx["fa_report"],
+            extraction=ctx.get("extraction"),
+            extracted_aig=ctx.get("extracted_aig"),
+            fa_blocks=ctx.get("fa_blocks", []),
+            num_npn_fas=ctx["num_npn"],
+            timings=timings,
+            cache_hit=ctx.artifact_hits.get("insert-fa", False),
+            extraction_cache_hit=ctx.artifact_hits.get("reconstruct", False),
+            resumed_phase=ctx.resumed_phase,
+        )
 
 
 def _as_store(store: Union[ArtifactStore, str, Path, None]
@@ -448,82 +370,6 @@ def _as_store(store: Union[ArtifactStore, str, Path, None]
     if store is None or isinstance(store, ArtifactStore):
         return store
     return ArtifactStore(store)
-
-
-def _saturated_to_state(construction: ConstructionResult,
-                        r1_report: RunnerReport, r2_report: RunnerReport,
-                        fa_report: FAInsertionReport, num_npn: int) -> Dict:
-    """Wire form of everything :meth:`BoolEPipeline.run` produces before
-    extraction: the saturated e-graph plus the construction bookkeeping
-    and the per-phase reports (the source AIG itself is *not* stored — the
-    cache key guarantees the loader holds an identical netlist)."""
-    return {
-        "egraph": egraph_to_wire(construction.egraph),
-        "construction": {
-            "class_of_var": sorted(construction.class_of_var.items()),
-            "output_classes": list(construction.output_classes),
-            "literal_classes": sorted(construction.literal_classes.items()),
-        },
-        "r1_report": report_to_wire(r1_report),
-        "r2_report": report_to_wire(r2_report),
-        "fa_pairs": [[list(pair.inputs), pair.sum_class, pair.carry_class,
-                      pair.fa_class] for pair in fa_report.pairs],
-        "num_npn_fas": num_npn,
-    }
-
-
-def _saturated_from_state(state: Dict, aig: AIG) -> Tuple[
-        ConstructionResult, RunnerReport, RunnerReport,
-        FAInsertionReport, int]:
-    """Rebuild the pre-extraction pipeline products from the wire form."""
-    egraph: EGraph = egraph_from_wire(state["egraph"])
-    wire = state["construction"]
-    construction = ConstructionResult(
-        egraph=egraph,
-        aig=aig,
-        class_of_var={var: class_id
-                      for var, class_id in wire["class_of_var"]},
-        output_classes=list(wire["output_classes"]),
-        literal_classes={lit: class_id
-                         for lit, class_id in wire["literal_classes"]},
-    )
-    fa_report = FAInsertionReport(pairs=[
-        FAPair(inputs=tuple(inputs), sum_class=sum_class,
-               carry_class=carry_class, fa_class=fa_class)
-        for inputs, sum_class, carry_class, fa_class in state["fa_pairs"]
-    ])
-    return (construction,
-            report_from_wire(state["r1_report"]),
-            report_from_wire(state["r2_report"]),
-            fa_report,
-            state["num_npn_fas"])
-
-
-def _extraction_to_state(extraction: BoolEExtraction, extracted: AIG,
-                         blocks: List[FABlockRecord]) -> Dict:
-    """Wire form of everything extraction + reconstruction produce: the
-    per-class cost entries (chosen node, size, FA bitmask + decode table),
-    the reconstructed netlist and the materialised FA blocks."""
-    return {
-        "extraction": extraction_to_wire(extraction),
-        "extracted_aig": aig_to_wire(extracted),
-        "fa_blocks": [[list(block.inputs), block.sum_lit, block.carry_lit]
-                      for block in blocks],
-    }
-
-
-def _extraction_from_state(state: Dict, construction: ConstructionResult
-                           ) -> Tuple[BoolEExtraction, AIG,
-                                      List[FABlockRecord]]:
-    """Rebuild the extraction products against the (loaded or recomputed)
-    saturated e-graph of ``construction``."""
-    extraction = extraction_from_wire(state["extraction"],
-                                      construction.egraph)
-    extracted = aig_from_wire(state["extracted_aig"])
-    blocks = [FABlockRecord(inputs=tuple(inputs), sum_lit=sum_lit,
-                            carry_lit=carry_lit)
-              for inputs, sum_lit, carry_lit in state["fa_blocks"]]
-    return extraction, extracted, blocks
 
 
 def run_boole(aig: AIG, options: Optional[BoolEOptions] = None, *,

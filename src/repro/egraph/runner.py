@@ -133,6 +133,11 @@ class RunnerReport:
     #: Times each rule was banned by the back-off scheduler over the run
     #: (rules never banned are omitted).
     scheduler_stats: Dict[str, int] = field(default_factory=dict)
+    #: Iteration index this run resumed from (``None`` for uninterrupted
+    #: runs; the latest resume wins when a run is resumed repeatedly).
+    #: In-memory observability only — deliberately not serialized, so a
+    #: resumed run still writes byte-identical snapshot payload structure.
+    resumed_at: Optional[int] = None
 
     @property
     def num_iterations(self) -> int:
@@ -248,6 +253,7 @@ class Runner:
             incremental = resume_from.incremental
             scheduler = resume_from.scheduler
             report = resume_from.report
+            report.resumed_at = resume_from.iteration
             dirty = resume_from.dirty
             first_iteration = resume_from.iteration
             # The checkpointed run already paid this much wall time; count

@@ -48,6 +48,7 @@ from .fingerprint import (
     fingerprint_aig,
     fingerprint_options,
     fingerprint_ruleset,
+    phase_checkpoint_key,
     pipeline_cache_key,
 )
 from .store import ArtifactStore, StoreEntry
@@ -84,6 +85,7 @@ __all__ = [
     "fingerprint_aig",
     "fingerprint_options",
     "fingerprint_ruleset",
+    "phase_checkpoint_key",
     "pipeline_cache_key",
     "ArtifactStore",
     "StoreEntry",

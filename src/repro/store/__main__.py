@@ -5,6 +5,8 @@ Usage::
     python -m repro.store [--root DIR] list
     python -m repro.store [--root DIR] inspect KEY
     python -m repro.store [--root DIR] verify
+    python -m repro.store [--root DIR] pin KEY
+    python -m repro.store [--root DIR] unpin KEY
     python -m repro.store [--root DIR] gc [--max-age-days D]
                                           [--max-bytes N] [--dry-run]
     python -m repro.store key  --arch csa --width 16 [pipeline options]
@@ -77,10 +79,12 @@ def _cmd_list(store: ArtifactStore, _args) -> int:
         created = time.strftime("%Y-%m-%d %H:%M:%S",
                                 time.localtime(entry.created))
         meta = json.dumps(entry.meta, sort_keys=True) if entry.meta else ""
+        pin = "📌 " if entry.pinned else ""
         print(f"{entry.key[:16]:<16} {entry.kind:<20} "
-              f"{_format_size(entry.size):>10}  {created:<20} {meta}")
-    print(f"total: {len(entries)} artifacts, "
-          f"{_format_size(store.total_bytes())}")
+              f"{_format_size(entry.size):>10}  {created:<20} {pin}{meta}")
+    pinned = sum(1 for entry in entries if entry.pinned)
+    print(f"total: {len(entries)} artifacts "
+          f"({pinned} pinned), {_format_size(store.total_bytes())}")
     return 0
 
 
@@ -97,6 +101,24 @@ def _cmd_verify(store: ArtifactStore, _args) -> int:
     report = store.verify()
     print(json.dumps(report, indent=2, sort_keys=True))
     return 1 if report["unreadable"] else 0
+
+
+def _cmd_pin(store: ArtifactStore, args) -> int:
+    try:
+        store.pin(args.key)
+    except KeyError:
+        print(f"no artifact {args.key!r} in {store.root}", file=sys.stderr)
+        return 1
+    print(f"pinned {args.key[:16]}…")
+    return 0
+
+
+def _cmd_unpin(store: ArtifactStore, args) -> int:
+    if store.unpin(args.key):
+        print(f"unpinned {args.key[:16]}…")
+    else:
+        print(f"{args.key[:16]}… was not pinned")
+    return 0
 
 
 def _cmd_gc(store: ArtifactStore, args) -> int:
@@ -117,15 +139,15 @@ def _cmd_key(_store: ArtifactStore, args) -> int:
     key = pipeline.cache_key(mapped)
     if args.kind == "extraction":
         # The extraction key strictly extends the saturated key (it digests
-        # it together with the cost model and the reconstruction roots), so
-        # CI caches keyed on it are invalidated by any semantic change to
-        # either artifact.
+        # it together with the cost model, the reconstruction roots and the
+        # refinement budget), so CI caches keyed on it are invalidated by
+        # any semantic change to either artifact.  Delegating to the
+        # pipeline's own helper keeps this key identical to the one
+        # artifacts are actually stored under.
         from ..core.construct import aig_to_egraph
-        from .fingerprint import extraction_cache_key
 
         construction = aig_to_egraph(mapped)
-        key = extraction_cache_key(key, pipeline.extractor.node_cost,
-                                   construction.output_classes)
+        key = pipeline.extraction_key(key, construction.output_classes)
     print(key)
     return 0
 
@@ -159,7 +181,14 @@ def main(argv=None) -> int:
     inspect.add_argument("key")
     commands.add_parser("verify",
                         help="cross-check index against object files")
-    gc = commands.add_parser("gc", help="evict artifacts")
+    pin = commands.add_parser(
+        "pin", help="protect an artifact from gc eviction")
+    pin.add_argument("key")
+    unpin = commands.add_parser("unpin", help="drop an artifact's pin")
+    unpin.add_argument("key")
+    gc = commands.add_parser(
+        "gc", help="evict artifacts (--max-bytes evicts cheapest-rebuild "
+                   "first, by the saturation_seconds meta)")
     gc.add_argument("--max-age-days", type=float, default=None)
     gc.add_argument("--max-bytes", type=int, default=None)
     gc.add_argument("--dry-run", action="store_true")
@@ -180,6 +209,8 @@ def main(argv=None) -> int:
         "list": _cmd_list,
         "inspect": _cmd_inspect,
         "verify": _cmd_verify,
+        "pin": _cmd_pin,
+        "unpin": _cmd_unpin,
         "gc": _cmd_gc,
         "key": _cmd_key,
         "warm": _cmd_warm,

@@ -90,7 +90,13 @@ __all__ = [
 #: rewrite changed entry *semantics* (values are repaired along the chosen
 #: DAG instead of carrying the old stale optimism) — pre-rewrite artifacts
 #: must never hit.
-CODEC_VERSION = 2
+#:
+#: v3: phase-graph pipeline — ``kind="checkpoint"`` artifacts gained the
+#: ``phase``/``prior`` fields (cumulative upstream state for mid-phase
+#: resume), runner reports carry ``resumed_at``, and the option
+#: fingerprint's excluded-field set changed (``refine_rounds``,
+#: ``checkpoint_every``), which silently re-keys every artifact anyway.
+CODEC_VERSION = 3
 
 SNAPSHOT_FORMAT = "repro.store/snapshot"
 
@@ -321,6 +327,9 @@ def scheduler_from_wire(wire: Optional[Dict]) -> Optional[BackoffScheduler]:
 def report_to_wire(report: RunnerReport) -> Dict:
     """Encode a :class:`RunnerReport` (rule stats included)."""
     return {
+        # ``resumed_at`` is deliberately NOT serialized: a resumed run must
+        # write byte-identical artifacts to an uninterrupted one (content
+        # addressing relies on it), so resume provenance stays in memory.
         "stop_reason": report.stop_reason,
         "total_time": report.total_time,
         "scheduler_stats": dict(report.scheduler_stats),

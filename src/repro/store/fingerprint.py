@@ -44,8 +44,18 @@ __all__ = [
     "fingerprint_aig",
     "fingerprint_options",
     "fingerprint_ruleset",
+    "phase_checkpoint_key",
     "pipeline_cache_key",
 ]
+
+#: ``BoolEOptions`` fields that cannot change the saturated e-graph:
+#: ``extract``/``refine_rounds`` only act after the cache boundary (the
+#: latter participates in :func:`extraction_cache_key` instead) and
+#: ``checkpoint_every`` only changes *when* snapshots are taken — resume
+#: is bit-identical, so two runs differing only in cadence must share
+#: artifacts.
+_NON_SEMANTIC_OPTION_FIELDS = frozenset(
+    {"extract", "refine_rounds", "checkpoint_every"})
 
 
 def canonical_digest(payload) -> str:
@@ -83,15 +93,18 @@ def fingerprint_aig(aig: AIG) -> str:
 def fingerprint_options(options) -> str:
     """Fingerprint a :class:`~repro.core.pipeline.BoolEOptions` instance.
 
-    Every dataclass field except ``extract`` participates: extraction runs
-    *after* the cache boundary, so two configurations differing only in
-    ``extract`` share the saturated artifact.  Fields added in future
-    revisions are included automatically, which errs on the side of cache
-    misses rather than wrong hits.
+    Every dataclass field except the non-semantic ones participates:
+    ``extract`` and ``refine_rounds`` only act after the cache boundary
+    (the latter is digested into :func:`extraction_cache_key` instead) and
+    ``checkpoint_every`` cannot change results (resume is bit-identical),
+    so configurations differing only in those share the saturated
+    artifact.  Fields added in future revisions are included
+    automatically, which errs on the side of cache misses rather than
+    wrong hits.
     """
     payload = {field.name: getattr(options, field.name)
                for field in dataclasses.fields(options)
-               if field.name != "extract"}
+               if field.name not in _NON_SEMANTIC_OPTION_FIELDS}
     return canonical_digest({"kind": "options", "fields": payload})
 
 
@@ -138,22 +151,42 @@ def combine_cache_key(aig_fingerprint: str, options_fingerprint: str,
 
 
 def extraction_cache_key(saturated_key: str, node_cost: Dict[str, int],
-                         roots: Sequence[int]) -> str:
+                         roots: Sequence[int],
+                         refine_rounds: int = 0) -> str:
     """Content key of a ``kind="extraction"`` artifact.
 
     Extraction + reconstruction are a pure function of the saturated
     e-graph (addressed by ``saturated_key``, which already covers the
     netlist, the options, the rulesets and the codec version), the
-    extractor's per-operator cost table and the reconstruction roots
-    (construction-time output class ids).  Changing any of the three — or
-    bumping ``CODEC_VERSION``, which salts :func:`canonical_digest` —
-    changes the key, so stale extraction artifacts are never even opened.
+    extractor's per-operator cost table, the reconstruction roots
+    (construction-time output class ids) and the refinement budget.
+    Changing any of them — or bumping ``CODEC_VERSION``, which salts
+    :func:`canonical_digest` — changes the key, so stale extraction
+    artifacts are never even opened.
     """
     return canonical_digest({
         "kind": "extraction-cache-key",
         "saturated": saturated_key,
         "node_cost": sorted(node_cost.items()),
         "roots": list(roots),
+        "refine_rounds": refine_rounds,
+    })
+
+
+def phase_checkpoint_key(saturated_key: str, phase: str) -> str:
+    """Content key of a pipeline phase's ``kind="checkpoint"`` artifact.
+
+    Derived from the saturated pipeline key (netlist + options + rulesets
+    + codec version) and the phase name, so a checkpoint can only ever be
+    resumed by a run that would — uninterrupted — have produced the same
+    phase output.  Checkpoint cadence is deliberately absent: resume is
+    bit-identical, so runs with different ``checkpoint_every`` settings
+    share (and supersede) each other's checkpoints.
+    """
+    return canonical_digest({
+        "kind": "phase-checkpoint-key",
+        "saturated": saturated_key,
+        "phase": phase,
     })
 
 

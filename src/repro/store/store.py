@@ -29,7 +29,7 @@ import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from .codec import SnapshotError, read_snapshot, write_snapshot
 
@@ -37,6 +37,7 @@ __all__ = ["ArtifactStore", "StoreEntry"]
 
 _KEY_RE = re.compile(r"^[0-9a-f]{8,64}$")
 _OBJECT_SUFFIX = ".json.gz"
+_PIN_SUFFIX = ".pin"
 
 
 @dataclass
@@ -48,6 +49,8 @@ class StoreEntry:
     created: float
     size: int
     meta: Dict = field(default_factory=dict)
+    #: True when a pin sidecar protects the artifact from GC eviction.
+    pinned: bool = False
 
 
 class ArtifactStore:
@@ -91,6 +94,10 @@ class ArtifactStore:
     # ------------------------------------------------------------------
     # Core operations
     # ------------------------------------------------------------------
+    def _pin_path(self, key: str) -> Path:
+        return self.path_for(key).with_name(
+            f"{key}{_OBJECT_SUFFIX}{_PIN_SUFFIX}")
+
     def contains(self, key: str) -> bool:
         """True when an artifact for ``key`` is on disk."""
         return self.path_for(key).exists()
@@ -126,6 +133,51 @@ class ArtifactStore:
             pass
         return document["payload"]
 
+    def delete(self, key: str) -> bool:
+        """Remove ``key``'s artifact (and pin sidecar); True if it existed.
+
+        Explicit deletion overrides pinning — pins only protect against
+        :meth:`gc` eviction, not against a caller that names the key.
+        """
+        path = self.path_for(key)
+        existed = path.exists()
+        path.unlink(missing_ok=True)
+        self._pin_path(key).unlink(missing_ok=True)
+        if existed:
+            with self._lock:
+                index = self._read_index()
+                if index.pop(key, None) is not None:
+                    self._write_index(index)
+        return existed
+
+    # ------------------------------------------------------------------
+    # Pinning
+    # ------------------------------------------------------------------
+    def pin(self, key: str) -> None:
+        """Protect ``key`` from GC eviction (age and size policies).
+
+        Pins are sidecar files next to the object, so they survive index
+        loss and travel with the objects directory.  Pinning a missing
+        artifact raises ``KeyError`` — a pin records intent about bytes
+        that exist, not a reservation.
+        """
+        if not self.contains(key):
+            raise KeyError(key)
+        self._pin_path(key).touch()
+
+    def unpin(self, key: str) -> bool:
+        """Drop the pin on ``key``; True when a pin existed."""
+        self._check_key(key)
+        pin = self._pin_path(key)
+        existed = pin.exists()
+        pin.unlink(missing_ok=True)
+        return existed
+
+    def is_pinned(self, key: str) -> bool:
+        """True when ``key`` carries a pin sidecar."""
+        self._check_key(key)
+        return self._pin_path(key).exists()
+
     def describe(self, key: str) -> Optional[Dict]:
         """Return a stored artifact's header (kind, meta, size) sans payload."""
         path = self.path_for(key)
@@ -138,6 +190,7 @@ class ArtifactStore:
             "codec_version": document["codec_version"],
             "meta": document["meta"],
             "size": path.stat().st_size,
+            "pinned": self.is_pinned(key),
         }
 
     # ------------------------------------------------------------------
@@ -172,7 +225,8 @@ class ArtifactStore:
         listed = [StoreEntry(key=key, kind=record.get("kind", "?"),
                              created=record.get("created", 0.0),
                              size=record.get("size", 0),
-                             meta=record.get("meta", {}))
+                             meta=record.get("meta", {}),
+                             pinned=self.is_pinned(key))
                   for key, record in index.items()]
         return sorted(listed, key=lambda entry: -entry.created)
 
@@ -234,38 +288,62 @@ class ArtifactStore:
         Policy, applied in order:
 
         1. objects that cannot be read (corrupt, or written by another
-           codec version) are always eligible;
-        2. objects unused for more than ``max_age_seconds`` (mtime is
-           bumped on every :meth:`get` hit);
-        3. oldest-used objects beyond ``max_total_bytes``.
+           codec version) are always eligible — **even when pinned**: an
+           unreadable object can never be served again, so keeping it
+           would only wedge the store after a codec bump;
+        2. unpinned objects unused for more than ``max_age_seconds``
+           (mtime is bumped on every :meth:`get` hit);
+        3. unpinned objects beyond ``max_total_bytes``, cheapest rebuild
+           first: eviction order is (``saturation_seconds`` recorded in
+           the artifact's ``meta`` ascending, then least-recently-used),
+           so a shared cache under size pressure sheds the artifacts that
+           cost seconds to recompute before the ones that cost minutes.
 
         With neither limit set, only unreadable objects are collected.
+        :meth:`pin` / :meth:`unpin` control the pin set (e.g. nightly CI
+        pins its 16-bit artifacts so per-PR sweeps cannot evict them).
         """
         now = time.time()
         removed: List[str] = []
-        survivors: List[Path] = []
+        survivors: List[Tuple[float, float, Path]] = []
         for path in self._object_files():
             key = path.name[:-len(_OBJECT_SUFFIX)]
             try:
-                read_snapshot(path)
+                document = read_snapshot(path)
             except SnapshotError:
                 removed.append(key)
                 if not dry_run:
                     path.unlink(missing_ok=True)
+                    self._pin_path(key).unlink(missing_ok=True)
                 continue
+            if self.is_pinned(key):
+                continue
+            mtime = path.stat().st_mtime
             if (max_age_seconds is not None
-                    and now - path.stat().st_mtime > max_age_seconds):
+                    and now - mtime > max_age_seconds):
                 removed.append(key)
                 if not dry_run:
                     path.unlink(missing_ok=True)
                 continue
-            survivors.append(path)
+            meta = document.get("meta") or {}
+            cost = meta.get("saturation_seconds")
+            if not isinstance(cost, (int, float)):
+                cost = 0.0
+            survivors.append((float(cost), mtime, path))
         if max_total_bytes is not None:
-            # Evict least-recently-used until under budget.
-            survivors.sort(key=lambda p: p.stat().st_mtime)
-            total = sum(path.stat().st_size for path in survivors)
+            # Rebuild-cost-aware LRU: under budget pressure, evict the
+            # cheapest-to-recompute artifacts first, breaking cost ties by
+            # least-recent use.  Pinned objects never reach this list but
+            # their bytes still count against the budget — a store whose
+            # pins exceed the budget simply evicts everything unpinned.
+            survivors.sort()
+            pinned_bytes = sum(
+                path.stat().st_size for path in self._object_files()
+                if self.is_pinned(path.name[:-len(_OBJECT_SUFFIX)]))
+            total = pinned_bytes + sum(path.stat().st_size
+                                       for _cost, _mtime, path in survivors)
             while survivors and total > max_total_bytes:
-                path = survivors.pop(0)
+                _cost, _mtime, path = survivors.pop(0)
                 total -= path.stat().st_size
                 removed.append(path.name[:-len(_OBJECT_SUFFIX)])
                 if not dry_run:

@@ -1,4 +1,19 @@
-"""Tests for the BatchPipeline driver."""
+"""Tests for the BatchPipeline driver.
+
+Covers the three executor backends (serial / thread / process), the
+lightweight-result contract of the process backend (``keep_results`` is
+no longer silently disabled — workers ship reports + counts + the
+reconstructed netlist, just not the e-graph), chunked submission,
+broken-pool requeue, and the headline determinism property: all three
+backends produce bit-identical report aggregates for the same job list,
+across ``PYTHONHASHSEED`` values (subprocess cases).
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
 
 import pytest
 
@@ -9,7 +24,10 @@ from repro.core import (
     BoolEOptions,
     BoolEPipeline,
 )
+from repro.core.batch import _chunked
 from repro.generators import csa_multiplier, ripple_carry_adder
+
+SRC_DIR = str(Path(__file__).resolve().parent.parent / "src")
 
 FAST = BoolEOptions(r1_iterations=2, r2_iterations=2, count_npn=False)
 
@@ -24,7 +42,8 @@ def small_jobs():
 
 class TestBatchPipeline:
     def test_batch_matches_serial_results(self):
-        report = BatchPipeline(max_workers=2).run(small_jobs())
+        report = BatchPipeline(max_workers=2, executor="thread").run(
+            small_jobs())
         assert report.num_failed == 0
         assert [item.name for item in report.items] == ["rca3", "rca4", "csa2"]
         serial = BoolEPipeline(FAST).run(ripple_carry_adder(4)[0])
@@ -32,22 +51,51 @@ class TestBatchPipeline:
         assert batch.summary["exact_fas"] == serial.summary()["exact_fas"]
         assert batch.summary["paired_fas"] == serial.summary()["paired_fas"]
         assert batch.result is not None  # thread backend keeps full results
+        assert batch.result.construction is not None
 
     def test_accepts_bare_aigs(self):
         aig, _ = ripple_carry_adder(3)
-        report = BatchPipeline(FAST).run([aig])
+        report = BatchPipeline(FAST, executor="serial").run([aig])
         assert report.num_ok == 1
         assert report.items[0].name == aig.name
 
     def test_failure_is_isolated(self):
         jobs = [BatchJob("bad", aig=None),
                 BatchJob("rca3", ripple_carry_adder(3)[0], options=FAST)]
-        report = BatchPipeline(max_workers=2).run(jobs)
+        report = BatchPipeline(max_workers=2, executor="thread").run(jobs)
         assert report.num_failed == 1
         assert report.num_ok == 1
         (name, error), = report.failures()
         assert name == "bad"
         assert error
+        assert report.item("rca3").ok
+
+    def test_failure_is_isolated_in_process_workers(self):
+        jobs = [BatchJob("bad", aig=None),
+                BatchJob("rca3", ripple_carry_adder(3)[0], options=FAST)]
+        report = BatchPipeline(max_workers=1, executor="process",
+                               chunk_size=1).run(jobs)
+        assert report.num_failed == 1
+        assert report.item("rca3").ok
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_bad_job_options_fail_alone(self, backend):
+        """Invalid per-job options (pipeline construction raises) must
+        fail that job only — never abort the batch or poison chunk-mates.
+        BoolEOptions validates at construction, so simulate options that
+        went bad afterwards (mutation skips __post_init__); the extractor
+        still rejects them when the job's pipeline is built."""
+        bad = BoolEOptions()
+        bad.refine_rounds = -1
+        jobs = [BatchJob("bad-options", ripple_carry_adder(3)[0],
+                         options=bad),
+                BatchJob("rca3", ripple_carry_adder(3)[0], options=FAST)]
+        report = BatchPipeline(executor=backend, max_workers=1,
+                               chunk_size=2).run(jobs)
+        assert report.num_failed == 1
+        (name, error), = report.failures()
+        assert name == "bad-options"
+        assert "refine_rounds" in error
         assert report.item("rca3").ok
 
     def test_per_job_options_override_default(self):
@@ -56,14 +104,14 @@ class TestBatchPipeline:
         jobs = [BatchJob("plain", ripple_carry_adder(3)[0], options=FAST),
                 BatchJob("no-extract", ripple_carry_adder(3)[0],
                          options=no_extract)]
-        report = BatchPipeline(FAST).run(jobs)
+        report = BatchPipeline(FAST, executor="thread").run(jobs)
         assert report.num_failed == 0
         assert report.item("plain").result.extracted_aig is not None
         assert report.item("no-extract").result.extracted_aig is None
 
     def test_aggregate_and_throughput(self):
-        report = BatchPipeline(max_workers=2, keep_results=False).run(
-            small_jobs())
+        report = BatchPipeline(max_workers=2, keep_results=False,
+                               executor="thread").run(small_jobs())
         totals = report.aggregate()
         assert totals["exact_fas"] == sum(
             item.summary["exact_fas"] for item in report.items)
@@ -71,6 +119,14 @@ class TestBatchPipeline:
         assert report.total_runtime >= max(item.runtime
                                            for item in report.items)
         assert all(item.result is None for item in report.items)
+
+    def test_deterministic_aggregate_drops_runtime_only(self):
+        report = BatchPipeline(FAST, executor="serial").run(small_jobs())
+        deterministic = report.deterministic_aggregate()
+        assert "runtime" not in deterministic
+        totals = report.aggregate()
+        totals.pop("runtime")
+        assert deterministic == totals
 
     def test_empty_batch(self):
         report = BatchPipeline().run([])
@@ -82,14 +138,147 @@ class TestBatchPipeline:
         with pytest.raises(ValueError):
             BatchPipeline(executor="fleet")
 
+    def test_rejects_bad_chunk_size(self):
+        with pytest.raises(ValueError):
+            BatchPipeline(chunk_size=0)
+
     def test_rejects_unknown_job_type(self):
         with pytest.raises(TypeError):
             BatchPipeline().run(["not-a-job"])
 
-    def test_process_backend(self):
+    def test_process_backend_keeps_lightweight_results(self):
+        """The process backend no longer drops results: workers return a
+        lightweight copy (reports + counts + reconstructed netlist, no
+        e-graph)."""
         jobs = [BatchJob("rca3", ripple_carry_adder(3)[0], options=FAST)]
         report = BatchPipeline(executor="process", max_workers=1).run(jobs)
         assert report.num_failed == 0
         item = report.items[0]
-        assert item.result is None  # summaries only across processes
         assert item.summary["exact_fas"] >= 0
+        result = item.result
+        assert result is not None
+        assert result.construction is None  # the e-graph stays behind
+        assert result.extraction is None
+        assert result.extracted_aig is not None
+        assert result.fa_blocks
+        assert result.r1_report.num_iterations > 0
+        # Shape properties survive the lightweight copy.
+        assert result.egraph_classes == item.summary["egraph_classes"]
+        assert result.egraph_nodes == item.summary["egraph_nodes"]
+
+    def test_process_backend_keep_results_false(self):
+        jobs = [BatchJob("rca3", ripple_carry_adder(3)[0], options=FAST)]
+        report = BatchPipeline(executor="process", max_workers=1,
+                               keep_results=False).run(jobs)
+        assert report.num_failed == 0
+        assert report.items[0].result is None
+
+
+class TestChunking:
+    def test_chunked_partitions_in_order(self):
+        assert _chunked([1, 2, 3, 4, 5], 2) == [[1, 2], [3, 4], [5]]
+        assert _chunked([], 3) == []
+        assert _chunked([7], 5) == [[7]]
+
+    def test_explicit_chunk_size_round_trips_all_jobs(self):
+        jobs = small_jobs()
+        report = BatchPipeline(max_workers=2, executor="process",
+                               chunk_size=2).run(jobs)
+        assert report.num_failed == 0
+        assert [item.name for item in report.items] == [job.name
+                                                        for job in jobs]
+
+
+class TestBackendEquivalence:
+    def test_three_backends_bit_identical(self):
+        """serial, thread and process runs of the same jobs agree exactly
+        on every per-item summary and on the aggregate."""
+        jobs = small_jobs()
+        reports = {
+            backend: BatchPipeline(max_workers=2, executor=backend).run(jobs)
+            for backend in ("serial", "thread", "process")}
+        reference = reports["serial"]
+        assert reference.num_failed == 0
+        ref_summaries = [
+            {key: value for key, value in item.summary.items()
+             if key != "runtime"}
+            for item in reference.items]
+        for backend, report in reports.items():
+            assert report.num_failed == 0, (backend, report.failures())
+            summaries = [
+                {key: value for key, value in item.summary.items()
+                 if key != "runtime"}
+                for item in report.items]
+            assert summaries == ref_summaries, backend
+            assert (report.deterministic_aggregate()
+                    == reference.deterministic_aggregate()), backend
+
+
+class TestWorkerRequeue:
+    def test_killed_worker_requeues_jobs(self, tmp_path, monkeypatch):
+        """A worker hard-killed mid-chunk (simulating an OOM kill) breaks
+        the pool; the driver rebuilds it and requeues the undone jobs."""
+        marker = tmp_path / "kill-once"
+        monkeypatch.setenv("_REPRO_BATCH_KILL_WORKER_ONCE", str(marker))
+        jobs = [BatchJob("rca3", ripple_carry_adder(3)[0], options=FAST),
+                BatchJob("rca4", ripple_carry_adder(4)[0], options=FAST)]
+        report = BatchPipeline(executor="process", max_workers=1,
+                               chunk_size=1, retries=2).run(jobs)
+        assert marker.exists()  # the fault actually fired
+        assert report.num_failed == 0
+        assert report.num_requeued >= 1
+        serial = BatchPipeline(executor="serial").run(jobs)
+        assert (report.deterministic_aggregate()
+                == serial.deterministic_aggregate())
+
+    def test_retries_exhausted_reports_failures(self, tmp_path, monkeypatch):
+        """With retries=0, the jobs a dead worker took down are reported
+        as failures instead of hanging or crashing the batch."""
+        marker = tmp_path / "kill-once"
+        monkeypatch.setenv("_REPRO_BATCH_KILL_WORKER_ONCE", str(marker))
+        jobs = [BatchJob("rca3", ripple_carry_adder(3)[0], options=FAST)]
+        report = BatchPipeline(executor="process", max_workers=1,
+                               retries=0).run(jobs)
+        assert report.num_failed == 1
+        (_name, error), = report.failures()
+        assert "pool broke" in error
+
+
+_BACKEND_SWEEP_SCRIPT = """
+import json, sys
+from repro.core import BatchJob, BatchPipeline, BoolEOptions
+from repro.generators import csa_multiplier, ripple_carry_adder
+
+backend = sys.argv[1]
+options = BoolEOptions(r1_iterations=2, r2_iterations=2, count_npn=False)
+jobs = [BatchJob(f"rca{w}", ripple_carry_adder(w)[0]) for w in (3, 4, 5)]
+jobs.append(BatchJob("csa2", csa_multiplier(2).aig))
+report = BatchPipeline(options, max_workers=2, executor=backend).run(jobs)
+assert report.num_failed == 0, report.failures()
+print(json.dumps(report.deterministic_aggregate(), sort_keys=True))
+"""
+
+
+def _sweep_subprocess(backend: str, hash_seed: int) -> str:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = str(hash_seed)
+    env["PYTHONPATH"] = SRC_DIR + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    proc = subprocess.run(
+        [sys.executable, "-c", _BACKEND_SWEEP_SCRIPT, backend],
+        env=env, capture_output=True, text=True, timeout=600)
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout.strip()
+
+
+class TestCrossBackendDeterminismProperty:
+    def test_backends_and_hash_seeds_agree(self):
+        """Cross-backend × cross-hash-seed: every (backend, seed) cell of
+        the sweep produces the same aggregate JSON."""
+        results = {
+            (backend, seed): _sweep_subprocess(backend, seed)
+            for backend, seed in (("serial", 0), ("thread", 12345),
+                                  ("process", 98765))}
+        values = set(results.values())
+        assert len(values) == 1, results
+        assert json.loads(values.pop())["exact_fas"] > 0

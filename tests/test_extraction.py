@@ -541,3 +541,73 @@ class TestExtractionCache:
                            for b in warm.fa_blocks]) \
             == json.dumps([[list(b.inputs), b.sum_lit, b.carry_lit]
                            for b in cold.fa_blocks])
+
+
+class TestRefinementRounds:
+    """``BoolEExtractor(refine_rounds=N)``: bounded choose→repair passes.
+
+    The refined extraction must stay achievable (values == what the chosen
+    DAG materialises), reconstructible and deterministic, never lose FAs
+    against the single-pass extractor at the extraction roots, and key its
+    cache entries separately so refined and unrefined artifacts cannot
+    shadow each other.
+    """
+
+    def test_negative_rounds_rejected(self):
+        with pytest.raises(ValueError):
+            BoolEExtractor(refine_rounds=-1)
+        with pytest.raises(ValueError):
+            BoolEOptions(refine_rounds=-1)   # caught at options level too
+
+    def _saturated(self, width=3):
+        result = BoolEPipeline(BoolEOptions(**PIPELINE_OPTIONS)).run(
+            _mapped(width))
+        return result.construction
+
+    def test_refined_extraction_is_achievable_and_no_worse(self):
+        construction = self._saturated()
+        roots = construction.output_classes
+        single = BoolEExtractor().extract(construction.egraph, roots=roots)
+        refined = BoolEExtractor(refine_rounds=3).extract(
+            construction.egraph, roots=roots)
+        _assert_achievable_entries(construction.egraph, refined)
+        assert (refined.num_exact_fas(roots)
+                >= single.num_exact_fas(roots))
+
+    def test_refined_pipeline_reconstructs_equivalent_netlist(self):
+        options = BoolEOptions(refine_rounds=2, **PIPELINE_OPTIONS)
+        result = BoolEPipeline(options).run(_mapped(3))
+        assert result.num_exact_fas == len(result.fa_blocks)
+        assert _functionally_equal(result.source, result.extracted_aig)
+
+    def test_refinement_deterministic(self):
+        construction = self._saturated()
+        roots = construction.output_classes
+        first = BoolEExtractor(refine_rounds=2).extract(
+            construction.egraph, roots=roots)
+        second = BoolEExtractor(refine_rounds=2).extract(
+            construction.egraph, roots=roots)
+        assert sorted((cid, e.size, e.fa_mask, str(e.node))
+                      for cid, e in first.entries.items()) \
+            == sorted((cid, e.size, e.fa_mask, str(e.node))
+                      for cid, e in second.entries.items())
+
+    def test_refine_rounds_key_separation(self, tmp_path):
+        """refine_rounds joins the extraction key but not the saturated
+        key: a refined run shares the snapshot yet never hits the
+        unrefined extraction artifact (or vice versa)."""
+        store = ArtifactStore(tmp_path)
+        aig = _mapped(3)
+        plain_options = BoolEOptions(**PIPELINE_OPTIONS)
+        refined_options = BoolEOptions(refine_rounds=2, **PIPELINE_OPTIONS)
+        plain = BoolEPipeline(plain_options, store=store)
+        refined = BoolEPipeline(refined_options, store=store)
+        assert plain.cache_key(aig) == refined.cache_key(aig)
+
+        cold = plain.run(aig)
+        assert not cold.cache_hit
+        second = refined.run(aig)
+        assert second.cache_hit            # shared saturated snapshot
+        assert not second.extraction_cache_hit  # but its own extraction key
+        assert refined.run(aig).extraction_cache_hit
+        assert plain.run(aig).extraction_cache_hit

@@ -576,3 +576,116 @@ class TestCommandLine:
     def test_missing_key_inspect_fails(self, tmp_path):
         result = self._cli(tmp_path, "inspect", "ef" * 20)
         assert result.returncode == 1
+
+
+class TestPinsAndCostAwareGC:
+    def test_pin_unpin_round_trip(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        key = "ab" * 20
+        with pytest.raises(KeyError):
+            store.pin(key)            # pinning nothing is an error
+        store.put(key, {}, kind="egraph")
+        assert not store.is_pinned(key)
+        store.pin(key)
+        assert store.is_pinned(key)
+        assert store.describe(key)["pinned"]
+        assert [entry.pinned for entry in store.entries()] == [True]
+        assert store.unpin(key)
+        assert not store.is_pinned(key)
+        assert not store.unpin(key)   # idempotent
+
+    def test_pinned_artifacts_survive_age_and_size_gc(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        pinned, loose = "aa" * 20, "bb" * 20
+        store.put(pinned, {"blob": "x" * 512}, kind="egraph")
+        store.put(loose, {"blob": "y" * 512}, kind="egraph")
+        store.pin(pinned)
+        os.utime(store.path_for(pinned), (1.0, 1.0))
+        os.utime(store.path_for(loose), (1.0, 1.0))
+        removed = store.gc(max_age_seconds=3600, max_total_bytes=1)
+        assert removed == [loose]
+        assert store.contains(pinned)
+
+    def test_gc_removes_unreadable_even_when_pinned(self, tmp_path):
+        """A pinned object from an old codec can never be read again;
+        keeping it would wedge the store after a version bump."""
+        store = ArtifactStore(tmp_path)
+        key = "cc" * 20
+        store.put(key, {}, kind="egraph")
+        store.pin(key)
+        store.path_for(key).write_bytes(b"junk from an old codec")
+        assert store.gc() == [key]
+        assert not store.contains(key)
+        assert not store.is_pinned(key)   # the sidecar went with it
+
+    def test_size_gc_evicts_cheapest_rebuild_first(self, tmp_path):
+        """--max-bytes orders by the saturation_seconds recorded in meta:
+        the artifact that took 90s to saturate outlives the one that took
+        2s, even when the expensive one is older and less recently used."""
+        store = ArtifactStore(tmp_path)
+        cheap, dear = "aa" * 20, "bb" * 20
+        store.put(dear, {"blob": "x" * 512}, kind="saturated-pipeline",
+                  meta={"saturation_seconds": 90.0})
+        store.put(cheap, {"blob": "y" * 512}, kind="saturated-pipeline",
+                  meta={"saturation_seconds": 2.0})
+        # Make the expensive artifact the LRU one: pure-LRU would evict it.
+        os.utime(store.path_for(dear), (1.0, 1.0))
+        budget = store.path_for(dear).stat().st_size
+        removed = store.gc(max_total_bytes=budget)
+        assert removed == [cheap]
+        assert store.contains(dear)
+
+    def test_delete_removes_object_index_and_pin(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        key = "dd" * 20
+        store.put(key, {}, kind="egraph")
+        store.pin(key)
+        assert store.delete(key)
+        assert not store.contains(key)
+        assert not store.is_pinned(key)
+        assert store.entries() == []
+        assert not store.delete(key)   # second delete is a no-op
+
+    def test_saturated_artifacts_record_rebuild_cost(self, tmp_path):
+        """The pipeline stamps saturation_seconds into both artifact
+        levels so the cost-aware GC has something to order by."""
+        store = ArtifactStore(tmp_path)
+        pipeline = BoolEPipeline(BoolEOptions(r1_iterations=2,
+                                              r2_iterations=2), store=store)
+        pipeline.run(_mapped_csa3())
+        for entry in store.entries():
+            assert "saturation_seconds" in entry.meta
+            assert entry.meta["saturation_seconds"] >= 0.0
+
+
+class TestPinCommandLine:
+    def _cli(self, root, *args):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC_DIR + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+        return subprocess.run(
+            [sys.executable, "-m", "repro.store", "--root", str(root), *args],
+            env=env, capture_output=True, text=True, timeout=300)
+
+    def test_pin_unpin_and_gc_respect(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        key = "ee" * 20
+        store.put(key, {}, kind="egraph")
+        pinned = self._cli(tmp_path, "pin", key)
+        assert pinned.returncode == 0, pinned.stderr
+        assert store.is_pinned(key)
+        listed = self._cli(tmp_path, "list")
+        assert "1 pinned" in listed.stdout
+
+        collected = self._cli(tmp_path, "gc", "--max-age-days", "0")
+        assert collected.returncode == 0
+        assert store.contains(key)       # pin held against age eviction
+
+        unpinned = self._cli(tmp_path, "unpin", key)
+        assert unpinned.returncode == 0
+        collected = self._cli(tmp_path, "gc", "--max-age-days", "0")
+        assert not store.contains(key)
+
+    def test_pin_missing_key_fails(self, tmp_path):
+        result = self._cli(tmp_path, "pin", "ff" * 20)
+        assert result.returncode == 1
