@@ -1,7 +1,19 @@
 """BoolE core: rulesets, construction, saturation, FA pairing and extraction."""
 
-from .batch import BatchItemResult, BatchJob, BatchPipeline, BatchReport
-from .construct import ConstructionResult, aig_to_egraph
+from .batch import (
+    BatchItemPlan,
+    BatchItemResult,
+    BatchJob,
+    BatchPipeline,
+    BatchPlan,
+    BatchReport,
+)
+from .construct import (
+    ConstructionResult,
+    PlannedConstruction,
+    aig_to_egraph,
+    planned_construction,
+)
 from .extraction import (
     BoolEExtraction,
     BoolEExtractor,
@@ -15,18 +27,33 @@ from .fa_structure import (
     count_npn_fa_pairs,
     insert_fa_structures,
 )
-from .phases import Phase, PhaseContext, PhaseGraph, boole_phases
+from .phases import (
+    PLAN_COLD,
+    PLAN_SKIPPED,
+    PLAN_WARM_BOUNDARY,
+    PLAN_WARM_CHECKPOINT,
+    Phase,
+    PhaseContext,
+    PhaseGraph,
+    PhasePlan,
+    PipelinePlan,
+    boole_phases,
+)
 from .pipeline import BoolEOptions, BoolEPipeline, BoolEResult, run_boole
 from .rules_basic import basic_rules, full_basic_rules, lightweight_basic_rules
 from .rules_xor_maj import identification_rules, maj_rules, ruleset_summary, xor_rules
 
 __all__ = [
+    "BatchItemPlan",
     "BatchItemResult",
     "BatchJob",
     "BatchPipeline",
+    "BatchPlan",
     "BatchReport",
     "ConstructionResult",
+    "PlannedConstruction",
     "aig_to_egraph",
+    "planned_construction",
     "BoolEExtraction",
     "BoolEExtractor",
     "CostEntry",
@@ -36,9 +63,15 @@ __all__ = [
     "FAPair",
     "count_npn_fa_pairs",
     "insert_fa_structures",
+    "PLAN_COLD",
+    "PLAN_SKIPPED",
+    "PLAN_WARM_BOUNDARY",
+    "PLAN_WARM_CHECKPOINT",
     "Phase",
     "PhaseContext",
     "PhaseGraph",
+    "PhasePlan",
+    "PipelinePlan",
     "boole_phases",
     "BoolEOptions",
     "BoolEPipeline",

@@ -34,11 +34,16 @@ All three backends produce bit-identical summaries and aggregates for the
 same job list (``tests/test_batch.py`` holds this across backends and
 ``PYTHONHASHSEED`` values).
 
-With a ``store`` (an :class:`~repro.store.ArtifactStore` or directory
-path) the driver consults the content-addressed cache *before*
-dispatching: jobs whose saturated e-graph is already stored run inline on
-the calling thread — a cheap load instead of a saturation — and only
-genuinely cold circuits occupy pool workers.  Inside a worker the phase
+Scheduling is **plan-driven**: every run first computes a
+:class:`BatchPlan` (see :meth:`BatchPipeline.plan`) — each job's
+:class:`~repro.core.phases.PipelinePlan` against the store, with zero
+execution.  The plan decides dispatch: jobs warm against the store run
+inline on the calling thread (a cheap load instead of a saturation);
+jobs collapsing onto the same final content key execute once and the
+duplicates carry the shared result; and jobs whose saturated prefix an
+earlier cold job will produce are held back to a second wave, so a
+shared prefix (same saturation, different ``refine_rounds`` / cost
+models) is saturated exactly once per sweep.  Inside a worker the phase
 graph applies the same logic per *phase*: a job whose snapshot is warm
 but whose extraction artifact is not computes only extraction, so only
 genuinely new phases ever cross a process boundary.
@@ -63,9 +68,17 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..aig import AIG
 from ..store import ArtifactStore
+from .phases import PipelinePlan
 from .pipeline import BoolEOptions, BoolEPipeline, BoolEResult
 
-__all__ = ["BatchJob", "BatchItemResult", "BatchReport", "BatchPipeline"]
+__all__ = [
+    "BatchItemPlan",
+    "BatchItemResult",
+    "BatchJob",
+    "BatchPipeline",
+    "BatchPlan",
+    "BatchReport",
+]
 
 #: Auto-chunking splits the cold-job list into roughly this many chunks
 #: per worker, balancing pickle amortisation against tail latency.
@@ -122,6 +135,13 @@ class BatchItemResult:
             artifact, if any (see ``BoolEOptions.checkpoint_every``).
         attempts: 1 for first-try completions; >1 when the job was
             requeued after a broken worker pool.
+        deduped_from: name of the job this item shares its execution with
+            — the planner collapsed both jobs onto the same final content
+            key, ran one and cloned the outcome (``result`` is the *same*
+            object, deliberately).
+        prefix_shared: True when the planner scheduled this job behind a
+            leader that saturates their shared prefix, so this job did
+            extraction-only work.
     """
 
     name: str
@@ -134,6 +154,142 @@ class BatchItemResult:
     extraction_cached: bool = False
     resumed_phase: Optional[str] = None
     attempts: int = 1
+    deduped_from: Optional[str] = None
+    prefix_shared: bool = False
+
+
+@dataclass
+class BatchItemPlan:
+    """One job's slot in a :class:`BatchPlan`.
+
+    Attributes:
+        name: the job's label.
+        plan: the job's :class:`~repro.core.phases.PipelinePlan` (``None``
+            when planning itself failed — bad options, broken netlist).
+        error: the captured planning failure, if any.  The job is still
+            scheduled cold so execution reports the failure as its own
+            item, exactly as before.
+        duplicate_of: name of the earlier job this one collapses onto
+            (same final content key — interchangeable results).
+        prefix_leader: name of the earlier cold job that will saturate
+            this job's shared prefix; this job is dispatched only after
+            the leader completes and then does extraction-only work.
+        inline: True when the job is warm against the *real* store right
+            now and will be served on the calling thread.
+    """
+
+    name: str
+    plan: Optional[PipelinePlan] = None
+    error: Optional[str] = None
+    duplicate_of: Optional[str] = None
+    prefix_leader: Optional[str] = None
+    inline: bool = False
+
+    @property
+    def final_key(self) -> Optional[str]:
+        return self.plan.final_key if self.plan is not None else None
+
+    @property
+    def schedule(self) -> str:
+        """Human-readable dispatch decision for this job."""
+        if self.error is not None:
+            return "error"
+        if self.duplicate_of is not None:
+            return f"duplicate:{self.duplicate_of}"
+        if self.inline:
+            return "inline"
+        if self.prefix_leader is not None:
+            return f"after:{self.prefix_leader}"
+        return "pool"
+
+    def to_json(self) -> Dict:
+        return {
+            "name": self.name,
+            "schedule": self.schedule,
+            "error": self.error,
+            "plan": self.plan.to_json() if self.plan is not None else None,
+        }
+
+
+@dataclass
+class BatchPlan:
+    """A whole sweep planned up front — zero phases executed.
+
+    Produced by :meth:`BatchPipeline.plan` (and computed internally by
+    every :meth:`BatchPipeline.run`).  Jobs are planned in submission
+    order against the store *plus* an overlay of what earlier planned
+    jobs will have written, so a sweep sharing one saturated prefix plans
+    as one cold leader and N-1 warm dependents.
+    """
+
+    items: List[BatchItemPlan] = field(default_factory=list)
+    #: Wall-clock seconds the planning pass itself took.
+    plan_seconds: float = 0.0
+
+    def item(self, name: str) -> BatchItemPlan:
+        for entry in self.items:
+            if entry.name == name:
+                return entry
+        raise KeyError(name)
+
+    @property
+    def num_jobs(self) -> int:
+        return len(self.items)
+
+    @property
+    def num_warm(self) -> int:
+        """Jobs warm against the real store (served inline, no pool)."""
+        return sum(1 for item in self.items if item.inline)
+
+    @property
+    def num_fully_warm(self) -> int:
+        """Jobs predicted to execute no phase body at all."""
+        return sum(1 for item in self.items
+                   if item.plan is not None and item.plan.is_fully_warm
+                   and item.duplicate_of is None)
+
+    @property
+    def num_deduped(self) -> int:
+        """Jobs collapsed onto an earlier job's identical final key."""
+        return sum(1 for item in self.items
+                   if item.duplicate_of is not None)
+
+    @property
+    def num_prefix_shared(self) -> int:
+        """Jobs scheduled behind a leader that saturates their prefix."""
+        return sum(1 for item in self.items
+                   if item.prefix_leader is not None)
+
+    @property
+    def num_cold(self) -> int:
+        """Jobs dispatched to the pool (includes prefix dependents)."""
+        return sum(1 for item in self.items
+                   if item.duplicate_of is None and not item.inline)
+
+    @property
+    def num_saturations(self) -> int:
+        """Distinct saturations the sweep will actually run."""
+        return sum(1 for item in self.items
+                   if item.plan is not None and item.duplicate_of is None
+                   and not item.plan.predicts_cache_hit)
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "jobs": self.num_jobs,
+            "warm": self.num_warm,
+            "fully_warm": self.num_fully_warm,
+            "cold": self.num_cold,
+            "deduped": self.num_deduped,
+            "prefix_shared": self.num_prefix_shared,
+            "saturations": self.num_saturations,
+            "plan_seconds": round(self.plan_seconds, 6),
+        }
+
+    def to_json(self) -> Dict:
+        return {
+            "summary": self.summary(),
+            "jobs": [item.to_json() for item in self.items],
+        }
 
 
 @dataclass
@@ -142,6 +298,30 @@ class BatchReport:
 
     items: List[BatchItemResult] = field(default_factory=list)
     wall_time: float = 0.0
+    #: The up-front :class:`BatchPlan` this run was scheduled from
+    #: (``None`` only for empty batches).
+    plan: Optional[BatchPlan] = None
+
+    @property
+    def num_planned_warm(self) -> int:
+        """Jobs the plan predicted warm (served inline from the store)."""
+        return self.plan.num_warm if self.plan is not None else 0
+
+    @property
+    def num_planned_cold(self) -> int:
+        """Jobs the plan dispatched to the pool."""
+        return self.plan.num_cold if self.plan is not None else 0
+
+    @property
+    def num_deduped(self) -> int:
+        """Jobs served by cloning an identical job's result."""
+        return sum(1 for item in self.items
+                   if item.deduped_from is not None)
+
+    @property
+    def num_prefix_shared(self) -> int:
+        """Jobs that ran extraction-only behind a shared-prefix leader."""
+        return sum(1 for item in self.items if item.prefix_shared)
 
     @property
     def num_ok(self) -> int:
@@ -394,6 +574,79 @@ class BatchPipeline:
             self.store_root = None
 
     # ------------------------------------------------------------------
+    def plan(self, jobs: Iterable[Union[BatchJob, AIG]]) -> BatchPlan:
+        """Plan the whole sweep up front, executing nothing.
+
+        Every job gets a :class:`~repro.core.phases.PipelinePlan`
+        (per-phase keys + warm/cold classifications against the store);
+        on top, jobs collapsing to the same final key are marked as
+        duplicates and jobs whose saturated prefix an earlier cold job
+        will produce are folded behind that leader.  The store is only
+        probed read-only — a plan never mutates anything.
+        """
+        normalized = [self._normalize(job, index)
+                      for index, job in enumerate(jobs)]
+        return self._plan(normalized,
+                          _PipelineCache(self.options, self.store_root))
+
+    def _plan(self, normalized: List[BatchJob],
+              cache: _PipelineCache) -> BatchPlan:
+        started = time.perf_counter()
+        batch = BatchPlan()
+        store = cache.store
+        kinds = store.kinds() if store is not None else None
+        # Keys earlier planned jobs will have written/deleted by the time
+        # a later job runs: later plans see their predecessors' warmth.
+        overlay_writes: set = set()
+        overlay_deletes: set = set()
+        # base_key → name of the cold job that will write it first.
+        prefix_writer: Dict[str, str] = {}
+        seen_final: Dict[str, str] = {}
+        for job in normalized:
+            try:
+                pipeline = cache.pipeline_for(job.options)
+                plan = pipeline.plan(
+                    job.aig, store=store,
+                    assume_present=tuple(overlay_writes),
+                    assume_absent=tuple(overlay_deletes),
+                    kinds=kinds)
+            except Exception as error:  # noqa: BLE001 - bad options/netlist
+                # Schedule it cold; the worker-side capture turns the
+                # same failure into this job's own error item.
+                batch.items.append(BatchItemPlan(
+                    name=job.name,
+                    error=f"{type(error).__name__}: {error}"))
+                continue
+            item = BatchItemPlan(name=job.name, plan=plan)
+            final_key = plan.final_key
+            canonical = seen_final.get(final_key) if final_key else None
+            if canonical is not None:
+                # Same final content key: interchangeable results.  No
+                # overlay updates — the canonical job already made them.
+                item.duplicate_of = canonical
+                batch.items.append(item)
+                continue
+            if final_key:
+                seen_final[final_key] = job.name
+            if plan.predicts_cache_hit:
+                leader = (prefix_writer.get(plan.base_key)
+                          if plan.base_key else None)
+                if leader is not None:
+                    # Warm only via the overlay: the prefix does not
+                    # exist yet — its writer must run first.
+                    item.prefix_leader = leader
+                else:
+                    item.inline = True
+            if store is not None:
+                overlay_writes.update(plan.planned_writes)
+                overlay_deletes.update(plan.planned_deletes)
+                if (plan.base_key and plan.base_key in plan.planned_writes
+                        and plan.base_key not in prefix_writer):
+                    prefix_writer[plan.base_key] = job.name
+            batch.items.append(item)
+        batch.plan_seconds = time.perf_counter() - started
+        return batch
+
     def run(self, jobs: Iterable[Union[BatchJob, AIG]]) -> BatchReport:
         """Execute every job and return the aggregated report.
 
@@ -401,9 +654,12 @@ class BatchPipeline:
         AIG (falling back to their position in the batch).  Item order in
         the report matches submission order regardless of completion order.
 
-        With a store configured, every job's cache key is probed first:
-        snapshot hits run inline on this thread (load + extraction only)
-        while the pool works on the misses in parallel.
+        Scheduling is plan-driven (:meth:`plan`): warm jobs are served
+        inline on this thread while the pool works on the cold ones;
+        jobs collapsing to the same final key execute once and share the
+        result; and jobs whose saturated prefix a cold leader produces
+        are dispatched in a second wave after the leaders finish, so a
+        shared prefix is saturated exactly once per sweep.
         """
         normalized = [self._normalize(job, index)
                       for index, job in enumerate(jobs)]
@@ -414,30 +670,53 @@ class BatchPipeline:
         start = time.perf_counter()
         results: Dict[int, BatchItemResult] = {}
         probe_cache = _PipelineCache(self.options, self.store_root)
+        plan = self._plan(normalized, probe_cache)
+        report.plan = plan
+
         inline: List[int] = []
-        cold: List[int] = []
-        for index, job in enumerate(normalized):
-            if probe_cache.store is None:
-                cold.append(index)
+        wave1: List[int] = []
+        wave2: List[int] = []
+        duplicates: Dict[int, int] = {}
+        final_to_index: Dict[str, int] = {}
+        for index, item in enumerate(plan.items):
+            final_key = item.final_key
+            if item.duplicate_of is not None and final_key:
+                duplicates[index] = final_to_index[final_key]
                 continue
-            try:
-                warm = probe_cache.store.contains(
-                    probe_cache.pipeline_for(job.options)
-                    .cache_key(job.aig))
-            except Exception:  # noqa: BLE001 - bad job options/netlist
-                # Schedule it cold; the worker-side capture turns the
-                # same failure into this job's own error item.
-                warm = False
-            (inline if warm else cold).append(index)
+            if final_key:
+                final_to_index[final_key] = index
+            if item.inline:
+                inline.append(index)
+            elif item.prefix_leader is not None:
+                wave2.append(index)
+            else:
+                wave1.append(index)
 
         if self.executor == "serial":
-            for index in inline + cold:
+            for index in inline + wave1 + wave2:
                 results[index] = _run_one(probe_cache, normalized[index],
                                           self.keep_results, lighten=False)
         elif self.executor == "thread":
-            self._run_thread(normalized, inline, cold, results, probe_cache)
+            self._run_thread(normalized, inline, wave1, wave2, results,
+                             probe_cache)
         else:
-            self._run_process(normalized, inline, cold, results, probe_cache)
+            self._run_process(normalized, inline, wave1, wave2, results,
+                              probe_cache)
+
+        for index in wave2:
+            result = results.get(index)
+            if result is not None:
+                result.prefix_shared = True
+        for index, canonical in duplicates.items():
+            source = results[canonical]
+            # The result object is shared on purpose (satellite contract:
+            # both items carry the one execution's result); only the
+            # per-item identity fields are fresh.
+            results[index] = dataclasses.replace(
+                source,
+                name=normalized[index].name,
+                summary=dict(source.summary),
+                deduped_from=source.name)
 
         report.items = [results[index] for index in range(len(normalized))]
         report.wall_time = time.perf_counter() - start
@@ -453,23 +732,32 @@ class BatchPipeline:
                                       self.keep_results, lighten=False)
 
     def _run_thread(self, normalized: List[BatchJob], inline: List[int],
-                    cold: List[int], results: Dict[int, BatchItemResult],
+                    wave1: List[int], wave2: List[int],
+                    results: Dict[int, BatchItemResult],
                     probe_cache: _PipelineCache) -> None:
         with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
-            futures: Dict[Future, int] = {
-                pool.submit(_run_thread_job, normalized[index], self.options,
-                            self.keep_results, self.store_root): index
-                for index in cold}
-            # Cached jobs are served while the pool chews on the misses.
-            self._serve_inline(normalized, inline, results, probe_cache)
-            for future in as_completed(futures):
-                index = futures[future]
-                try:
-                    results[index] = future.result()
-                except Exception as error:  # noqa: BLE001 - worker crashed
-                    results[index] = BatchItemResult(
-                        name=normalized[index].name, ok=False,
-                        error=f"{type(error).__name__}: {error}")
+            # Wave 2 (prefix dependents) is submitted only after wave 1
+            # completes: the leaders must have persisted the shared
+            # saturated artifacts the dependents restore from.
+            for wave_index, wave in enumerate((wave1, wave2)):
+                futures: Dict[Future, int] = {
+                    pool.submit(_run_thread_job, normalized[index],
+                                self.options, self.keep_results,
+                                self.store_root): index
+                    for index in wave}
+                if wave_index == 0:
+                    # Cached jobs are served while the pool chews on the
+                    # misses.
+                    self._serve_inline(normalized, inline, results,
+                                       probe_cache)
+                for future in as_completed(futures):
+                    index = futures[future]
+                    try:
+                        results[index] = future.result()
+                    except Exception as error:  # noqa: BLE001 - crashed
+                        results[index] = BatchItemResult(
+                            name=normalized[index].name, ok=False,
+                            error=f"{type(error).__name__}: {error}")
 
     def _pool_size(self, pending: int) -> int:
         if self.max_workers is not None:
@@ -482,15 +770,24 @@ class BatchPipeline:
         return max(1, pending // max(1, workers * _CHUNKS_PER_WORKER))
 
     def _run_process(self, normalized: List[BatchJob], inline: List[int],
-                     cold: List[int], results: Dict[int, BatchItemResult],
+                     wave1: List[int], wave2: List[int],
+                     results: Dict[int, BatchItemResult],
                      probe_cache: _PipelineCache) -> None:
         method = ("forkserver" if "forkserver"
                   in multiprocessing.get_all_start_methods() else "spawn")
         mp_context = multiprocessing.get_context(method)
-        pending = list(cold)
+        # Wave 2 (prefix dependents) is dispatched only after wave 1: the
+        # leaders must have persisted the shared saturated artifacts the
+        # dependents restore from.  After a pool break everything still
+        # pending is lumped into one wave — finished leaders already
+        # warmed the store, and an unfinished one just means its
+        # dependents saturate for themselves on retry.
+        waves: List[List[int]] = [list(wave1), list(wave2)]
         attempt = 0
         served_inline = False
         while True:
+            pending = [index for wave in waves for index in wave
+                       if index not in results]
             if not pending:
                 if not served_inline:
                     self._serve_inline(normalized, inline, results,
@@ -505,36 +802,49 @@ class BatchPipeline:
                         initializer=_process_worker_init,
                         initargs=(self.store_root, self.options,
                                   os.environ.get(_KILL_ENV))) as pool:
-                    futures: Dict[Future, List[int]] = {
-                        pool.submit(_run_process_chunk,
-                                    [normalized[i] for i in chunk],
-                                    self.keep_results): chunk
-                        for chunk in _chunked(pending, chunk_size)}
-                    if not served_inline:
-                        # Cached jobs are served while the pool chews on
-                        # the misses.
-                        self._serve_inline(normalized, inline, results,
-                                           probe_cache)
-                        served_inline = True
-                    for future in as_completed(futures):
-                        chunk = futures[future]
-                        try:
-                            items = future.result()
-                        except BrokenProcessPool:
-                            continue  # requeued below
-                        except Exception as error:  # noqa: BLE001
-                            for index in chunk:
-                                results[index] = BatchItemResult(
-                                    name=normalized[index].name, ok=False,
-                                    error=f"{type(error).__name__}: {error}",
-                                    attempts=attempt + 1)
-                            continue
-                        for index, item in zip(chunk, items):
-                            item.attempts = attempt + 1
-                            results[index] = item
+                    for wave in waves:
+                        todo = [index for index in wave
+                                if index not in results]
+                        futures: Dict[Future, List[int]] = {
+                            pool.submit(_run_process_chunk,
+                                        [normalized[i] for i in chunk],
+                                        self.keep_results): chunk
+                            for chunk in _chunked(todo, chunk_size)}
+                        if not served_inline:
+                            # Cached jobs are served while the pool chews
+                            # on the misses.
+                            self._serve_inline(normalized, inline, results,
+                                               probe_cache)
+                            served_inline = True
+                        broken = False
+                        for future in as_completed(futures):
+                            chunk = futures[future]
+                            try:
+                                items = future.result()
+                            except BrokenProcessPool:
+                                broken = True
+                                continue  # requeued below
+                            except Exception as error:  # noqa: BLE001
+                                for index in chunk:
+                                    results[index] = BatchItemResult(
+                                        name=normalized[index].name,
+                                        ok=False,
+                                        error=(f"{type(error).__name__}: "
+                                               f"{error}"),
+                                        attempts=attempt + 1)
+                                continue
+                            for index, item in zip(chunk, items):
+                                item.attempts = attempt + 1
+                                results[index] = item
+                        if broken:
+                            # Don't dispatch the next wave on a dead
+                            # pool; rebuild and requeue instead.
+                            raise BrokenProcessPool(
+                                "worker pool broke mid-wave")
             except BrokenProcessPool:
                 pass
-            pending = [index for index in pending if index not in results]
+            pending = [index for wave in waves for index in wave
+                       if index not in results]
             if not pending:
                 continue  # loop exits at the top
             # A worker died hard and took its chunk(s) with it: rebuild
@@ -553,6 +863,7 @@ class BatchPipeline:
                     self._serve_inline(normalized, inline, results,
                                        probe_cache)
                 return
+            waves = [pending]
 
     @staticmethod
     def _normalize(job: Union[BatchJob, AIG], index: int) -> BatchJob:

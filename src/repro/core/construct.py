@@ -15,7 +15,8 @@ from typing import Dict, List, Optional
 from ..aig import AIG, lit_is_compl, lit_not, lit_var
 from ..egraph import EGraph, ENode, Op
 
-__all__ = ["ConstructionResult", "aig_to_egraph"]
+__all__ = ["ConstructionResult", "PlannedConstruction", "aig_to_egraph",
+           "planned_construction"]
 
 
 @dataclass
@@ -106,3 +107,78 @@ def aig_to_egraph(aig: AIG) -> ConstructionResult:
 
     egraph.rebuild()
     return result
+
+
+@dataclass
+class PlannedConstruction:
+    """Construction-time class ids predicted without building an e-graph.
+
+    The planner needs ``output_classes`` (they participate in the
+    extraction cache key) but must not pay for — or mutate — an actual
+    e-graph.  Construction performs no unions, so ``EGraph.add`` degrades
+    to a hashcons lookup plus a sequential id counter, which a plain dict
+    reproduces exactly; see :func:`planned_construction`.
+    """
+
+    aig: AIG
+    output_classes: List[int] = field(default_factory=list)
+    #: Total number of e-classes construction would create.
+    num_classes: int = 0
+
+
+def planned_construction(aig: AIG) -> PlannedConstruction:
+    """Predict :func:`aig_to_egraph`'s construction-time ids, e-graph-free.
+
+    Mirrors the insertion order of :func:`aig_to_egraph` step for step
+    (constant, inputs, gates in topological order, outputs) against a
+    dict keyed on ``(op, children, payload)`` — the same identity the
+    e-graph's hashcons uses before any union happens.  The returned
+    ``output_classes`` are bit-identical to the real construction's, so
+    extraction cache keys computed from a plan match execution's.
+    """
+    hashcons: Dict[tuple, int] = {}
+
+    def add(op: str, children: tuple = (), payload=None) -> int:
+        node = (op, children, payload)
+        existing = hashcons.get(node)
+        if existing is None:
+            existing = hashcons[node] = len(hashcons)
+        return existing
+
+    class_of_positive: Dict[int, int] = {}
+    literal_classes: Dict[int, int] = {}
+
+    const_class = add(Op.CONST, payload=False)
+    class_of_positive[0] = const_class
+    literal_classes[0] = const_class
+    literal_classes[1] = add(Op.NOT, (const_class,))
+
+    for var in aig.inputs:
+        class_id = add(Op.VAR, payload=aig.input_names[var])
+        class_of_positive[var] = class_id
+        literal_classes[2 * var] = class_id
+
+    def literal_class(lit: int) -> int:
+        positive = 2 * lit_var(lit)
+        base = literal_classes[positive]
+        if not lit_is_compl(lit):
+            return base
+        key = lit_not(positive)
+        existing = literal_classes.get(key)
+        if existing is None:
+            existing = add(Op.NOT, (base,))
+            literal_classes[key] = existing
+        return existing
+
+    for gate in aig.topological_gates():
+        child0 = literal_class(gate.fanin0)
+        child1 = literal_class(gate.fanin1)
+        class_id = add(Op.AND, (child0, child1))
+        class_of_positive[gate.out_var] = class_id
+        literal_classes[2 * gate.out_var] = class_id
+
+    planned = PlannedConstruction(aig=aig, num_classes=0)
+    for lit in aig.outputs:
+        planned.output_classes.append(literal_class(lit))
+    planned.num_classes = len(hashcons)
+    return planned

@@ -32,7 +32,8 @@ builds the graph, executes it and assembles the result bundle.
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..egraph import Op, Runner, RunnerCheckpoint
 from ..store import (
@@ -53,11 +54,40 @@ from ..store import (
     report_from_wire,
     report_to_wire,
 )
-from .construct import ConstructionResult, aig_to_egraph
+from .construct import ConstructionResult, aig_to_egraph, planned_construction
 from .extraction import FABlockRecord, reconstruct_aig
 from .fa_structure import FAPair, FAInsertionReport, count_npn_fa_pairs, insert_fa_structures
 
-__all__ = ["Phase", "PhaseContext", "PhaseGraph", "boole_phases"]
+__all__ = [
+    "PLAN_COLD",
+    "PLAN_SKIPPED",
+    "PLAN_WARM_BOUNDARY",
+    "PLAN_WARM_CHECKPOINT",
+    "Phase",
+    "PhaseContext",
+    "PhaseGraph",
+    "PhasePlan",
+    "PipelinePlan",
+    "boole_phases",
+]
+
+# Plan classifications (see :meth:`PhaseGraph.plan`).
+#: The phase would run its body from scratch.
+PLAN_COLD = "COLD"
+#: The phase is covered by a boundary artifact already in the store — it
+#: never runs; the deepest such phase restores, the rest are skipped over.
+PLAN_WARM_BOUNDARY = "WARM_BOUNDARY"
+#: The phase is covered by a live mid-phase checkpoint: the checkpoint
+#: owner replays only its tail, phases before it never run.
+PLAN_WARM_CHECKPOINT = "WARM_CHECKPOINT"
+#: The phase is disabled for this run (e.g. ``extract=False``).
+PLAN_SKIPPED = "SKIPPED"
+
+#: Sentinel published by :meth:`Phase.plan_provide` for products that are
+#: only *planned*, never computed.  Phases' ``cache_key``/``enabled``
+#: predicates must not dereference it (BoolE's don't — the one product a
+#: key depends on, construction, gets a real stand-in).
+_PLANNED = "<planned>"
 
 #: Exceptions that mean "this artifact payload cannot be decoded" — the
 #: executor degrades them to a cache miss (recompute + overwrite), exactly
@@ -125,10 +155,25 @@ class Phase:
     #: ``timings`` keys used by the executor for artifact load/store time.
     load_timing: Optional[str] = None
     store_timing: Optional[str] = None
+    #: Context keys this phase publishes — however it completes (run,
+    #: restore or resume).  The planner uses them to advance a context
+    #: without executing anything; see :meth:`plan_provide`.
+    provides: Tuple[str, ...] = ()
 
     def enabled(self, ctx: PhaseContext) -> bool:
         """False skips the phase entirely (e.g. ``extract=False``)."""
         return True
+
+    def plan_provide(self, ctx: PhaseContext) -> None:
+        """Publish planning stand-ins for this phase's products.
+
+        The default marks every ``provides`` key with a sentinel — enough
+        for membership tests like ``"fa_report" in ctx``.  Phases whose
+        products feed later *key computations* override this with a cheap
+        exact stand-in (construction predicts its class ids dry).
+        """
+        for key in self.provides:
+            ctx[key] = _PLANNED
 
     def cache_key(self, ctx: PhaseContext) -> Optional[str]:
         return None
@@ -156,6 +201,163 @@ class Phase:
 
     def artifact_meta(self, ctx: PhaseContext) -> Dict:
         return {}
+
+
+@dataclass
+class PhasePlan:
+    """One phase's slot in a :class:`PipelinePlan`.
+
+    Attributes:
+        name: the phase's name.
+        classification: one of :data:`PLAN_COLD`,
+            :data:`PLAN_WARM_BOUNDARY`, :data:`PLAN_WARM_CHECKPOINT`,
+            :data:`PLAN_SKIPPED`.
+        cache_key: the phase's boundary-artifact key (``None`` for phases
+            without a ``kind``).
+        checkpoint_key: the phase's mid-phase checkpoint key, if any.
+        covered_by: for warm phases, the name of the deeper phase whose
+            artifact/checkpoint stands in for this one (``None`` when the
+            phase is its own restore/resume point).
+    """
+
+    name: str
+    classification: str
+    cache_key: Optional[str] = None
+    checkpoint_key: Optional[str] = None
+    covered_by: Optional[str] = None
+
+    def to_json(self) -> Dict:
+        return {
+            "name": self.name,
+            "classification": self.classification,
+            "cache_key": self.cache_key,
+            "checkpoint_key": self.checkpoint_key,
+            "covered_by": self.covered_by,
+        }
+
+
+@dataclass
+class PipelinePlan:
+    """What :meth:`PhaseGraph.execute` *would* do, computed hash-first.
+
+    Produced by :meth:`PhaseGraph.plan` (surfaced as
+    ``BoolEPipeline.plan``): every phase's content keys and a
+    classification of how execution would treat it, with zero phase
+    bodies run, zero e-graphs built and zero store mutations.
+
+    Attributes:
+        name: display name of the planned netlist.
+        base_key: the saturated-pipeline cache key.
+        phases: one :class:`PhasePlan` per phase, in graph order.
+        restore_phase: deepest phase whose boundary artifact would be
+            restored, if any.
+        resume_phase: phase that would resume from a live checkpoint.
+        planned_writes: boundary-artifact keys execution would put.
+        planned_deletes: checkpoint keys execution would delete.
+    """
+
+    name: str
+    base_key: Optional[str]
+    phases: List[PhasePlan] = field(default_factory=list)
+    restore_phase: Optional[str] = None
+    resume_phase: Optional[str] = None
+    planned_writes: List[str] = field(default_factory=list)
+    planned_deletes: List[str] = field(default_factory=list)
+
+    def phase(self, name: str) -> PhasePlan:
+        """Return the named phase's plan (KeyError when unknown)."""
+        for plan in self.phases:
+            if plan.name == name:
+                return plan
+        raise KeyError(name)
+
+    def classification_of(self, name: str) -> str:
+        return self.phase(name).classification
+
+    # -- BoolE-shaped accessors (phase names as wired by boole_phases) --
+    @property
+    def extraction_key(self) -> Optional[str]:
+        """The extraction artifact's key (None when extraction disabled)."""
+        try:
+            plan = self.phase("reconstruct")
+        except KeyError:
+            return None
+        if plan.classification == PLAN_SKIPPED:
+            return None
+        return plan.cache_key
+
+    @property
+    def final_key(self) -> Optional[str]:
+        """Key of the deepest boundary artifact this run resolves to.
+
+        Two jobs with equal final keys produce interchangeable results —
+        the batch planner dedups on it.
+        """
+        for plan in reversed(self.phases):
+            if plan.classification != PLAN_SKIPPED and plan.cache_key:
+                return plan.cache_key
+        return self.base_key
+
+    @property
+    def predicts_cache_hit(self) -> bool:
+        """Would execution report ``cache_hit`` (saturated artifact warm)?"""
+        try:
+            return (self.phase("insert-fa").classification
+                    == PLAN_WARM_BOUNDARY)
+        except KeyError:
+            return False
+
+    @property
+    def predicts_extraction_cache_hit(self) -> bool:
+        try:
+            return (self.phase("reconstruct").classification
+                    == PLAN_WARM_BOUNDARY)
+        except KeyError:
+            return False
+
+    @property
+    def predicts_resumed_phase(self) -> Optional[str]:
+        return self.resume_phase
+
+    # -- generic work summary --
+    @property
+    def cold_phases(self) -> List[str]:
+        return [plan.name for plan in self.phases
+                if plan.classification == PLAN_COLD]
+
+    @property
+    def executed_phases(self) -> List[str]:
+        """Phases whose body would actually run (cold + the resume tail)."""
+        return [plan.name for plan in self.phases
+                if plan.classification == PLAN_COLD
+                or (plan.classification == PLAN_WARM_CHECKPOINT
+                    and plan.name == self.resume_phase)]
+
+    @property
+    def is_fully_warm(self) -> bool:
+        """True when execution would run no phase body at all."""
+        return not self.executed_phases
+
+    def to_json(self) -> Dict:
+        return {
+            "name": self.name,
+            "base_key": self.base_key,
+            "extraction_key": self.extraction_key,
+            "final_key": self.final_key,
+            "restore_phase": self.restore_phase,
+            "resume_phase": self.resume_phase,
+            "fully_warm": self.is_fully_warm,
+            "cold_phases": self.cold_phases,
+            "planned_writes": list(self.planned_writes),
+            "planned_deletes": list(self.planned_deletes),
+            "phases": [plan.to_json() for plan in self.phases],
+        }
+
+
+#: Signature of the read-only store oracle :meth:`PhaseGraph.plan` takes:
+#: ``probe(key, kind) -> bool`` answers "would the store serve this key
+#: with this kind right now?" without touching the object.
+PlanProbe = Callable[[str, str], bool]
 
 
 class PhaseGraph:
@@ -288,6 +490,145 @@ class PhaseGraph:
             # by the boundary artifact (or by the phases that follow).
             ctx.store.delete(checkpoint_key)
 
+    # ------------------------------------------------------------------
+    # Planning: the same decision procedure as execute(), hash-only.
+    # ------------------------------------------------------------------
+    def plan(self, ctx: PhaseContext,
+             probe: Optional[PlanProbe] = None) -> PipelinePlan:
+        """Classify every phase without executing anything.
+
+        Mirrors :meth:`execute` step for step — same restore-deepest /
+        resume-deepest / run-cold preference, same covered-checkpoint
+        deletions — but phases only publish planning stand-ins
+        (:meth:`Phase.plan_provide`): no phase body runs, no artifact
+        payload is decoded, and nothing is written or touched.  ``probe``
+        is the read-only store oracle; ``None`` plans a storeless run
+        (everything enabled goes cold, keys are still computed).
+
+        The context passed in must carry the run inputs (``"aig"``,
+        ``"base_key"``) but **not** a store — planning never uses
+        ``ctx.store``.
+        """
+        plans: Dict[str, PhasePlan] = {}
+        writes: List[str] = []
+        deletes: List[str] = []
+        restore_phase: Optional[str] = None
+        resume_phase: Optional[str] = None
+        phases = self.phases
+
+        def record(phase: Phase, classification: str,
+                   covered_by: Optional[str] = None) -> None:
+            plans[phase.name] = PhasePlan(
+                name=phase.name,
+                classification=classification,
+                cache_key=(phase.cache_key(ctx)
+                           if phase.kind is not None else None),
+                checkpoint_key=phase.checkpoint_key(ctx),
+                covered_by=covered_by)
+
+        index = 0
+        while index < len(phases):
+            phase = phases[index]
+            if not phase.enabled(ctx):
+                record(phase, PLAN_SKIPPED)
+                index += 1
+                continue
+            if probe is not None:
+                jump = self._plan_restore(ctx, probe, index, record, deletes)
+                if jump is not None:
+                    restore_phase = phases[jump - 1].name
+                    index = jump
+                    continue
+                jump = self._plan_resume(ctx, probe, index, record,
+                                         writes, deletes)
+                if jump is not None:
+                    resume_phase = phases[jump - 1].name
+                    index = jump
+                    continue
+            # Cold: the phase runs; its boundary artifact is written and
+            # any live checkpoint of it is superseded.
+            phase.plan_provide(ctx)
+            record(phase, PLAN_COLD)
+            if probe is not None:
+                cache_key = plans[phase.name].cache_key
+                if cache_key is not None:
+                    writes.append(cache_key)
+                checkpoint_key = plans[phase.name].checkpoint_key
+                if (checkpoint_key is not None
+                        and probe(checkpoint_key, KIND_CHECKPOINT)):
+                    deletes.append(checkpoint_key)
+            index += 1
+
+        aig = ctx.get("aig")
+        return PipelinePlan(
+            name=getattr(aig, "name", "") or "",
+            base_key=ctx.get("base_key"),
+            phases=[plans[phase.name] for phase in phases],
+            restore_phase=restore_phase,
+            resume_phase=resume_phase,
+            planned_writes=writes,
+            planned_deletes=deletes)
+
+    def _plan_restore(self, ctx: PhaseContext, probe: PlanProbe, index: int,
+                      record, deletes: List[str]) -> Optional[int]:
+        """Plan-side mirror of :meth:`_try_restore` (probe, don't decode)."""
+        for j in reversed(range(index, len(self.phases))):
+            phase = self.phases[j]
+            if phase.kind is None or not phase.enabled(ctx):
+                continue
+            if not phase.restorable(ctx):
+                continue
+            key = phase.cache_key(ctx)
+            if key is None or not probe(key, phase.kind):
+                continue
+            covered = self.phases[index:j + 1]
+            for covered_phase in covered:
+                if covered_phase.enabled(ctx):
+                    covered_phase.plan_provide(ctx)
+            for covered_phase in covered:
+                if covered_phase.enabled(ctx):
+                    record(covered_phase, PLAN_WARM_BOUNDARY,
+                           covered_by=phase.name)
+                else:
+                    record(covered_phase, PLAN_SKIPPED)
+                checkpoint_key = covered_phase.checkpoint_key(ctx)
+                if (checkpoint_key is not None
+                        and probe(checkpoint_key, KIND_CHECKPOINT)):
+                    deletes.append(checkpoint_key)
+            return j + 1
+        return None
+
+    def _plan_resume(self, ctx: PhaseContext, probe: PlanProbe, index: int,
+                     record, writes: List[str],
+                     deletes: List[str]) -> Optional[int]:
+        """Plan-side mirror of :meth:`_try_resume`."""
+        for j in reversed(range(index, len(self.phases))):
+            phase = self.phases[j]
+            if not phase.enabled(ctx):
+                continue
+            key = phase.checkpoint_key(ctx)
+            if key is None or not probe(key, KIND_CHECKPOINT):
+                continue
+            for covered_phase in self.phases[index:j + 1]:
+                if covered_phase.enabled(ctx):
+                    covered_phase.plan_provide(ctx)
+            for covered_phase in self.phases[index:j]:
+                if covered_phase.enabled(ctx):
+                    record(covered_phase, PLAN_WARM_CHECKPOINT,
+                           covered_by=phase.name)
+                else:
+                    record(covered_phase, PLAN_SKIPPED)
+            record(phase, PLAN_WARM_CHECKPOINT)
+            # The resumed phase still completes: boundary write (if any)
+            # plus deletion of the checkpoint it just consumed.
+            cache_key = (phase.cache_key(ctx)
+                         if phase.kind is not None else None)
+            if cache_key is not None:
+                writes.append(cache_key)
+            deletes.append(key)
+            return j + 1
+        return None
+
 
 # ----------------------------------------------------------------------
 # Shared wire helpers (construction bookkeeping travels with several
@@ -328,6 +669,13 @@ class ConstructPhase(_BoolEPhase):
     """Stage 1: AIG → e-graph (Algorithm 1)."""
 
     name = "construct"
+    provides = ("construction",)
+
+    def plan_provide(self, ctx: PhaseContext) -> None:
+        # Construction feeds a key computation downstream (the extraction
+        # key digests output class ids), so its stand-in must be exact:
+        # predict the ids with the e-graph-free dry construction.
+        ctx["construction"] = planned_construction(ctx["aig"])
 
     def run(self, ctx: PhaseContext, resume=None) -> None:
         started = time.perf_counter()
@@ -354,6 +702,7 @@ class SaturatePhase(_BoolEPhase):
         self.report_field = report_field
         self.timing = timing
         self.prior_reports = prior_reports
+        self.provides = (report_field,)
 
     @property
     def rules(self):
@@ -452,6 +801,7 @@ class InsertFAPhase(_BoolEPhase):
     kind = KIND_SATURATED
     load_timing = "cache_load"
     store_timing = "cache_store"
+    provides = ("fa_report", "num_npn")
 
     def cache_key(self, ctx: PhaseContext) -> Optional[str]:
         return ctx.get("base_key")
@@ -541,6 +891,7 @@ class ExtractPhase(_BoolEPhase):
     """
 
     name = "extract"
+    provides = ("extraction",)
 
     def enabled(self, ctx: PhaseContext) -> bool:
         return self.options.extract
@@ -560,6 +911,7 @@ class ReconstructPhase(_BoolEPhase):
     kind = KIND_EXTRACTION
     load_timing = "extraction_cache_load"
     store_timing = "extraction_cache_store"
+    provides = ("extracted_aig", "fa_blocks")
 
     def enabled(self, ctx: PhaseContext) -> bool:
         return self.options.extract

@@ -51,7 +51,7 @@ from ..store import (
 from .construct import ConstructionResult
 from .extraction import BoolEExtraction, BoolEExtractor, FABlockRecord
 from .fa_structure import FAInsertionReport
-from .phases import PhaseContext, PhaseGraph, boole_phases
+from .phases import PhaseContext, PhaseGraph, PipelinePlan, boole_phases
 from .rules_basic import basic_rules
 from .rules_xor_maj import identification_rules
 
@@ -322,6 +322,52 @@ class BoolEPipeline:
             match_limit=options.match_limit,
             ban_length=options.ban_length,
         )
+
+    def plan(self, aig: AIG, *,
+             store: Union[ArtifactStore, str, Path, None] = None,
+             assume_present: Tuple[str, ...] = (),
+             assume_absent: Tuple[str, ...] = (),
+             kinds: Optional[Dict[str, str]] = None) -> PipelinePlan:
+        """Predict what :meth:`run` would do, without doing any of it.
+
+        Walks the phase graph computing every ``cache_key`` /
+        ``checkpoint_key`` and classifying each phase as warm or cold
+        against the store — zero phase execution, zero e-graph
+        construction (construction-time class ids are predicted by
+        :func:`~repro.core.construct.planned_construction`) and zero
+        store mutation (only read-only :meth:`~repro.store.ArtifactStore.probe`
+        calls, which never touch objects or LRU mtimes).
+
+        ``assume_present`` / ``assume_absent`` overlay keys a *previous*
+        planned job would have written or deleted by the time this one
+        runs — the batch planner threads them through a sweep so later
+        jobs see their predecessors' warmth.  ``kinds`` is an optional
+        pre-read :meth:`~repro.store.ArtifactStore.kinds` snapshot so
+        sweep planners pay one index read, not one per job.
+
+        Unlike :meth:`run`, keys are computed even without a store (the
+        plan doubles as the key oracle for the CLI); every enabled phase
+        then classifies as cold.
+        """
+        store = _as_store(store) or self.store
+        ctx = PhaseContext(store=None)
+        ctx["aig"] = aig
+        ctx["base_key"] = self.cache_key(aig)
+        probe = None
+        if store is not None:
+            present = frozenset(assume_present)
+            absent = frozenset(assume_absent)
+            if kinds is None:
+                kinds = store.kinds()
+
+            def probe(key: str, kind: str) -> bool:
+                if key in absent:
+                    return False
+                if key in present:
+                    return True
+                return store.probe(key, expected_kind=kind, kinds=kinds)
+
+        return self._graph.plan(ctx, probe)
 
     def run(self, aig: AIG, *,
             store: Union[ArtifactStore, str, Path, None] = None

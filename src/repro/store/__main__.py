@@ -10,15 +10,20 @@ Usage::
     python -m repro.store [--root DIR] gc [--max-age-days D]
                                           [--max-bytes N] [--dry-run]
     python -m repro.store key  --arch csa --width 16 [pipeline options]
-                               [--kind saturated|extraction]
+                               [--kind saturated|extraction|checkpoint]
     python -m repro.store warm --arch csa --width 16 [pipeline options]
                                [--root DIR]
+    python -m repro.store plan --arch csa --widths 4,8,16
+                               [--refine-rounds 0,2] [--json]
 
 ``--root`` defaults to the ``REPRO_STORE_DIR`` environment variable, then
 ``.repro-store``.  ``key`` prints the content-addressed cache key of a
 generated benchmark circuit's saturated e-graph (used by CI to key
 ``actions/cache``); ``warm`` runs the pipeline against the store so the
-artifact exists — a no-op apart from extraction when already cached.
+artifact exists — a no-op apart from extraction when already cached;
+``plan`` prints a sweep's warm/cold frontier against the store without
+executing anything (keys via the hash-propagating planner, store access
+read-only).
 """
 
 from __future__ import annotations
@@ -135,20 +140,90 @@ def _cmd_gc(store: ArtifactStore, args) -> int:
 
 
 def _cmd_key(_store: ArtifactStore, args) -> int:
+    # All three kinds come from the hash-propagating planner: it computes
+    # every phase's key with zero execution and zero e-graph construction
+    # (extraction roots are predicted by the dry construction), and the
+    # keys are by construction identical to the ones artifacts are
+    # actually stored under — the property tests hold planner keys equal
+    # to execution's.
     pipeline, mapped = _pipeline_for(args)
-    key = pipeline.cache_key(mapped)
+    plan = pipeline.plan(mapped)
+    if args.kind == "saturated":
+        print(plan.base_key)
+        return 0
     if args.kind == "extraction":
-        # The extraction key strictly extends the saturated key (it digests
-        # it together with the cost model, the reconstruction roots and the
-        # refinement budget), so CI caches keyed on it are invalidated by
-        # any semantic change to either artifact.  Delegating to the
-        # pipeline's own helper keeps this key identical to the one
-        # artifacts are actually stored under.
-        from ..core.construct import aig_to_egraph
+        print(plan.extraction_key)
+        return 0
+    try:
+        entry = plan.phase(args.phase)
+    except KeyError:
+        print(f"unknown phase {args.phase!r}; one of "
+              f"{[p.name for p in plan.phases]}", file=sys.stderr)
+        return 1
+    if entry.checkpoint_key is None:
+        print(f"phase {args.phase!r} has no checkpoint artifact",
+              file=sys.stderr)
+        return 1
+    print(entry.checkpoint_key)
+    return 0
 
-        construction = aig_to_egraph(mapped)
-        key = pipeline.extraction_key(key, construction.output_classes)
-    print(key)
+
+def _cmd_plan(store: ArtifactStore, args) -> int:
+    from ..core import BatchJob, BatchPipeline, BoolEOptions
+    from ..generators import booth_multiplier, csa_multiplier
+    from ..opt import post_mapping_flow
+
+    try:
+        widths = [int(token) for token in args.widths.split(",") if token]
+        rounds = [int(token)
+                  for token in args.refine_rounds.split(",") if token]
+    except ValueError:
+        print("--widths/--refine-rounds take comma-separated integers",
+              file=sys.stderr)
+        return 2
+    if not widths or not rounds:
+        print("need at least one width and one refine-rounds value",
+              file=sys.stderr)
+        return 2
+
+    generator = csa_multiplier if args.arch == "csa" else booth_multiplier
+    jobs = []
+    for width in widths:
+        mapped = post_mapping_flow(generator(width).aig)
+        for refine in rounds:
+            options = BoolEOptions(r1_iterations=args.r1_iterations,
+                                   r2_iterations=args.r2_iterations,
+                                   match_limit=args.match_limit,
+                                   ban_length=args.ban_length,
+                                   refine_rounds=refine)
+            jobs.append(BatchJob(f"{args.arch}{width}-rr{refine}", mapped,
+                                 options=options))
+
+    plan = BatchPipeline(store=store).plan(jobs)
+    if args.as_json:
+        print(json.dumps(plan.to_json(), indent=2, sort_keys=True))
+        return 0
+
+    print(f"{'job':<16} {'saturation':<16} {'extraction':<16} "
+          f"{'final key':<18} schedule")
+    for item in plan.items:
+        if item.plan is None:
+            print(f"{item.name:<16} {'?':<16} {'?':<16} {'?':<18} "
+                  f"error: {item.error}")
+            continue
+        saturation = item.plan.classification_of("insert-fa")
+        extraction = item.plan.classification_of("reconstruct")
+        if item.plan.resume_phase:
+            saturation += f" (resume {item.plan.resume_phase})"
+        final = (item.plan.final_key or "?")[:16] + "…"
+        print(f"{item.name:<16} {saturation:<16} {extraction:<16} "
+              f"{final:<18} {item.schedule}")
+    summary = plan.summary()
+    print(f"jobs: {summary['jobs']}  warm: {summary['warm']}  "
+          f"cold: {summary['cold']}  deduped: {summary['deduped']}  "
+          f"prefix-shared: {summary['prefix_shared']}  "
+          f"saturations: {summary['saturations']}  "
+          f"planned in {plan.plan_seconds * 1000:.1f} ms")
     return 0
 
 
@@ -195,13 +270,35 @@ def main(argv=None) -> int:
     key = commands.add_parser(
         "key", help="print a benchmark circuit's cache key")
     _add_circuit_options(key)
-    key.add_argument("--kind", choices=("saturated", "extraction"),
+    key.add_argument("--kind",
+                     choices=("saturated", "extraction", "checkpoint"),
                      default="saturated",
                      help="which artifact key to print (the extraction key "
-                          "covers the saturated key, cost model and roots)")
+                          "covers the saturated key, cost model and roots; "
+                          "checkpoint keys are per saturation phase)")
+    key.add_argument("--phase", default="saturate-r2",
+                     help="phase whose checkpoint key to print "
+                          "(with --kind checkpoint; default: saturate-r2)")
     warm = commands.add_parser(
         "warm", help="saturate (or load) a benchmark circuit via the store")
     _add_circuit_options(warm)
+    plan = commands.add_parser(
+        "plan", help="plan a benchmark sweep against the store "
+                     "(prints the warm/cold frontier; executes nothing)")
+    plan.add_argument("--arch", choices=("csa", "booth"), default="csa",
+                      help="benchmark multiplier architecture")
+    plan.add_argument("--widths", default="4,8,16",
+                      help="comma-separated multiplier bitwidths")
+    plan.add_argument("--refine-rounds", default="0", dest="refine_rounds",
+                      help="comma-separated refine_rounds values (each "
+                           "width × value is one job; values share the "
+                           "width's saturated prefix)")
+    plan.add_argument("--r1-iterations", type=int, default=3)
+    plan.add_argument("--r2-iterations", type=int, default=3)
+    plan.add_argument("--match-limit", type=int, default=100_000)
+    plan.add_argument("--ban-length", type=int, default=2)
+    plan.add_argument("--json", action="store_true", dest="as_json",
+                      help="emit the full machine-readable plan")
 
     args = parser.parse_args(argv)
     store = ArtifactStore(args.root)
@@ -214,6 +311,7 @@ def main(argv=None) -> int:
         "gc": _cmd_gc,
         "key": _cmd_key,
         "warm": _cmd_warm,
+        "plan": _cmd_plan,
     }[args.command]
     return handler(store, args)
 

@@ -102,6 +102,36 @@ class ArtifactStore:
         """True when an artifact for ``key`` is on disk."""
         return self.path_for(key).exists()
 
+    def kinds(self) -> Dict[str, str]:
+        """Read-only ``key → kind`` snapshot of the advisory index.
+
+        Planners probing many keys read the index once and pass the
+        snapshot to :meth:`probe`, instead of re-reading it per key.
+        """
+        return {key: record.get("kind", "?")
+                for key, record in self._read_index().items()}
+
+    def probe(self, key: str, expected_kind: Optional[str] = None, *,
+              kinds: Optional[Dict[str, str]] = None) -> bool:
+        """Read-only existence check: would :meth:`get` serve this key?
+
+        Unlike :meth:`get`, the object is never opened or touched — no
+        payload decode, no LRU mtime bump — so probing is safe for
+        planning passes that must not mutate the store.  The kind check
+        consults the advisory index (pass a pre-read :meth:`kinds`
+        snapshot to amortise it); an object the index does not know
+        passes the check, because content-addressed keys digest their
+        kind and execution re-verifies the header anyway.
+        """
+        if not self.path_for(key).exists():
+            return False
+        if expected_kind is None:
+            return True
+        if kinds is None:
+            kinds = self.kinds()
+        kind = kinds.get(key)
+        return kind is None or kind == expected_kind
+
     def put(self, key: str, payload: Dict, *, kind: str,
             meta: Optional[Dict] = None) -> Path:
         """Store ``payload`` under ``key``; returns the object path.

@@ -282,3 +282,30 @@ class TestCrossBackendDeterminismProperty:
         values = set(results.values())
         assert len(values) == 1, results
         assert json.loads(values.pop())["exact_fas"] > 0
+
+
+class TestDedupAcrossBackends:
+    """Jobs identical up to the non-semantic option fields share one
+    final artifact key; the planner folds them to a single execution on
+    every backend (the deeper single-backend checks live in
+    ``test_plan.py``)."""
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_non_semantic_twins_share_one_result(self, backend, tmp_path):
+        aig, _ = ripple_carry_adder(3)
+        twin = BoolEOptions(checkpoint_every=50, r1_iterations=2,
+                            r2_iterations=2, count_npn=False)
+        jobs = [BatchJob("canonical", aig, options=FAST),
+                BatchJob("twin", aig, options=twin)]
+        report = BatchPipeline(max_workers=2, executor=backend,
+                               store=str(tmp_path)).run(jobs)
+        assert report.num_failed == 0
+        assert report.num_deduped == 1
+        canonical, twin_item = report.item("canonical"), report.item("twin")
+        assert twin_item.deduped_from == "canonical"
+        assert twin_item.summary == canonical.summary
+        assert twin_item.runtime == canonical.runtime
+        # One store write per artifact kind: the pair ran exactly once.
+        from repro.store import ArtifactStore
+        kinds = sorted(entry.kind for entry in ArtifactStore(tmp_path).entries())
+        assert kinds == ["extraction", "saturated-pipeline"]

@@ -689,3 +689,96 @@ class TestPinCommandLine:
     def test_pin_missing_key_fails(self, tmp_path):
         result = self._cli(tmp_path, "pin", "ff" * 20)
         assert result.returncode == 1
+
+
+class TestPlanAndKeyCommandLine:
+    """CLI surface of the planner: ``plan`` (warm/cold frontier, executes
+    nothing) and ``key --kind`` parity with the artifacts execution
+    actually stores."""
+
+    _CLI_OPTIONS = dict(r1_iterations=2, r2_iterations=2,
+                        match_limit=100_000, ban_length=2)
+    _CLI_ARGS = ("--arch", "csa", "--width", "2",
+                 "--r1-iterations", "2", "--r2-iterations", "2")
+
+    def _cli(self, root, *args):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC_DIR + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+        return subprocess.run(
+            [sys.executable, "-m", "repro.store", "--root", str(root), *args],
+            env=env, capture_output=True, text=True, timeout=300)
+
+    def test_plan_cold_then_warm(self, tmp_path):
+        from repro.core import BatchJob, BatchPipeline
+
+        plan_args = ("plan", "--arch", "csa", "--widths", "2",
+                     "--refine-rounds", "0,1",
+                     "--r1-iterations", "2", "--r2-iterations", "2")
+        cold = self._cli(tmp_path, *plan_args, "--json")
+        assert cold.returncode == 0, cold.stderr
+        payload = json.loads(cold.stdout)
+        assert payload["summary"]["jobs"] == 2
+        assert payload["summary"]["warm"] == 0
+        # The two refine_rounds values share the width's saturated prefix.
+        assert payload["summary"]["saturations"] == 1
+        assert payload["summary"]["prefix_shared"] == 1
+        assert payload["jobs"][1]["schedule"] == "after:csa2-rr0"
+
+        # Execute the same sweep in-process, then the frontier is warm.
+        mapped = post_mapping_flow(csa_multiplier(2).aig)
+        jobs = [BatchJob(f"rr{refine}", mapped,
+                         options=BoolEOptions(refine_rounds=refine,
+                                              **self._CLI_OPTIONS))
+                for refine in (0, 1)]
+        report = BatchPipeline(executor="serial", store=str(tmp_path)).run(jobs)
+        assert report.num_failed == 0
+
+        warm = self._cli(tmp_path, *plan_args)
+        assert warm.returncode == 0, warm.stderr
+        assert "WARM_BOUNDARY" in warm.stdout
+        assert "COLD" not in warm.stdout
+        assert "warm: 2" in warm.stdout
+        assert "saturations: 0" in warm.stdout
+        assert "planned in" in warm.stdout
+
+    def test_plan_rejects_bad_widths(self, tmp_path):
+        result = self._cli(tmp_path, "plan", "--widths", "4,banana")
+        assert result.returncode == 2
+        assert "comma-separated" in result.stderr
+
+    def test_key_kinds_match_stored_artifacts(self, tmp_path):
+        """``key --kind`` prints, for every artifact kind, exactly the key
+        the executing pipeline stores (or would store) the artifact under."""
+        from repro.store import phase_checkpoint_key
+
+        saturated = self._cli(tmp_path, "key", *self._CLI_ARGS)
+        extraction = self._cli(tmp_path, "key", *self._CLI_ARGS,
+                               "--kind", "extraction")
+        checkpoint = self._cli(tmp_path, "key", *self._CLI_ARGS,
+                               "--kind", "checkpoint", "--phase",
+                               "saturate-r1")
+        for result in (saturated, extraction, checkpoint):
+            assert result.returncode == 0, result.stderr
+
+        mapped = post_mapping_flow(csa_multiplier(2).aig)
+        pipeline = BoolEPipeline(BoolEOptions(**self._CLI_OPTIONS),
+                                 store=tmp_path)
+        base_key = pipeline.cache_key(mapped)
+        assert saturated.stdout.strip() == base_key
+        assert (checkpoint.stdout.strip()
+                == phase_checkpoint_key(base_key, "saturate-r1"))
+
+        pipeline.run(mapped)
+        store = ArtifactStore(tmp_path)
+        assert store.contains(saturated.stdout.strip())
+        assert store.contains(extraction.stdout.strip())
+        roots = aig_to_egraph(mapped).output_classes
+        assert (extraction.stdout.strip()
+                == pipeline.extraction_key(base_key, roots))
+
+    def test_key_unknown_phase_fails(self, tmp_path):
+        result = self._cli(tmp_path, "key", *self._CLI_ARGS,
+                           "--kind", "checkpoint", "--phase", "nope")
+        assert result.returncode == 1
+        assert "unknown phase" in result.stderr
