@@ -1,0 +1,33 @@
+"""AST-based determinism & cache-coherence analyzer for this repo.
+
+See ``docs/static-analysis.md`` for the rule catalog.  The public
+surface is intentionally small:
+
+* :func:`run_analysis` / :func:`analyze_source` — run the rules,
+* :data:`RULES` — the rule registry,
+* :class:`Finding` and the baseline helpers for tooling built on top.
+"""
+
+from .baseline import (Baseline, BaselineEntry, apply_baseline,
+                       load_baseline, write_baseline)
+from .engine import (RULES, AnalysisResult, RuleInfo, analyze_source,
+                     build_model, iter_python_files, run_analysis)
+from .findings import Finding, is_suppressed, parse_noqa
+
+__all__ = [
+    "AnalysisResult",
+    "Baseline",
+    "BaselineEntry",
+    "Finding",
+    "RULES",
+    "RuleInfo",
+    "analyze_source",
+    "apply_baseline",
+    "build_model",
+    "is_suppressed",
+    "iter_python_files",
+    "load_baseline",
+    "parse_noqa",
+    "run_analysis",
+    "write_baseline",
+]

@@ -1,0 +1,110 @@
+"""Checked-in JSON baseline for reviewed findings.
+
+A baseline entry identifies a finding by ``(rule, path, context,
+content)`` — the enclosing qualname plus the stripped source line —
+rather than by line number, so accepted findings survive unrelated edits
+above them.  Every entry carries a mandatory one-line ``justification``;
+the CLI refuses baselines without one.  Entries that no longer match any
+finding are reported as *stale* so the baseline can only shrink silently,
+never grow.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from .findings import Finding
+
+__all__ = ["BaselineEntry", "Baseline", "load_baseline", "write_baseline",
+           "apply_baseline"]
+
+_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    rule: str
+    path: str
+    context: str
+    content: str
+    justification: str
+
+    @property
+    def key(self) -> Tuple[str, str, str, str]:
+        return (self.rule, self.path, self.context, self.content)
+
+
+@dataclass
+class Baseline:
+    entries: List[BaselineEntry]
+
+    def index(self) -> Dict[Tuple[str, str, str, str], BaselineEntry]:
+        return {entry.key: entry for entry in self.entries}
+
+
+def load_baseline(path: str) -> Baseline:
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict) or payload.get("version") != _VERSION:
+        raise ValueError(
+            f"{path}: unsupported baseline format "
+            f"(expected version {_VERSION})")
+    entries = []
+    for raw in payload.get("entries", []):
+        justification = str(raw.get("justification", "")).strip()
+        if not justification:
+            raise ValueError(
+                f"{path}: baseline entry for {raw.get('rule')} at "
+                f"{raw.get('path')} is missing a justification")
+        entries.append(BaselineEntry(
+            rule=str(raw["rule"]), path=str(raw["path"]),
+            context=str(raw.get("context", "<module>")),
+            content=str(raw.get("content", "")),
+            justification=justification))
+    return Baseline(entries=entries)
+
+
+def write_baseline(path: str, findings: Sequence[Finding],
+                   justification: str = "TODO: justify") -> None:
+    """Seed a baseline file from current findings (placeholder reasons)."""
+    seen = set()
+    entries = []
+    for finding in sorted(findings,
+                          key=lambda f: (f.path, f.rule, f.line)):
+        if finding.baseline_key in seen:
+            continue
+        seen.add(finding.baseline_key)
+        entries.append({
+            "rule": finding.rule, "path": finding.path,
+            "context": finding.context, "content": finding.content,
+            "justification": justification,
+        })
+    payload = {"version": _VERSION, "entries": entries}
+    tmp = f"{path}.tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    os.replace(tmp, path)
+
+
+def apply_baseline(findings: Sequence[Finding], baseline: Baseline,
+                   ) -> Tuple[List[Finding], List[Finding],
+                              List[BaselineEntry]]:
+    """Split findings into (new, baselined) and list stale entries."""
+    index = baseline.index()
+    matched = set()
+    new: List[Finding] = []
+    accepted: List[Finding] = []
+    for finding in findings:
+        entry = index.get(finding.baseline_key)
+        if entry is not None:
+            matched.add(entry.key)
+            accepted.append(finding)
+        else:
+            new.append(finding)
+    stale = [entry for entry in baseline.entries
+             if entry.key not in matched]
+    return new, accepted, stale

@@ -1,0 +1,88 @@
+"""``python -m repro.analysis`` command-line front end.
+
+Exit codes: 0 clean (all findings baselined/suppressed), 1 findings or
+stale baseline entries, 2 usage or I/O error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .baseline import (Baseline, apply_baseline, load_baseline,
+                       write_baseline)
+from .engine import RULES, run_analysis
+from .report import render_json, render_text
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Determinism & cache-coherence static analyzer for "
+                    "the repro codebase.")
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to analyze "
+                             "(default: src)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit a JSON report instead of text")
+    parser.add_argument("--baseline", metavar="FILE",
+                        help="suppress findings recorded in this "
+                             "baseline; stale entries still fail")
+    parser.add_argument("--write-baseline", metavar="FILE",
+                        help="write current findings to FILE as a "
+                             "baseline skeleton and exit 0")
+    parser.add_argument("--rules", metavar="RULES",
+                        help="comma-separated rule ids to run "
+                             "(default: all)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = _build_parser()
+    options = parser.parse_args(argv)
+
+    if options.list_rules:
+        for rule_id in sorted(RULES):
+            info = RULES[rule_id]
+            print(f"{rule_id}  {info.summary}")
+            print(f"        motivation: {info.motivation}")
+        return 0
+
+    rules: Optional[List[str]] = None
+    if options.rules:
+        rules = [part.strip() for part in options.rules.split(",")
+                 if part.strip()]
+        unknown = [rule for rule in rules if rule not in RULES]
+        if unknown:
+            print(f"unknown rule(s): {', '.join(unknown)}",
+                  file=sys.stderr)
+            return 2
+
+    paths = options.paths or ["src"]
+    result = run_analysis(paths, rules=rules)
+
+    if options.write_baseline:
+        write_baseline(options.write_baseline, result.findings)
+        print(f"wrote {len(result.findings)} finding(s) to "
+              f"{options.write_baseline}; fill in the justifications")
+        return 0
+
+    baseline = Baseline(entries=[])
+    if options.baseline:
+        try:
+            baseline = load_baseline(options.baseline)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"cannot load baseline: {exc}", file=sys.stderr)
+            return 2
+
+    new, accepted, stale = apply_baseline(result.findings, baseline)
+    renderer = render_json if options.json else render_text
+    print(renderer(result, new, accepted, stale))
+    if result.errors:
+        return 2
+    return 1 if new or stale else 0

@@ -1,0 +1,66 @@
+"""Finding records and ``# repro: noqa`` suppression handling."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+__all__ = ["Finding", "parse_noqa", "is_suppressed"]
+
+#: ``# repro: noqa`` / ``# repro: noqa RULE1,RULE2 -- reason`` on any line
+#: suppresses matching findings reported *on that line*.
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?::?\s+(?P<rules>[A-Z]{3}\d{3}"
+    r"(?:\s*,\s*[A-Z]{3}\d{3})*))?")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    #: Enclosing function/class qualname (``<module>`` at top level); part
+    #: of the baseline identity so findings survive unrelated line drift.
+    context: str = "<module>"
+    #: Stripped source text of the flagged line; the other half of the
+    #: baseline identity.
+    content: str = ""
+
+    @property
+    def baseline_key(self) -> Tuple[str, str, str, str]:
+        return (self.rule, self.path, self.context, self.content)
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}"
+
+
+def parse_noqa(source_lines: List[str]) -> Dict[int, Optional[FrozenSet[str]]]:
+    """Map 1-based line number → suppressed rule set (``None`` = all rules)."""
+    suppressions: Dict[int, Optional[FrozenSet[str]]] = {}
+    for number, text in enumerate(source_lines, start=1):
+        if "repro:" not in text:
+            continue
+        match = _NOQA_RE.search(text)
+        if match is None:
+            continue
+        rules = match.group("rules")
+        if rules is None:
+            suppressions[number] = None
+        else:
+            suppressions[number] = frozenset(
+                part.strip() for part in rules.split(","))
+    return suppressions
+
+
+def is_suppressed(finding: Finding,
+                  suppressions: Dict[int, Optional[FrozenSet[str]]]) -> bool:
+    """True when the finding's line carries a matching noqa comment."""
+    if finding.line not in suppressions:
+        return False
+    rules = suppressions[finding.line]
+    return rules is None or finding.rule in rules

@@ -1,0 +1,74 @@
+"""Text and JSON reporters for analysis results."""
+
+from __future__ import annotations
+
+import json
+from typing import List, Optional, Sequence
+
+from .baseline import BaselineEntry
+from .engine import RULES, AnalysisResult
+from .findings import Finding
+
+__all__ = ["render_text", "render_json"]
+
+
+def render_text(result: AnalysisResult, new: Sequence[Finding],
+                accepted: Sequence[Finding],
+                stale: Sequence[BaselineEntry]) -> str:
+    lines: List[str] = []
+    for finding in new:
+        lines.append(f"{finding.location()}: {finding.rule} "
+                     f"{finding.message}")
+        lines.append(f"    {finding.content}")
+    for path, message in result.errors:
+        lines.append(f"{path}: error: {message}")
+    for entry in stale:
+        lines.append(
+            f"stale baseline entry: {entry.rule} {entry.path} "
+            f"[{entry.context}] {entry.content!r} — remove it from the "
+            f"baseline")
+    by_rule = {}
+    for finding in new:
+        by_rule[finding.rule] = by_rule.get(finding.rule, 0) + 1
+    summary = (
+        f"{result.files_analyzed} files, {len(new)} finding(s)"
+        + (f" ({', '.join(f'{r}: {n}' for r, n in sorted(by_rule.items()))})"
+           if by_rule else "")
+        + (f", {len(accepted)} baselined" if accepted else "")
+        + (f", {len(result.suppressed)} noqa-suppressed"
+           if result.suppressed else "")
+        + (f", {len(stale)} stale baseline entr"
+           + ("y" if len(stale) == 1 else "ies") if stale else ""))
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: AnalysisResult, new: Sequence[Finding],
+                accepted: Sequence[Finding],
+                stale: Sequence[BaselineEntry]) -> str:
+    def encode(finding: Finding) -> dict:
+        info = RULES.get(finding.rule)
+        return {
+            "rule": finding.rule,
+            "summary": info.summary if info else "",
+            "path": finding.path,
+            "line": finding.line,
+            "col": finding.col + 1,
+            "context": finding.context,
+            "content": finding.content,
+            "message": finding.message,
+        }
+
+    payload = {
+        "files_analyzed": result.files_analyzed,
+        "findings": [encode(f) for f in new],
+        "baselined": [encode(f) for f in accepted],
+        "suppressed": [encode(f) for f in result.suppressed],
+        "stale_baseline_entries": [
+            {"rule": e.rule, "path": e.path, "context": e.context,
+             "content": e.content, "justification": e.justification}
+            for e in stale],
+        "errors": [{"path": path, "message": message}
+                   for path, message in result.errors],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,772 @@
+"""Determinism and e-graph-hygiene rules (DET001-003, EGR001).
+
+All four rules share one flow-sensitive walk per file: statements are
+visited in source order with a per-function environment mapping variables
+to :class:`~repro.analysis.typeinfo.TypeRep`, plus an e-class-id taint
+set for EGR001.  Branches of an ``if`` are walked sequentially (a cheap
+over-approximation) and loop bodies are re-entered once when they contain
+a union-like call, which models the classic collect-then-mutate bug.
+
+The rules:
+
+* **DET001** — a ``set``/``frozenset`` is consumed in an order-sensitive
+  position (iterated, listed, returned as a ``List``, serialized into a
+  wire payload) without ``sorted()``.  Inside wire/fingerprint functions
+  the rule also demands sorted iteration over *dicts*, whose insertion
+  order is deterministic but not canonical.  This is the PR 4 bug class:
+  extraction overcounting was driven by set-iteration scheduling order.
+* **DET002** — ``id()``/``hash()`` anywhere outside ``__hash__``/
+  ``__eq__``: memory addresses and seeded string hashes must never feed
+  sort keys, dict keys or cache payloads.
+* **DET003** — wall-clock/randomness reads inside serialization or
+  cache-key code (``*_to_wire``, ``fingerprint_*``, ``*_cache_key``,
+  ``export_state`` ...): artifacts must be byte-identical across runs.
+* **EGR001** — an e-class id obtained before a ``union()``/
+  ``apply_rules()``/``rebuild()`` call is used afterwards in a position
+  that requires a canonical id (subscript key, equality compare, set/dict
+  literal key, ``sorted_by_seq``) without an intervening ``find()``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, List, Optional, Set, Tuple
+
+from .findings import Finding
+from .typeinfo import (
+    DICT,
+    INSTANCE,
+    ITERABLE,
+    LIST,
+    SCALAR,
+    SET,
+    TUPLE,
+    UNKNOWN,
+    VIEW,
+    ProjectModel,
+    TypeRep,
+    combine,
+    element_of,
+    parse_annotation,
+)
+
+__all__ = ["run_det_rules"]
+
+#: Function-name pattern marking serialization / canonical-payload code.
+_WIRE_CONTEXT_RE = re.compile(
+    r"(to_wire|from_wire|export_state|fingerprint|payload)")
+#: Wider context for DET003: everything above plus cache-key derivation.
+_KEYED_CONTEXT_RE = re.compile(
+    r"(to_wire|from_wire|export_state|fingerprint|payload|cache_key"
+    r"|checkpoint_key|canonical_digest)")
+
+#: Builtins that freeze their argument's iteration order into the result.
+_ORDER_SENSITIVE_CALLS = frozenset(
+    {"list", "tuple", "enumerate", "zip", "map", "filter", "iter",
+     "reversed"})
+#: Consumers whose result does not depend on the argument's order.
+_ORDER_INSENSITIVE_CALLS = frozenset(
+    {"set", "frozenset", "sorted", "sum", "min", "max", "any", "all",
+     "len", "bool", "dict", "sorted_by_seq"})
+
+#: Method calls whose assigned result is an e-class id (EGR001 taint
+#: sources), and the calls that canonicalize / invalidate those ids.
+_ID_PRODUCERS = frozenset(
+    {"add", "add_term", "add_leaf", "add_expr", "var", "const", "find",
+     "lookup"})
+_ID_PRODUCING_ITERATORS = frozenset(
+    {"class_ids", "take_dirty", "peek_dirty", "candidate_roots"})
+_STALENESS_CALLS = frozenset({"union", "apply_rules", "rebuild", "run"})
+#: Callees that internally canonicalize their id arguments, so passing a
+#: stale id to them is safe.
+_ID_SAFE_CALLEES = frozenset(
+    {"find", "union", "seq", "eclass", "enodes", "parent_classes",
+     "class_of_literal"})
+#: Callees whose id argument is used as a raw lookup key (EGR001 sinks).
+_ID_KEYED_CALLEES = frozenset({"sorted_by_seq"})
+
+_BUILTIN_RETURNS = {
+    "set": SET, "frozenset": SET, "dict": DICT, "list": LIST,
+    "sorted": LIST, "tuple": TUPLE, "reversed": LIST, "enumerate": LIST,
+    "zip": LIST, "map": ITERABLE, "filter": ITERABLE,
+    "len": SCALAR, "sum": SCALAR, "sorted_by_seq": LIST,
+}
+
+_SET_METHODS = frozenset(
+    {"union", "intersection", "difference", "symmetric_difference",
+     "copy"})
+
+
+def _call_name(node: ast.Call) -> Optional[str]:
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    return None
+
+
+def _dotted_name(node: ast.expr) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = _dotted_name(node.value)
+        return None if base is None else f"{base}.{node.attr}"
+    return None
+
+
+#: ``module.attr`` call targets that read wall-clock or entropy (DET003).
+_NONDETERMINISTIC_CALLS = re.compile(
+    r"^(time\.(time|time_ns|perf_counter|perf_counter_ns|monotonic"
+    r"|monotonic_ns|localtime|gmtime|strftime|ctime)"
+    r"|datetime\.(datetime\.)?(now|utcnow|today)"
+    r"|random\.\w+"
+    r"|os\.urandom"
+    r"|uuid\.uuid\w*"
+    r"|secrets\.\w+)$")
+
+
+class _Scope:
+    """Per-function analysis state."""
+
+    def __init__(self, name: str, class_name: Optional[str],
+                 returns: TypeRep) -> None:
+        self.name = name
+        self.class_name = class_name
+        self.returns = returns
+        self.env: Dict[str, TypeRep] = {}
+        #: e-class-id variables: name → True when possibly stale.
+        self.ids: Dict[str, bool] = {}
+
+
+class _DetWalker:
+    """One pass over a file emitting DET001-003 and EGR001 findings."""
+
+    def __init__(self, path: str, lines: List[str],
+                 model: ProjectModel) -> None:
+        self.path = path
+        self.lines = lines
+        self.model = model
+        self.findings: List[Finding] = []
+        self.scope_stack: List[_Scope] = []
+        self.class_stack: List[str] = []
+
+    # ------------------------------------------------------------------
+    # Reporting helpers
+    # ------------------------------------------------------------------
+    def _context(self) -> str:
+        parts = [scope.name for scope in self.scope_stack]
+        if self.class_stack:
+            parts = [".".join(self.class_stack)] + parts
+        return ".".join(parts) if parts else "<module>"
+
+    def _emit(self, rule: str, node: ast.AST, message: str) -> None:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        content = (self.lines[line - 1].strip()
+                   if 0 < line <= len(self.lines) else "")
+        self.findings.append(Finding(
+            rule=rule, path=self.path, line=line, col=col,
+            message=message, context=self._context(), content=content))
+
+    def _describe(self, node: ast.expr) -> str:
+        try:
+            return ast.unparse(node)
+        except Exception:  # pragma: no cover - unparse is total on 3.9+
+            return "<expr>"
+
+    # ------------------------------------------------------------------
+    # Context predicates
+    # ------------------------------------------------------------------
+    def _scope(self) -> Optional[_Scope]:
+        return self.scope_stack[-1] if self.scope_stack else None
+
+    def _in_wire_context(self) -> bool:
+        return any(_WIRE_CONTEXT_RE.search(scope.name)
+                   for scope in self.scope_stack)
+
+    def _in_keyed_context(self) -> bool:
+        return any(_KEYED_CONTEXT_RE.search(scope.name)
+                   for scope in self.scope_stack)
+
+    def _in_hash_context(self) -> bool:
+        return any(scope.name in ("__hash__", "__eq__")
+                   for scope in self.scope_stack)
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+    def walk_module(self, tree: ast.Module) -> List[Finding]:
+        self._walk_body(tree.body)
+        return self.findings
+
+    def _walk_body(self, body: List[ast.stmt]) -> None:
+        for stmt in body:
+            self._stmt(stmt)
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def _stmt(self, node: ast.stmt) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self._walk_function(node)
+        elif isinstance(node, ast.ClassDef):
+            self.class_stack.append(node.name)
+            self._walk_body(node.body)
+            self.class_stack.pop()
+        elif isinstance(node, ast.Assign):
+            value_rep = self._expr(node.value)
+            for target in node.targets:
+                self._bind(target, value_rep, node.value)
+        elif isinstance(node, ast.AnnAssign):
+            rep = parse_annotation(node.annotation, self.model)
+            if node.value is not None:
+                value_rep = self._expr(node.value)
+                if rep.category == "unknown":
+                    rep = value_rep
+            if isinstance(node.target, ast.Name):
+                scope = self._scope()
+                if scope is not None:
+                    scope.env[node.target.id] = rep
+        elif isinstance(node, ast.AugAssign):
+            self._expr(node.value)
+        elif isinstance(node, ast.Expr):
+            self._expr(node.value)
+        elif isinstance(node, ast.Return):
+            self._check_return(node)
+        elif isinstance(node, ast.For):
+            self._walk_for(node)
+        elif isinstance(node, ast.While):
+            self._expr(node.test)
+            self._walk_loop_body(node.body)
+            self._walk_body(node.orelse)
+        elif isinstance(node, ast.If):
+            self._expr(node.test)
+            self._walk_body(node.body)
+            self._walk_body(node.orelse)
+        elif isinstance(node, ast.With):
+            for item in node.items:
+                self._expr(item.context_expr)
+                if item.optional_vars is not None:
+                    self._bind(item.optional_vars, UNKNOWN, None)
+            self._walk_body(node.body)
+        elif isinstance(node, ast.Try):
+            self._walk_body(node.body)
+            for handler in node.handlers:
+                self._walk_body(handler.body)
+            self._walk_body(node.orelse)
+            self._walk_body(node.finalbody)
+        elif isinstance(node, (ast.Raise, ast.Assert)):
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.expr):
+                    self._expr(child)
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                self._expr(target)
+        # imports / pass / global / nonlocal: nothing to do
+        self._apply_staleness(node)
+
+    def _walk_function(self, node) -> None:
+        class_name = self.class_stack[-1] if self.class_stack else None
+        returns = parse_annotation(node.returns, self.model)
+        scope = _Scope(node.name, class_name, returns)
+        args = node.args
+        all_args = (list(args.posonlyargs) + list(args.args)
+                    + list(args.kwonlyargs))
+        for arg in all_args:
+            if arg.arg == "self" and class_name is not None:
+                scope.env["self"] = TypeRep(INSTANCE, class_name)
+            else:
+                scope.env[arg.arg] = parse_annotation(arg.annotation,
+                                                      self.model)
+        for default in list(args.defaults) + [d for d in args.kw_defaults
+                                              if d is not None]:
+            self._expr(default)
+        self.scope_stack.append(scope)
+        self._walk_body(node.body)
+        self.scope_stack.pop()
+
+    def _walk_for(self, node: ast.For) -> None:
+        iter_rep = self._expr(node.iter)
+        self._check_iteration(node.iter, iter_rep, insensitive=False)
+        self._bind_loop_target(node.target, iter_rep, node.iter)
+        self._walk_loop_body(node.body)
+        self._walk_body(node.orelse)
+
+    def _walk_loop_body(self, body: List[ast.stmt]) -> None:
+        # A loop body that unions models the collect-then-mutate bug: on
+        # re-entry every previously produced id is stale.  Mark them stale
+        # *before* walking so first-statement uses are already flagged.
+        if any(self._is_staleness_stmt(stmt) for stmt in body):
+            scope = self._scope()
+            if scope is not None:
+                for name in scope.ids:
+                    scope.ids[name] = True
+        self._walk_body(body)
+
+    def _is_staleness_stmt(self, stmt: ast.stmt) -> bool:
+        for child in ast.walk(stmt):
+            if (isinstance(child, ast.Call)
+                    and _call_name(child) in _STALENESS_CALLS):
+                return True
+        return False
+
+    def _apply_staleness(self, node: ast.stmt) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef, ast.For, ast.While, ast.If,
+                             ast.With, ast.Try)):
+            return  # compound statements handle their own bodies
+        scope = self._scope()
+        if scope is None or not scope.ids:
+            return
+        for child in ast.walk(node):
+            if (isinstance(child, ast.Call)
+                    and _call_name(child) in _STALENESS_CALLS):
+                for name in scope.ids:
+                    scope.ids[name] = True
+                return
+
+    # ------------------------------------------------------------------
+    # Bindings
+    # ------------------------------------------------------------------
+    def _bind(self, target: ast.expr, rep: TypeRep,
+              value: Optional[ast.expr]) -> None:
+        scope = self._scope()
+        if scope is None:
+            return
+        if isinstance(target, ast.Name):
+            scope.env[target.id] = rep
+            self._bind_id_taint(target.id, value)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            elem = element_of(rep)
+            for elt in target.elts:
+                self._bind(elt, elem, None)
+        elif isinstance(target, ast.Subscript):
+            # ``memo[class_id] = ...``: the store key is an EGR001 sink.
+            self._check_stale_use(target.slice, "a subscript key")
+            self._expr(target.value)
+            self._expr(target.slice)
+        # attribute stores: no env update
+
+    def _bind_id_taint(self, name: str, value: Optional[ast.expr]) -> None:
+        scope = self._scope()
+        if scope is None:
+            return
+        if (isinstance(value, ast.Call)
+                and _call_name(value) in _ID_PRODUCERS):
+            # ``x = egraph.find(...)`` (re)binds a *fresh* canonical id.
+            scope.ids[name] = False
+        elif name in scope.ids:
+            del scope.ids[name]  # rebound to something that is not an id
+
+    def _bind_loop_target(self, target: ast.expr, iter_rep: TypeRep,
+                          iter_node: ast.expr) -> None:
+        elem = element_of(iter_rep)
+        if iter_rep.category == VIEW and iter_rep.name == "items":
+            elem = TypeRep(TUPLE, args=iter_rep.args)
+        self._bind(target, elem, None)
+        scope = self._scope()
+        if (scope is not None and isinstance(target, ast.Name)
+                and isinstance(iter_node, ast.Call)
+                and _call_name(iter_node) in _ID_PRODUCING_ITERATORS):
+            scope.ids[target.id] = False
+
+    # ------------------------------------------------------------------
+    # DET001 sinks
+    # ------------------------------------------------------------------
+    def _check_iteration(self, node: ast.expr, rep: TypeRep,
+                         insensitive: bool,
+                         building_set: bool = False) -> None:
+        if insensitive or building_set:
+            return
+        if rep.category == SET:
+            self._emit(
+                "DET001", node,
+                f"iteration over set {self._describe(node)!r} without "
+                f"sorted(): order depends on PYTHONHASHSEED / insertion "
+                f"history")
+        elif (rep.category in (DICT, VIEW) and self._in_wire_context()):
+            self._emit(
+                "DET001", node,
+                f"unsorted dict iteration over {self._describe(node)!r} "
+                f"inside serialization code: insertion order is not a "
+                f"canonical wire order — wrap in sorted()")
+
+    def _check_return(self, node: ast.Return) -> None:
+        if node.value is None:
+            return
+        rep = self._expr(node.value)
+        scope = self._scope()
+        if scope is None:
+            return
+        if rep.category == SET and scope.returns.category in (LIST, TUPLE):
+            self._emit(
+                "DET001", node,
+                f"returning set {self._describe(node.value)!r} from a "
+                f"function annotated to return an ordered sequence: the "
+                f"caller receives arbitrary order — sort before returning")
+        elif (rep.category == ITERABLE
+              and scope.returns.category == LIST):
+            self._emit(
+                "DET001", node,
+                f"returning unordered iterable "
+                f"{self._describe(node.value)!r} as a List: no order "
+                f"guarantee reaches the caller — sort (or document the "
+                f"ordered source)")
+
+    def _check_wire_escape(self, node: ast.expr, rep: TypeRep,
+                           where: str) -> None:
+        if rep.category == SET and self._in_wire_context():
+            self._emit(
+                "DET001", node,
+                f"set {self._describe(node)!r} escapes into a {where} in "
+                f"serialization code: wire bytes would depend on set "
+                f"order — wrap in sorted()")
+
+    # ------------------------------------------------------------------
+    # EGR001 sinks
+    # ------------------------------------------------------------------
+    def _stale_name(self, node: ast.expr) -> Optional[str]:
+        scope = self._scope()
+        if (scope is not None and isinstance(node, ast.Name)
+                and scope.ids.get(node.id)):
+            return node.id
+        return None
+
+    def _check_stale_use(self, node: ast.expr, where: str) -> None:
+        name = self._stale_name(node)
+        if name is not None:
+            self._emit(
+                "EGR001", node,
+                f"e-class id {name!r} used as {where} after a union-like "
+                f"call may be stale — canonicalize with find() first")
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+    def _expr(self, node: Optional[ast.expr],
+              insensitive: bool = False) -> TypeRep:
+        if node is None:
+            return UNKNOWN
+        handler = getattr(self, f"_expr_{type(node).__name__}", None)
+        if handler is not None:
+            return handler(node, insensitive)
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self._expr(child)
+        return UNKNOWN
+
+    # -- names / attributes / subscripts --------------------------------
+    def _expr_Name(self, node: ast.Name, insensitive: bool) -> TypeRep:
+        scope = self._scope()
+        if scope is not None and node.id in scope.env:
+            return scope.env[node.id]
+        return UNKNOWN
+
+    def _expr_Constant(self, node: ast.Constant,
+                       insensitive: bool) -> TypeRep:
+        return TypeRep(SCALAR) if node.value is not None else UNKNOWN
+
+    def _class_attr(self, class_name: str, attr: str) -> TypeRep:
+        info = self.model.class_info(class_name)
+        if info is not None and attr in info.attrs:
+            return info.attrs[attr]
+        return self.model.attr_types.get(attr, UNKNOWN)
+
+    def _expr_Attribute(self, node: ast.Attribute,
+                        insensitive: bool) -> TypeRep:
+        value_rep = self._expr(node.value)
+        if value_rep.category == INSTANCE:
+            return self._class_attr(value_rep.name, node.attr)
+        return self.model.attr_types.get(node.attr, UNKNOWN)
+
+    def _expr_Subscript(self, node: ast.Subscript,
+                        insensitive: bool) -> TypeRep:
+        value_rep = self._expr(node.value)
+        self._check_stale_use(node.slice, "a subscript key")
+        self._expr(node.slice)
+        if value_rep.category == DICT and len(value_rep.args) == 2:
+            return value_rep.args[1]
+        if value_rep.category in (LIST, ITERABLE) and value_rep.args:
+            if isinstance(node.slice, ast.Slice):
+                return value_rep
+            return value_rep.args[0]
+        return UNKNOWN
+
+    # -- calls ----------------------------------------------------------
+    def _method_return(self, receiver: TypeRep, method: str,
+                       call: ast.Call) -> TypeRep:
+        if method in ("keys", "values", "items"):
+            if receiver.category == DICT:
+                args: Tuple[TypeRep, ...]
+                if len(receiver.args) == 2:
+                    if method == "keys":
+                        args = (receiver.args[0],)
+                    elif method == "values":
+                        args = (receiver.args[1],)
+                    else:
+                        args = receiver.args
+                else:
+                    args = ()
+                return TypeRep(VIEW, method, args)
+            return UNKNOWN
+        if receiver.category == SET and method in _SET_METHODS:
+            return receiver
+        if method == "get" and receiver.category == DICT:
+            return (receiver.args[1] if len(receiver.args) == 2
+                    else UNKNOWN)
+        if receiver.category == INSTANCE:
+            info = self.model.class_info(receiver.name)
+            if info is not None and method in info.method_returns:
+                return info.method_returns[method]
+            return UNKNOWN
+        return self.model.method_types.get(method, UNKNOWN)
+
+    def _expr_Call(self, node: ast.Call, insensitive: bool) -> TypeRep:
+        name = _call_name(node)
+        scope = self._scope()
+
+        # DET002: id()/hash() as bare builtins.
+        if (isinstance(node.func, ast.Name) and name in ("id", "hash")
+                and (scope is None or name not in scope.env)
+                and not self._in_hash_context()):
+            self._emit(
+                "DET002", node,
+                f"{name}() is process-dependent ({name}() of a str/object "
+                f"varies with PYTHONHASHSEED or the allocator) — never "
+                f"derive sort keys, dict keys or payloads from it")
+
+        # DET003: entropy/clock reads in canonical-payload code.
+        dotted = _dotted_name(node.func)
+        if (dotted is not None and self._in_keyed_context()
+                and _NONDETERMINISTIC_CALLS.match(dotted)):
+            self._emit(
+                "DET003", node,
+                f"{dotted}() inside cache-key/wire-format code: artifacts "
+                f"must be byte-identical across runs — derive payloads "
+                f"only from inputs")
+
+        # EGR001: keyed callees take raw (canonical) ids.
+        if name in _ID_KEYED_CALLEES:
+            for arg in node.args:
+                self._check_stale_use(arg, f"an argument of {name}()")
+
+        receiver_rep = UNKNOWN
+        if isinstance(node.func, ast.Attribute):
+            receiver_rep = self._expr(node.func.value)
+
+        arg_insensitive = name in _ORDER_INSENSITIVE_CALLS
+        safe_ids = name in _ID_SAFE_CALLEES
+        arg_reps = []
+        for arg in node.args:
+            if isinstance(arg, ast.Starred):
+                self._expr(arg.value)
+                arg_reps.append(UNKNOWN)
+                continue
+            rep = self._expr(arg, insensitive=arg_insensitive)
+            arg_reps.append(rep)
+            if (rep.category == SET and name in _ORDER_SENSITIVE_CALLS):
+                self._emit(
+                    "DET001", node,
+                    f"{name}() over set {self._describe(arg)!r} freezes "
+                    f"an arbitrary iteration order — wrap the set in "
+                    f"sorted()")
+            if (rep.category == SET and name == "join"):
+                self._emit(
+                    "DET001", node,
+                    f"str.join over set {self._describe(arg)!r} depends "
+                    f"on set iteration order — wrap in sorted()")
+            if (rep.category == SET and name == "extend"):
+                self._emit(
+                    "DET001", node,
+                    f"extend() with set {self._describe(arg)!r} appends "
+                    f"in arbitrary order — wrap in sorted()")
+            if not safe_ids and name not in _ID_KEYED_CALLEES \
+                    and name in ("get", "pop") \
+                    and arg is node.args[0]:
+                self._check_stale_use(arg, f"a {name}() lookup key")
+        for keyword in node.keywords:
+            # ``sorted(xs, key=id)``: the builtin passed by reference is
+            # the classic form of the id-as-sort-key bug.
+            if (keyword.arg == "key"
+                    and isinstance(keyword.value, ast.Name)
+                    and keyword.value.id in ("id", "hash")
+                    and (scope is None
+                         or keyword.value.id not in scope.env)
+                    and not self._in_hash_context()):
+                self._emit(
+                    "DET002", keyword.value,
+                    f"key={keyword.value.id} sorts by a process-dependent "
+                    f"value ({keyword.value.id}() varies with the "
+                    f"allocator or PYTHONHASHSEED)")
+            self._expr(keyword.value)
+
+        # Return type.
+        if isinstance(node.func, ast.Name):
+            if name in _BUILTIN_RETURNS:
+                base = _BUILTIN_RETURNS[name]
+                if name in ("set", "frozenset", "list", "sorted",
+                            "tuple", "reversed") and arg_reps:
+                    return TypeRep(base, args=(element_of(arg_reps[0]),))
+                return TypeRep(base)
+            if name in self.model.function_returns:
+                return self.model.function_returns[name]
+            if name in self.model.classes:
+                return TypeRep(INSTANCE, name)
+            return UNKNOWN
+        if isinstance(node.func, ast.Attribute):
+            if name in _BUILTIN_RETURNS and name == "sorted_by_seq":
+                return TypeRep(LIST)
+            return self._method_return(receiver_rep, node.func.attr, node)
+        self._expr(node.func)
+        return UNKNOWN
+
+    # -- literals -------------------------------------------------------
+    def _expr_Set(self, node: ast.Set, insensitive: bool) -> TypeRep:
+        elem = UNKNOWN
+        for elt in node.elts:
+            self._check_stale_use(elt, "a set element")
+            rep = self._expr(elt)
+            elem = rep if elem.category == "unknown" else combine(elem, rep)
+        return TypeRep(SET, args=(elem,)
+                       if elem.category != "unknown" else ())
+
+    def _expr_Dict(self, node: ast.Dict, insensitive: bool) -> TypeRep:
+        for key in node.keys:
+            if key is not None:
+                self._check_stale_use(key, "a dict key")
+                self._expr(key)
+        for value in node.values:
+            rep = self._expr(value)
+            self._check_wire_escape(value, rep, "dict value")
+        return TypeRep(DICT)
+
+    def _expr_List(self, node: ast.List, insensitive: bool) -> TypeRep:
+        elem = UNKNOWN
+        for elt in node.elts:
+            rep = self._expr(elt)
+            self._check_wire_escape(elt, rep, "list element")
+            elem = rep if elem.category == "unknown" else combine(elem, rep)
+        return TypeRep(LIST, args=(elem,)
+                       if elem.category != "unknown" else ())
+
+    def _expr_Tuple(self, node: ast.Tuple, insensitive: bool) -> TypeRep:
+        reps = []
+        for elt in node.elts:
+            rep = self._expr(elt)
+            self._check_wire_escape(elt, rep, "tuple element")
+            reps.append(rep)
+        return TypeRep(TUPLE, args=tuple(reps))
+
+    # -- operators ------------------------------------------------------
+    def _expr_BinOp(self, node: ast.BinOp, insensitive: bool) -> TypeRep:
+        left = self._expr(node.left)
+        right = self._expr(node.right)
+        if isinstance(node.op, (ast.BitOr, ast.BitAnd, ast.BitXor,
+                                ast.Sub)):
+            if left.category == SET or right.category == SET:
+                return TypeRep(SET)
+        return UNKNOWN
+
+    def _expr_BoolOp(self, node: ast.BoolOp, insensitive: bool) -> TypeRep:
+        rep = UNKNOWN
+        for value in node.values:
+            rep = combine(rep, self._expr(value, insensitive))
+        return rep
+
+    def _expr_UnaryOp(self, node: ast.UnaryOp,
+                      insensitive: bool) -> TypeRep:
+        self._expr(node.operand)
+        return UNKNOWN
+
+    def _expr_Compare(self, node: ast.Compare,
+                      insensitive: bool) -> TypeRep:
+        operands = [node.left] + list(node.comparators)
+        for operand, op in zip(operands, [None] + list(node.ops)):
+            if op is not None and isinstance(op, (ast.Eq, ast.NotEq,
+                                                  ast.In, ast.NotIn)):
+                self._check_stale_use(operand, "an equality/membership "
+                                               "operand")
+        if node.ops and isinstance(node.ops[0], (ast.Eq, ast.NotEq,
+                                                 ast.In, ast.NotIn)):
+            self._check_stale_use(node.left, "an equality/membership "
+                                             "operand")
+        for operand in operands:
+            self._expr(operand)
+        return TypeRep(SCALAR)
+
+    def _expr_IfExp(self, node: ast.IfExp, insensitive: bool) -> TypeRep:
+        self._expr(node.test)
+        return combine(self._expr(node.body, insensitive),
+                       self._expr(node.orelse, insensitive))
+
+    # -- comprehensions -------------------------------------------------
+    def _comp(self, node, insensitive: bool,
+              building_set: bool) -> TypeRep:
+        scope = self._scope()
+        saved_env = dict(scope.env) if scope is not None else {}
+        for generator in node.generators:
+            iter_rep = self._expr(generator.iter)
+            self._check_iteration(generator.iter, iter_rep,
+                                  insensitive=insensitive,
+                                  building_set=building_set)
+            self._bind_loop_target(generator.target, iter_rep,
+                                   generator.iter)
+            for condition in generator.ifs:
+                self._expr(condition)
+        if isinstance(node, ast.DictComp):
+            self._check_stale_use(node.key, "a dict-comprehension key")
+            self._expr(node.key)
+            self._expr(node.value)
+            result: TypeRep = TypeRep(DICT)
+        else:
+            elem = self._expr(node.elt)
+            if isinstance(node, ast.SetComp):
+                result = TypeRep(SET, args=(elem,)
+                                 if elem.category != "unknown" else ())
+            elif isinstance(node, ast.ListComp):
+                result = TypeRep(LIST, args=(elem,)
+                                 if elem.category != "unknown" else ())
+            else:
+                result = TypeRep(ITERABLE, args=(elem,)
+                                 if elem.category != "unknown" else ())
+        if scope is not None:
+            scope.env = saved_env
+        return result
+
+    def _expr_SetComp(self, node: ast.SetComp,
+                      insensitive: bool) -> TypeRep:
+        return self._comp(node, insensitive, building_set=True)
+
+    def _expr_ListComp(self, node: ast.ListComp,
+                       insensitive: bool) -> TypeRep:
+        return self._comp(node, insensitive, building_set=False)
+
+    def _expr_DictComp(self, node: ast.DictComp,
+                       insensitive: bool) -> TypeRep:
+        return self._comp(node, insensitive, building_set=False)
+
+    def _expr_GeneratorExp(self, node: ast.GeneratorExp,
+                           insensitive: bool) -> TypeRep:
+        return self._comp(node, insensitive, building_set=False)
+
+    def _expr_Lambda(self, node: ast.Lambda, insensitive: bool) -> TypeRep:
+        self._expr(node.body)
+        return UNKNOWN
+
+    def _expr_Starred(self, node: ast.Starred,
+                      insensitive: bool) -> TypeRep:
+        return self._expr(node.value, insensitive)
+
+    def _expr_JoinedStr(self, node: ast.JoinedStr,
+                        insensitive: bool) -> TypeRep:
+        for value in node.values:
+            if isinstance(value, ast.FormattedValue):
+                self._expr(value.value)
+        return TypeRep(SCALAR)
+
+
+def run_det_rules(path: str, tree: ast.Module, lines: List[str],
+                  model: ProjectModel) -> List[Finding]:
+    """Run the shared DET/EGR walker over one parsed file."""
+    return _DetWalker(path, lines, model).walk_module(tree)

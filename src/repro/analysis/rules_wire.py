@@ -1,0 +1,283 @@
+"""Wire-format and cache-key coherence rules (WIRE001, KEY001).
+
+Unlike the flow-sensitive DET/EGR walker these rules are structural: they
+match whole function definitions against the dataclass facts in the
+:class:`~repro.analysis.typeinfo.ProjectModel`.
+
+* **WIRE001** — a ``*_to_wire`` function whose subject parameter is a
+  known dataclass must read every field of that dataclass, and the
+  matching ``*_from_wire`` function must set every field (constructor
+  keyword or attribute store).  A field added to the dataclass but not to
+  the codec silently drops state from snapshots — the historical
+  pre-PR 3 stale-FA-count bug was exactly this shape.
+* **KEY001** — every ``BoolEOptions`` field must either appear in the
+  ``_NON_SEMANTIC_OPTION_FIELDS`` exclusion set (with written
+  justification elsewhere in the file) or flow into the fingerprint
+  payload.  A field in neither place changes results without changing
+  the cache key — the ``refine_rounds`` divergence PR 5 closed by hand.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import List, Optional, Set
+
+from .findings import Finding
+from .typeinfo import ProjectModel, parse_annotation
+
+__all__ = ["run_wire_rules"]
+
+_TO_WIRE_RE = re.compile(r"(^|_)to_wire$")
+_FROM_WIRE_RE = re.compile(r"(^|_)from_wire$")
+
+#: The options dataclass / exclusion-set names KEY001 pins together.
+_OPTIONS_CLASS = "BoolEOptions"
+_EXCLUSION_NAME = "_NON_SEMANTIC_OPTION_FIELDS"
+
+
+def _line_content(lines: List[str], lineno: int) -> str:
+    return lines[lineno - 1].strip() if 0 < lineno <= len(lines) else ""
+
+
+def _make_finding(rule: str, path: str, node: ast.AST, message: str,
+                  context: str, lines: List[str]) -> Finding:
+    line = getattr(node, "lineno", 1)
+    return Finding(rule=rule, path=path, line=line,
+                   col=getattr(node, "col_offset", 0), message=message,
+                   context=context, content=_line_content(lines, line))
+
+
+def _iter_functions(tree: ast.Module):
+    """Yield ``(func, qualname)`` for module-level and method defs."""
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node, node.name
+        elif isinstance(node, ast.ClassDef):
+            for inner in node.body:
+                if isinstance(inner, (ast.FunctionDef,
+                                      ast.AsyncFunctionDef)):
+                    yield inner, f"{node.name}.{inner.name}"
+
+
+def _subject_param(func, model: ProjectModel):
+    """First parameter annotated as a known *dataclass*, with its info."""
+    for arg in list(func.args.posonlyargs) + list(func.args.args):
+        if arg.arg in ("self", "cls") or arg.annotation is None:
+            continue
+        rep = parse_annotation(arg.annotation, model)
+        if rep.category != "instance":
+            continue
+        info = model.class_info(rep.name)
+        if info is not None and info.is_dataclass and info.fields:
+            return arg.arg, info
+    return None, None
+
+
+def _check_to_wire(func, qualname: str, path: str, lines: List[str],
+                   model: ProjectModel, findings: List[Finding]) -> None:
+    param, info = _subject_param(func, model)
+    if info is None:
+        return
+    read: Set[str] = set()
+    for node in ast.walk(func):
+        if (isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == param):
+            read.add(node.attr)
+        elif (isinstance(node, ast.Call)
+              and any(isinstance(arg, ast.Name) and arg.id == param
+                      for arg in node.args)):
+            # The whole instance is handed to a helper (e.g.
+            # ``dataclasses.fields(obj)`` / ``asdict(obj)``): assume full
+            # coverage rather than guessing what the helper reads.
+            return
+    for field in info.fields:
+        if field not in read:
+            findings.append(_make_finding(
+                "WIRE001", path, func,
+                f"{qualname}() never reads {info.name}.{field}: the field "
+                f"is silently dropped from the wire payload — serialize "
+                f"it or record the exclusion in the baseline with a "
+                f"justification", f"{qualname}[{field}]", lines))
+
+
+def _return_dataclass(func, model: ProjectModel):
+    if func.returns is None:
+        return None
+    rep = parse_annotation(func.returns, model)
+    if rep.category != "instance":
+        return None
+    info = model.class_info(rep.name)
+    if info is not None and info.is_dataclass and info.fields:
+        return info
+    return None
+
+
+def _check_from_wire(func, qualname: str, path: str, lines: List[str],
+                     model: ProjectModel,
+                     findings: List[Finding]) -> None:
+    info = _return_dataclass(func, model)
+    if info is None:
+        return
+    covered: Set[str] = set()
+    result_vars: Set[str] = set()
+    uses_star_kwargs = False
+    for node in ast.walk(func):
+        call = node
+        if isinstance(node, ast.Assign) and isinstance(node.value,
+                                                       ast.Call):
+            # ``report = RunnerReport(...)``: remember the result variable
+            # so post-construction fills (``report.iterations.append``)
+            # count as coverage too.
+            call = node.value
+            callee = call.func
+            callee_name = (callee.id if isinstance(callee, ast.Name)
+                           else callee.attr
+                           if isinstance(callee, ast.Attribute) else None)
+            if callee_name == info.name:
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        result_vars.add(target.id)
+        if isinstance(call, ast.Call):
+            callee = call.func
+            callee_name = (callee.id if isinstance(callee, ast.Name)
+                           else callee.attr
+                           if isinstance(callee, ast.Attribute) else None)
+            if callee_name == info.name:
+                for keyword in call.keywords:
+                    if keyword.arg is None:
+                        uses_star_kwargs = True
+                    else:
+                        covered.add(keyword.arg)
+                # Positional args cover fields in declaration order.
+                for position, _ in enumerate(call.args):
+                    if position < len(info.fields):
+                        covered.add(info.fields[position])
+        if isinstance(node, ast.Attribute):
+            if isinstance(node.ctx, ast.Store):
+                covered.add(node.attr)
+            elif (isinstance(node.value, ast.Name)
+                  and node.value.id in result_vars):
+                covered.add(node.attr)
+    if uses_star_kwargs:
+        return
+    for field in info.fields:
+        if field not in covered:
+            findings.append(_make_finding(
+                "WIRE001", path, func,
+                f"{qualname}() never sets {info.name}.{field}: the field "
+                f"falls back to its default on every restore — pass it "
+                f"through or record the exclusion in the baseline",
+                f"{qualname}[{field}]", lines))
+
+
+def _string_set_literal(node: ast.expr) -> Optional[Set[str]]:
+    """``frozenset({"a", "b"})`` / ``{"a", "b"}`` → {"a", "b"}."""
+    if (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+            and node.func.id in ("frozenset", "set") and node.args):
+        node = node.args[0]
+    if isinstance(node, (ast.Set, ast.List, ast.Tuple)):
+        names = set()
+        for elt in node.elts:
+            if not (isinstance(elt, ast.Constant)
+                    and isinstance(elt.value, str)):
+                return None
+            names.add(elt.value)
+        return names
+    return None
+
+
+def _check_key001(tree: ast.Module, path: str, lines: List[str],
+                  model: ProjectModel, findings: List[Finding]) -> None:
+    exclusion_node: Optional[ast.Assign] = None
+    excluded: Optional[Set[str]] = None
+    for node in tree.body:
+        if (isinstance(node, ast.Assign) and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and node.targets[0].id == _EXCLUSION_NAME):
+            exclusion_node = node
+            excluded = _string_set_literal(node.value)
+    if exclusion_node is None:
+        return
+    info = model.class_info(_OPTIONS_CLASS)
+    if info is None or not info.fields:
+        return
+    if excluded is None:
+        findings.append(_make_finding(
+            "KEY001", path, exclusion_node,
+            f"{_EXCLUSION_NAME} is not a literal set of field names, so "
+            f"exclusions cannot be audited statically", "<module>", lines))
+        return
+    fields = set(info.fields)
+
+    # Check 1: exclusions must name real option fields (rename drift).
+    for name in sorted(excluded):
+        if name not in fields:
+            findings.append(_make_finding(
+                "KEY001", path, exclusion_node,
+                f"{_EXCLUSION_NAME} excludes {name!r} which is not a "
+                f"field of {_OPTIONS_CLASS} — stale after a rename?",
+                f"<module>[{name}]", lines))
+
+    # Check 3: every exclusion needs written justification somewhere else
+    # in the file (a docstring or comment-adjacent string mention).
+    documented: Set[str] = set()
+    for node in ast.walk(tree):
+        if (isinstance(node, ast.Constant) and isinstance(node.value, str)
+            and len(node.value) > 40):  # docstrings, not field-name strs
+            for name in sorted(excluded):
+                if name in node.value:
+                    documented.add(name)
+    for name in sorted(excluded - documented):
+        findings.append(_make_finding(
+            "KEY001", path, exclusion_node,
+            f"excluded option field {name!r} has no written justification "
+            f"in this file — explain in the fingerprint docstring why it "
+            f"cannot change results", f"<module>[{name}]", lines))
+
+    # Check 2: every non-excluded field must reach the payload.
+    fingerprint_fn = None
+    for node in tree.body:
+        if (isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and node.name == "fingerprint_options"):
+            fingerprint_fn = node
+    if fingerprint_fn is None:
+        return
+    mentions: Set[str] = set()
+    enumerates_fields = False
+    for node in ast.walk(fingerprint_fn):
+        if (isinstance(node, ast.Call)
+                and ((isinstance(node.func, ast.Name)
+                      and node.func.id == "fields")
+                     or (isinstance(node.func, ast.Attribute)
+                         and node.func.attr == "fields"))):
+            enumerates_fields = True
+        elif isinstance(node, ast.Attribute):
+            mentions.add(node.attr)
+        elif (isinstance(node, ast.Constant)
+              and isinstance(node.value, str)):
+            mentions.add(node.value)
+    if enumerates_fields:
+        return
+    for field in info.fields:
+        if field not in excluded and field not in mentions:
+            findings.append(_make_finding(
+                "KEY001", path, fingerprint_fn,
+                f"{_OPTIONS_CLASS}.{field} is neither excluded via "
+                f"{_EXCLUSION_NAME} nor present in the fingerprint "
+                f"payload: changing it would reuse a stale cached result",
+                f"fingerprint_options[{field}]", lines))
+
+
+def run_wire_rules(path: str, tree: ast.Module, lines: List[str],
+                   model: ProjectModel) -> List[Finding]:
+    """Run WIRE001 + KEY001 over one parsed file."""
+    findings: List[Finding] = []
+    for func, qualname in _iter_functions(tree):
+        if _TO_WIRE_RE.search(func.name):
+            _check_to_wire(func, qualname, path, lines, model, findings)
+        elif _FROM_WIRE_RE.search(func.name):
+            _check_from_wire(func, qualname, path, lines, model, findings)
+    _check_key001(tree, path, lines, model, findings)
+    return findings

@@ -607,8 +607,8 @@ class BatchPipeline:
                 pipeline = cache.pipeline_for(job.options)
                 plan = pipeline.plan(
                     job.aig, store=store,
-                    assume_present=tuple(overlay_writes),
-                    assume_absent=tuple(overlay_deletes),
+                    assume_present=tuple(sorted(overlay_writes)),
+                    assume_absent=tuple(sorted(overlay_deletes)),
                     kinds=kinds)
             except Exception as error:  # noqa: BLE001 - bad options/netlist
                 # Schedule it cold; the worker-side capture turns the

@@ -115,7 +115,7 @@ class ReferenceBoolEExtractor:
                     improved = True
             if improved and best is not None:
                 entries[class_id] = best
-                for parent in parents.get(class_id, ()):
+                for parent in sorted(parents.get(class_id, ())):
                     if parent not in pending:
                         pending.add(parent)
                         queue.append(parent)

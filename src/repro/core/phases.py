@@ -33,7 +33,8 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import (TYPE_CHECKING, Any, Callable, Dict, List,
+                    Optional, Tuple)
 
 from ..egraph import Op, Runner, RunnerCheckpoint
 from ..store import (
@@ -55,6 +56,11 @@ from ..store import (
     report_to_wire,
 )
 from .construct import ConstructionResult, aig_to_egraph, planned_construction
+
+if TYPE_CHECKING:  # circular: pipeline builds its phases from here
+    from ..aig import AIG
+    from ..egraph import EGraph
+    from .pipeline import BoolEOptions, BoolEPipeline
 from .extraction import FABlockRecord, reconstruct_aig
 from .fa_structure import FAPair, FAInsertionReport, count_npn_fa_pairs, insert_fa_structures
 
@@ -118,16 +124,16 @@ class PhaseContext:
         self.artifact_hits: Dict[str, bool] = {}
         self.resumed_phase: Optional[str] = None
 
-    def __getitem__(self, name: str):
+    def __getitem__(self, name: str) -> Any:
         return self.state[name]
 
-    def __setitem__(self, name: str, value) -> None:
+    def __setitem__(self, name: str, value: object) -> None:
         self.state[name] = value
 
     def __contains__(self, name: str) -> bool:
         return name in self.state
 
-    def get(self, name: str, default=None):
+    def get(self, name: str, default: Any = None) -> Any:
         return self.state.get(name, default)
 
 
@@ -186,7 +192,7 @@ class Phase:
         """Content key of this phase's mid-phase checkpoint artifact."""
         return None
 
-    def run(self, ctx: PhaseContext, resume=None) -> None:
+    def run(self, ctx: PhaseContext, resume: Any = None) -> None:
         raise NotImplementedError
 
     def to_wire(self, ctx: PhaseContext) -> Dict:
@@ -195,7 +201,7 @@ class Phase:
     def from_wire(self, ctx: PhaseContext, payload: Dict) -> None:
         raise NotImplementedError
 
-    def load_checkpoint(self, ctx: PhaseContext, payload: Dict):
+    def load_checkpoint(self, ctx: PhaseContext, payload: Dict) -> Any:
         """Restore mid-phase state into ``ctx``; return the resume token."""
         raise NotImplementedError
 
@@ -472,7 +478,7 @@ class PhaseGraph:
         return None
 
     def _run_phase(self, ctx: PhaseContext, phase: Phase,
-                   resume=None) -> None:
+                   resume: Any = None) -> None:
         phase.run(ctx, resume=resume)
         if ctx.store is None:
             return
@@ -570,7 +576,8 @@ class PhaseGraph:
             planned_deletes=deletes)
 
     def _plan_restore(self, ctx: PhaseContext, probe: PlanProbe, index: int,
-                      record, deletes: List[str]) -> Optional[int]:
+                      record: Callable[..., None],
+                      deletes: List[str]) -> Optional[int]:
         """Plan-side mirror of :meth:`_try_restore` (probe, don't decode)."""
         for j in reversed(range(index, len(self.phases))):
             phase = self.phases[j]
@@ -599,7 +606,8 @@ class PhaseGraph:
         return None
 
     def _plan_resume(self, ctx: PhaseContext, probe: PlanProbe, index: int,
-                     record, writes: List[str],
+                     record: Callable[..., None],
+                     writes: List[str],
                      deletes: List[str]) -> Optional[int]:
         """Plan-side mirror of :meth:`_try_resume`."""
         for j in reversed(range(index, len(self.phases))):
@@ -642,7 +650,8 @@ def _construction_to_wire(construction: ConstructionResult) -> Dict:
     }
 
 
-def _construction_from_wire(wire: Dict, egraph, aig) -> ConstructionResult:
+def _construction_from_wire(wire: Dict, egraph: "EGraph",
+                            aig: "AIG") -> ConstructionResult:
     return ConstructionResult(
         egraph=egraph,
         aig=aig,
@@ -657,11 +666,11 @@ def _construction_from_wire(wire: Dict, egraph, aig) -> ConstructionResult:
 class _BoolEPhase(Phase):
     """Base for the concrete phases: holds the owning pipeline."""
 
-    def __init__(self, pipeline) -> None:
+    def __init__(self, pipeline: "BoolEPipeline") -> None:
         self.pipeline = pipeline
 
     @property
-    def options(self):
+    def options(self) -> "BoolEOptions":
         return self.pipeline.options
 
 
@@ -677,7 +686,7 @@ class ConstructPhase(_BoolEPhase):
         # predict the ids with the e-graph-free dry construction.
         ctx["construction"] = planned_construction(ctx["aig"])
 
-    def run(self, ctx: PhaseContext, resume=None) -> None:
+    def run(self, ctx: PhaseContext, resume: Any = None) -> None:
         started = time.perf_counter()
         ctx["construction"] = aig_to_egraph(ctx["aig"])
         ctx.timings["construct"] = time.perf_counter() - started
@@ -692,7 +701,8 @@ class SaturatePhase(_BoolEPhase):
     re-running anything before it.
     """
 
-    def __init__(self, pipeline, name: str, rules_attr: str,
+    def __init__(self, pipeline: "BoolEPipeline", name: str,
+                 rules_attr: str,
                  iterations_attr: str, report_field: str, timing: str,
                  prior_reports: Tuple[str, ...] = ()) -> None:
         super().__init__(pipeline)
@@ -705,7 +715,7 @@ class SaturatePhase(_BoolEPhase):
         self.provides = (report_field,)
 
     @property
-    def rules(self):
+    def rules(self) -> Any:
         return getattr(self.pipeline, self.rules_attr)
 
     def checkpoint_key(self, ctx: PhaseContext) -> Optional[str]:
@@ -731,7 +741,8 @@ class SaturatePhase(_BoolEPhase):
             },
         }
 
-    def load_checkpoint(self, ctx: PhaseContext, payload: Dict):
+    def load_checkpoint(self, ctx: PhaseContext,
+                        payload: Dict) -> Any:
         if payload.get("phase") != self.name:
             raise SnapshotError(
                 f"checkpoint belongs to phase {payload.get('phase')!r}, "
@@ -751,7 +762,7 @@ class SaturatePhase(_BoolEPhase):
             ctx[field] = report
         return checkpoint
 
-    def run(self, ctx: PhaseContext, resume=None) -> None:
+    def run(self, ctx: PhaseContext, resume: Any = None) -> None:
         pipeline = self.pipeline
         options = self.options
         construction: ConstructionResult = ctx["construction"]
@@ -806,7 +817,7 @@ class InsertFAPhase(_BoolEPhase):
     def cache_key(self, ctx: PhaseContext) -> Optional[str]:
         return ctx.get("base_key")
 
-    def run(self, ctx: PhaseContext, resume=None) -> None:
+    def run(self, ctx: PhaseContext, resume: Any = None) -> None:
         options = self.options
         egraph = ctx["construction"].egraph
         if options.prune_redundant:
@@ -896,7 +907,7 @@ class ExtractPhase(_BoolEPhase):
     def enabled(self, ctx: PhaseContext) -> bool:
         return self.options.extract
 
-    def run(self, ctx: PhaseContext, resume=None) -> None:
+    def run(self, ctx: PhaseContext, resume: Any = None) -> None:
         construction: ConstructionResult = ctx["construction"]
         started = time.perf_counter()
         ctx["extraction"] = self.pipeline.extractor.extract(
@@ -929,7 +940,7 @@ class ReconstructPhase(_BoolEPhase):
         # classes.  ``fa_report`` marks the saturation boundary.
         return "fa_report" in ctx
 
-    def run(self, ctx: PhaseContext, resume=None) -> None:
+    def run(self, ctx: PhaseContext, resume: Any = None) -> None:
         started = time.perf_counter()
         extracted, blocks = reconstruct_aig(ctx["construction"],
                                             ctx["extraction"])
@@ -974,7 +985,7 @@ class ReconstructPhase(_BoolEPhase):
         }
 
 
-def boole_phases(pipeline) -> List[Phase]:
+def boole_phases(pipeline: "BoolEPipeline") -> List[Phase]:
     """The six Figure-2 phases wired to ``pipeline``, in execution order."""
     return [
         ConstructPhase(pipeline),

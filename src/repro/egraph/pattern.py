@@ -234,7 +234,7 @@ class MatchPlan:
                 continue
             classes = egraph.candidate_classes(op)
             if not classes:
-                return set()
+                return []
             # Only walk-eligible positions can serve as pivots.
             if (0 < depth <= _MAX_PIVOT_DEPTH
                     and (pivot_classes is None

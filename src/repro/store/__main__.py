@@ -33,8 +33,13 @@ import json
 import os
 import sys
 import time
+from typing import TYPE_CHECKING, Optional, Sequence, Tuple
 
 from .store import ArtifactStore
+
+if TYPE_CHECKING:  # deferred imports: repro.core imports repro.store
+    from ..aig import AIG
+    from ..core import BoolEPipeline
 
 _DEFAULT_ROOT = os.environ.get("REPRO_STORE_DIR", ".repro-store")
 
@@ -50,7 +55,7 @@ def _add_circuit_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--ban-length", type=int, default=2)
 
 
-def _pipeline_for(args):
+def _pipeline_for(args: argparse.Namespace) -> Tuple["BoolEPipeline", "AIG"]:
     # Deferred: the core pipeline (and the generators) are only needed by
     # the key/warm commands, and repro.core itself imports repro.store.
     from ..core import BoolEOptions, BoolEPipeline
@@ -66,7 +71,7 @@ def _pipeline_for(args):
     return BoolEPipeline(options), mapped
 
 
-def _format_size(size: int) -> str:
+def _format_size(size: float) -> str:
     for unit in ("B", "KiB", "MiB", "GiB"):
         if size < 1024 or unit == "GiB":
             return f"{size:.1f} {unit}" if unit != "B" else f"{size} B"
@@ -74,7 +79,7 @@ def _format_size(size: int) -> str:
     return f"{size} B"  # pragma: no cover - unreachable
 
 
-def _cmd_list(store: ArtifactStore, _args) -> int:
+def _cmd_list(store: ArtifactStore, _args: argparse.Namespace) -> int:
     entries = store.entries()
     if not entries:
         print(f"(empty store at {store.root})")
@@ -93,7 +98,7 @@ def _cmd_list(store: ArtifactStore, _args) -> int:
     return 0
 
 
-def _cmd_inspect(store: ArtifactStore, args) -> int:
+def _cmd_inspect(store: ArtifactStore, args: argparse.Namespace) -> int:
     header = store.describe(args.key)
     if header is None:
         print(f"no artifact {args.key!r} in {store.root}", file=sys.stderr)
@@ -102,13 +107,13 @@ def _cmd_inspect(store: ArtifactStore, args) -> int:
     return 0
 
 
-def _cmd_verify(store: ArtifactStore, _args) -> int:
+def _cmd_verify(store: ArtifactStore, _args: argparse.Namespace) -> int:
     report = store.verify()
     print(json.dumps(report, indent=2, sort_keys=True))
     return 1 if report["unreadable"] else 0
 
 
-def _cmd_pin(store: ArtifactStore, args) -> int:
+def _cmd_pin(store: ArtifactStore, args: argparse.Namespace) -> int:
     try:
         store.pin(args.key)
     except KeyError:
@@ -118,7 +123,7 @@ def _cmd_pin(store: ArtifactStore, args) -> int:
     return 0
 
 
-def _cmd_unpin(store: ArtifactStore, args) -> int:
+def _cmd_unpin(store: ArtifactStore, args: argparse.Namespace) -> int:
     if store.unpin(args.key):
         print(f"unpinned {args.key[:16]}…")
     else:
@@ -126,7 +131,7 @@ def _cmd_unpin(store: ArtifactStore, args) -> int:
     return 0
 
 
-def _cmd_gc(store: ArtifactStore, args) -> int:
+def _cmd_gc(store: ArtifactStore, args: argparse.Namespace) -> int:
     removed = store.gc(
         max_age_seconds=(None if args.max_age_days is None
                          else args.max_age_days * 86_400.0),
@@ -139,7 +144,7 @@ def _cmd_gc(store: ArtifactStore, args) -> int:
     return 0
 
 
-def _cmd_key(_store: ArtifactStore, args) -> int:
+def _cmd_key(_store: ArtifactStore, args: argparse.Namespace) -> int:
     # All three kinds come from the hash-propagating planner: it computes
     # every phase's key with zero execution and zero e-graph construction
     # (extraction roots are predicted by the dry construction), and the
@@ -168,7 +173,7 @@ def _cmd_key(_store: ArtifactStore, args) -> int:
     return 0
 
 
-def _cmd_plan(store: ArtifactStore, args) -> int:
+def _cmd_plan(store: ArtifactStore, args: argparse.Namespace) -> int:
     from ..core import BatchJob, BatchPipeline, BoolEOptions
     from ..generators import booth_multiplier, csa_multiplier
     from ..opt import post_mapping_flow
@@ -227,7 +232,7 @@ def _cmd_plan(store: ArtifactStore, args) -> int:
     return 0
 
 
-def _cmd_warm(store: ArtifactStore, args) -> int:
+def _cmd_warm(store: ArtifactStore, args: argparse.Namespace) -> int:
     pipeline, mapped = _pipeline_for(args)
     key = pipeline.cache_key(mapped)
     cached_before = store.contains(key)
@@ -242,7 +247,7 @@ def _cmd_warm(store: ArtifactStore, args) -> int:
     return 0
 
 
-def main(argv=None) -> int:
+def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.store",
         description="Inspect and maintain a repro.store artifact store.")

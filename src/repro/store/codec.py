@@ -39,9 +39,13 @@ import os
 import tempfile
 import warnings
 from pathlib import Path
-from typing import Dict, Hashable, List, Optional, Tuple, Union
+from typing import (TYPE_CHECKING, Dict, Hashable, List, Optional,
+                    Sequence, Tuple, Union)
 
 from ..aig import AIG, AndGate
+
+if TYPE_CHECKING:  # import cycle: repro.core imports repro.store
+    from ..core.extraction import BoolEExtraction
 from ..egraph import (
     BackoffScheduler,
     EGraph,
@@ -140,16 +144,17 @@ class _NodeTable:
         if payload is None:
             return -1
         if isinstance(payload, bool):
-            wire = ["b", payload]
+            tag = "b"
         elif isinstance(payload, str):
-            wire = ["s", payload]
+            tag = "s"
         elif isinstance(payload, int):
-            wire = ["i", payload]
+            tag = "i"
         else:
             raise SnapshotError(
                 f"cannot serialize e-node payload of type "
                 f"{type(payload).__name__!r} (supported: str, bool, int)")
-        key = (wire[0], payload)
+        wire = [tag, payload]
+        key = (tag, payload)
         index = self._payload_index.get(key)
         if index is None:
             index = self._payload_index[key] = len(self.payloads)
@@ -166,7 +171,7 @@ class _NodeTable:
         return index
 
 
-def _decode_payload(wire) -> Hashable:
+def _decode_payload(wire: Sequence) -> Hashable:
     tag, value = wire
     if tag == "b":
         return bool(value)
@@ -264,7 +269,7 @@ def aig_from_wire(wire: Dict) -> AIG:
     )
 
 
-def extraction_to_wire(extraction) -> Dict:
+def extraction_to_wire(extraction: "BoolEExtraction") -> Dict:
     """Encode a :class:`~repro.core.extraction.BoolEExtraction`.
 
     Chosen e-nodes are interned exactly like e-graph snapshots; each entry
@@ -284,7 +289,7 @@ def extraction_to_wire(extraction) -> Dict:
     }
 
 
-def extraction_from_wire(wire: Dict, egraph: EGraph):
+def extraction_from_wire(wire: Dict, egraph: EGraph) -> "BoolEExtraction":
     """Decode :func:`extraction_to_wire` output against a live e-graph.
 
     The class ids in the wire form refer to the deterministic saturated

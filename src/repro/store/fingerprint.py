@@ -31,10 +31,13 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
-from typing import Dict, Iterable, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, Optional, Sequence
 
 from ..aig import AIG
 from ..egraph import Rewrite
+
+if TYPE_CHECKING:  # import cycle: repro.core imports repro.store
+    from ..core.pipeline import BoolEOptions
 from .codec import CODEC_VERSION
 
 __all__ = [
@@ -58,7 +61,7 @@ _NON_SEMANTIC_OPTION_FIELDS = frozenset(
     {"extract", "refine_rounds", "checkpoint_every"})
 
 
-def canonical_digest(payload) -> str:
+def canonical_digest(payload: object) -> str:
     """SHA-256 hex digest of a JSON-serializable payload, codec-salted.
 
     The payload is rendered as canonical JSON (sorted keys, no
@@ -90,7 +93,7 @@ def fingerprint_aig(aig: AIG) -> str:
     })
 
 
-def fingerprint_options(options) -> str:
+def fingerprint_options(options: "BoolEOptions") -> str:
     """Fingerprint a :class:`~repro.core.pipeline.BoolEOptions` instance.
 
     Every dataclass field except the non-semantic ones participates:
@@ -108,7 +111,7 @@ def fingerprint_options(options) -> str:
     return canonical_digest({"kind": "options", "fields": payload})
 
 
-def _describe_callable(func) -> str:
+def _describe_callable(func: Optional[Callable]) -> str:
     if func is None:
         return ""
     return f"{getattr(func, '__module__', '?')}.{getattr(func, '__qualname__', repr(func))}"
@@ -190,7 +193,7 @@ def phase_checkpoint_key(saturated_key: str, phase: str) -> str:
     })
 
 
-def pipeline_cache_key(aig: AIG, options,
+def pipeline_cache_key(aig: AIG, options: "BoolEOptions",
                        rulesets: Sequence[Iterable[Rewrite]],
                        revision: str = "") -> str:
     """Combine input fingerprints into one content-addressed store key."""

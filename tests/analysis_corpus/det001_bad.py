@@ -1,0 +1,24 @@
+"""Known-bad DET001 fixture: unordered collections leak order."""
+
+from typing import Dict, List, Set
+
+
+def iterate_set(items: Set[int]) -> None:
+    for item in items:                      # line 7: DET001 (iteration)
+        print(item)
+
+
+def freeze_set(items: Set[int]) -> List[int]:
+    return list(items)                      # line 12: DET001 (list() call)
+
+
+def return_set_as_list(items: Set[int]) -> List[int]:
+    return items                            # line 16: DET001 (return)
+
+
+def wire_escape_to_wire(items: Set[int]) -> Dict:
+    return {"items": items}                 # line 20: DET001 (dict value)
+
+
+def dict_iter_to_wire(mapping: Dict[str, int]) -> List[str]:
+    return [key for key in mapping]         # line 24: DET001 (wire dict)

@@ -1,0 +1,33 @@
+"""Known-good DET001 fixture: every consumption is order-safe."""
+
+from typing import Dict, List, Set
+
+
+def iterate_sorted(items: Set[int]) -> None:
+    for item in sorted(items):
+        print(item)
+
+
+def freeze_sorted(items: Set[int]) -> List[int]:
+    return sorted(items)
+
+
+def order_insensitive_consumers(items: Set[int]) -> int:
+    total = sum(items)
+    largest = max(items)
+    other: Set[int] = {item * 2 for item in items}
+    return total + largest + len(other)
+
+
+def dict_iteration_outside_wire(mapping: Dict[str, int]) -> List[str]:
+    # Plain dicts iterate in insertion order; only wire/fingerprint code
+    # needs a canonical (sorted) order.
+    return [key for key in mapping]
+
+
+def sorted_dict_to_wire(mapping: Dict[str, int]) -> Dict:
+    return {"items": sorted(mapping.items())}
+
+
+def suppressed(items: Set[int]) -> List[int]:
+    return list(items)  # repro: noqa DET001 -- caller sorts downstream

@@ -1,0 +1,15 @@
+"""Known-bad DET002 fixture: process-dependent keys."""
+
+from typing import Dict, List
+
+
+def sort_by_identity(objects: List[object]) -> List[object]:
+    return sorted(objects, key=id)          # no call — builtins referenced
+
+
+def sort_by_id_call(objects: List[object]) -> List[object]:
+    return sorted(objects, key=lambda obj: id(obj))   # line 11: DET002
+
+
+def keyed_by_hash(name: str, table: Dict[int, str]) -> None:
+    table[hash(name)] = name                # line 15: DET002

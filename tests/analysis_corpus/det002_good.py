@@ -1,0 +1,21 @@
+"""Known-good DET002 fixture: hash() only inside __hash__/__eq__."""
+
+from typing import Tuple
+
+
+class Node:
+    def __init__(self, op: str, children: Tuple[int, ...]) -> None:
+        self.op = op
+        self.children = children
+
+    def __hash__(self) -> int:
+        return hash((self.op, self.children))
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, Node)
+                and hash(self) == hash(other))
+
+
+def shadowed_id(id: int) -> int:
+    # ``id`` here is a local variable, not the builtin.
+    return id + 1

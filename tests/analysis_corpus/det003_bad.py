@@ -1,0 +1,22 @@
+"""Known-bad DET003 fixture: entropy inside canonical-payload code."""
+
+import random
+import time
+import uuid
+from typing import Dict
+
+
+def report_to_wire(stats: Dict[str, int]) -> Dict:
+    return {
+        "stats": sorted(stats.items()),
+        "written_at": time.time(),          # line 12: DET003
+    }
+
+
+def fingerprint_run(seed_space: int) -> int:
+    nonce = random.randrange(seed_space)    # line 17: DET003
+    return nonce
+
+
+def make_cache_key(name: str) -> str:
+    return f"{name}-{uuid.uuid4()}"         # line 22: DET003

@@ -1,0 +1,24 @@
+"""Known-bad EGR001 fixture: e-class ids used stale after unions."""
+
+from typing import Dict, List, Set
+
+
+class EGraph:
+    def add(self, op: str) -> int: ...
+    def find(self, class_id: int) -> int: ...
+    def union(self, a: int, b: int) -> bool: ...
+    def class_ids(self) -> List[int]: ...
+
+
+def collect_then_mutate(egraph: EGraph, memo: Dict[int, str]) -> None:
+    class_id = egraph.add("AND")
+    egraph.union(class_id, 0)
+    memo[class_id] = "and"                  # line 16: EGR001 (subscript)
+
+
+def loop_reentry(egraph: EGraph, keep: Set[int]) -> None:
+    root = egraph.find(3)
+    for other in egraph.class_ids():
+        if root == other:                   # line 21: EGR001 (compare)
+            continue
+        egraph.union(root, other)

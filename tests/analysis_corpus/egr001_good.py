@@ -1,0 +1,25 @@
+"""Known-good EGR001 fixture: ids re-canonicalized before keyed use."""
+
+from typing import Dict, List
+
+
+class EGraph:
+    def add(self, op: str) -> int: ...
+    def find(self, class_id: int) -> int: ...
+    def union(self, a: int, b: int) -> bool: ...
+    def class_ids(self) -> List[int]: ...
+
+
+def refind_after_union(egraph: EGraph, memo: Dict[int, str]) -> None:
+    class_id = egraph.add("AND")
+    egraph.union(class_id, 0)
+    class_id = egraph.find(class_id)        # re-canonicalized
+    memo[class_id] = "and"
+
+
+def safe_consumers(egraph: EGraph) -> None:
+    class_id = egraph.add("AND")
+    egraph.union(class_id, 0)
+    # union()/find() canonicalize their arguments internally.
+    egraph.union(class_id, 1)
+    egraph.find(class_id)

@@ -1,0 +1,27 @@
+"""Known-bad KEY001 fixture: an option escapes the fingerprint."""
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass
+class BoolEOptions:
+    iterations: int = 3
+    match_limit: int = 100
+    refine_rounds: int = 0
+    checkpoint_every: int = 0
+    renamed_away: int = 1
+
+
+# ``cadence`` is not a field (rename drift) and ``checkpoint_every`` has
+# no written justification anywhere in this file.
+_NON_SEMANTIC_OPTION_FIELDS = frozenset({"cadence", "checkpoint_every"})
+
+
+def fingerprint_options(options: BoolEOptions) -> Dict:
+    # refine_rounds and renamed_away are neither excluded nor digested:
+    # changing them would silently reuse a stale cached artifact.
+    return {
+        "iterations": options.iterations,
+        "match_limit": options.match_limit,
+    }

@@ -1,0 +1,24 @@
+"""Known-good KEY001 fixture: exclusions audited and documented."""
+
+from dataclasses import dataclass, fields
+from typing import Dict
+
+
+@dataclass
+class BoolEOptions:
+    iterations: int = 3
+    match_limit: int = 100
+    checkpoint_every: int = 0
+
+
+_NON_SEMANTIC_OPTION_FIELDS = frozenset({"checkpoint_every"})
+
+
+def fingerprint_options(options: BoolEOptions) -> Dict:
+    """Digest every semantic option field.
+
+    ``checkpoint_every`` is excluded because checkpoint cadence cannot
+    change results: resume is bit-identical to an uninterrupted run.
+    """
+    return {f.name: getattr(options, f.name) for f in fields(options)
+            if f.name not in _NON_SEMANTIC_OPTION_FIELDS}

@@ -1,0 +1,27 @@
+"""Known-bad WIRE001 fixture: codec pair drops dataclass fields."""
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class Report:
+    stop_reason: str
+    total_time: float
+    iterations: List[int] = field(default_factory=list)
+
+
+def report_to_wire(report: Report) -> Dict:     # line 14: WIRE001 ×1
+    return {
+        "stop_reason": report.stop_reason,
+        "iterations": list(report.iterations),
+        # total_time is forgotten
+    }
+
+
+def report_from_wire(wire: Dict) -> Report:     # line 22: WIRE001 ×1
+    return Report(
+        stop_reason=wire["stop_reason"],
+        total_time=wire.get("total_time", 0.0),
+        # iterations is forgotten — silently reset on every restore
+    )

@@ -1,0 +1,28 @@
+"""Known-good WIRE001 fixture: every field crosses the wire."""
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class Report:
+    stop_reason: str
+    total_time: float
+    iterations: List[int] = field(default_factory=list)
+
+
+def report_to_wire(report: Report) -> Dict:
+    return {
+        "stop_reason": report.stop_reason,
+        "total_time": report.total_time,
+        "iterations": list(report.iterations),
+    }
+
+
+def report_from_wire(wire: Dict) -> Report:
+    report = Report(stop_reason=wire["stop_reason"],
+                    total_time=wire["total_time"])
+    for value in wire["iterations"]:
+        # Post-construction fills through the result variable count.
+        report.iterations.append(value)
+    return report

@@ -1,0 +1,399 @@
+"""repro.analysis: determinism & cache-coherence static analyzer.
+
+Three layers of coverage:
+
+* **Corpus** — known-bad/known-good fixtures under ``analysis_corpus/``
+  pin the exact (rule, line) findings of every rule, plus the ``noqa``
+  and baseline suppression machinery.
+* **Meta** — the analyzer runs clean (zero unbaselined findings, zero
+  stale baseline entries) over ``src/repro`` against the checked-in
+  ``analysis-baseline.json``.
+* **Surgery** — deleting any single ``sorted()`` wrap in ``egraph.py``
+  or any ``to_wire`` payload field in ``codec.py`` must produce a new
+  finding: the analyzer, not luck, guards those invariants.
+"""
+
+import ast
+import json
+import subprocess
+import sys
+from collections import Counter
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    RULES,
+    Baseline,
+    BaselineEntry,
+    analyze_source,
+    apply_baseline,
+    build_model,
+    iter_python_files,
+    load_baseline,
+    parse_noqa,
+    run_analysis,
+)
+
+REPO = Path(__file__).resolve().parent.parent
+CORPUS = Path(__file__).resolve().parent / "analysis_corpus"
+BASELINE = REPO / "analysis-baseline.json"
+
+
+def _findings_for(name):
+    source = (CORPUS / name).read_text(encoding="utf-8")
+    return analyze_source(source, str(CORPUS / name))
+
+
+def _rule_lines(result):
+    return Counter((f.rule, f.line) for f in result.findings)
+
+
+# ----------------------------------------------------------------------
+# Rule corpus: exact finding counts and line numbers
+# ----------------------------------------------------------------------
+class TestCorpus:
+    def test_det001_bad(self):
+        result = _findings_for("det001_bad.py")
+        assert _rule_lines(result) == Counter({
+            ("DET001", 7): 1,    # for item in items (set)
+            ("DET001", 12): 1,   # list(items)
+            ("DET001", 16): 1,   # return set as List
+            ("DET001", 20): 1,   # set as wire dict value
+            ("DET001", 24): 1,   # unsorted dict iteration in wire code
+        })
+
+    def test_det001_good_clean(self):
+        result = _findings_for("det001_good.py")
+        assert result.findings == []
+
+    def test_det002_bad(self):
+        result = _findings_for("det002_bad.py")
+        assert _rule_lines(result) == Counter({
+            ("DET002", 7): 1,    # sorted(..., key=id)
+            ("DET002", 11): 1,   # id(obj) in a sort key lambda
+            ("DET002", 15): 1,   # table[hash(name)]
+        })
+
+    def test_det002_good_clean(self):
+        result = _findings_for("det002_good.py")
+        assert result.findings == []
+
+    def test_det003_bad(self):
+        result = _findings_for("det003_bad.py")
+        assert _rule_lines(result) == Counter({
+            ("DET003", 12): 1,   # time.time() in *_to_wire
+            ("DET003", 17): 1,   # random.randrange in fingerprint_*
+            ("DET003", 22): 1,   # uuid.uuid4 in *_cache_key
+        })
+
+    def test_det003_good_clean(self):
+        result = _findings_for("det003_good.py")
+        assert result.findings == []
+
+    def test_egr001_bad(self):
+        result = _findings_for("egr001_bad.py")
+        assert _rule_lines(result) == Counter({
+            ("EGR001", 16): 1,   # memo[class_id] after union
+            ("EGR001", 22): 2,   # root == other, both stale on re-entry
+        })
+
+    def test_egr001_good_clean(self):
+        result = _findings_for("egr001_good.py")
+        assert result.findings == []
+
+    def test_wire001_bad(self):
+        result = _findings_for("wire001_bad.py")
+        assert _rule_lines(result) == Counter({
+            ("WIRE001", 14): 1,  # to_wire forgets total_time
+            ("WIRE001", 22): 1,  # from_wire forgets iterations
+        })
+        messages = sorted(f.message for f in result.findings)
+        assert "total_time" in messages[1]
+        assert "iterations" in messages[0]
+
+    def test_wire001_good_clean(self):
+        result = _findings_for("wire001_good.py")
+        assert result.findings == []
+
+    def test_key001_bad(self):
+        result = _findings_for("key001_bad.py")
+        assert _rule_lines(result) == Counter({
+            ("KEY001", 18): 3,   # bogus exclusion + 2 undocumented
+            ("KEY001", 21): 2,   # refine_rounds/renamed_away unkeyed
+        })
+
+    def test_key001_good_clean(self):
+        result = _findings_for("key001_good.py")
+        assert result.findings == []
+
+    def test_every_rule_has_a_bad_fixture(self):
+        # Acceptance: each of the 6 rules has >= 1 known-bad fixture.
+        assert set(RULES) == {"DET001", "DET002", "DET003", "EGR001",
+                              "WIRE001", "KEY001"}
+        for rule in RULES:
+            fixture = CORPUS / f"{rule.lower()}_bad.py"
+            assert fixture.exists(), fixture
+            result = _findings_for(fixture.name)
+            assert any(f.rule == rule for f in result.findings), rule
+
+
+# ----------------------------------------------------------------------
+# Suppression: noqa comments and the JSON baseline
+# ----------------------------------------------------------------------
+class TestSuppression:
+    def test_noqa_suppresses_named_rule(self):
+        result = _findings_for("det001_good.py")
+        assert [f.rule for f in result.suppressed] == ["DET001"]
+        assert result.suppressed[0].line == 33
+
+    def test_noqa_parsing_variants(self):
+        lines = [
+            "x = 1  # repro: noqa",
+            "y = 2  # repro: noqa DET001",
+            "z = 3  # repro: noqa: DET001, EGR001",
+            "w = 4  # unrelated comment",
+        ]
+        parsed = parse_noqa(lines)
+        assert parsed[1] is None                      # all rules
+        assert parsed[2] == frozenset({"DET001"})
+        assert parsed[3] == frozenset({"DET001", "EGR001"})
+        assert 4 not in parsed
+
+    def test_noqa_other_rule_does_not_suppress(self):
+        source = (
+            "from typing import List, Set\n"
+            "def freeze(items: Set[int]) -> List[int]:\n"
+            "    return list(items)  # repro: noqa EGR001\n")
+        result = analyze_source(source, "x.py")
+        assert [f.rule for f in result.findings] == ["DET001"]
+
+    def test_baseline_matches_by_content_not_line(self):
+        source = (
+            "from typing import List, Set\n"
+            "def freeze(items: Set[int]) -> List[int]:\n"
+            "    return list(items)\n")
+        result = analyze_source(source, "x.py")
+        (finding,) = result.findings
+        baseline = Baseline(entries=[BaselineEntry(
+            rule=finding.rule, path=finding.path, context=finding.context,
+            content=finding.content, justification="reviewed")])
+        # Same finding, shifted three lines down: still baselined.
+        shifted = analyze_source("\n\n\n" + source, "x.py")
+        new, accepted, stale = apply_baseline(shifted.findings, baseline)
+        assert new == [] and stale == []
+        assert len(accepted) == 1
+
+    def test_stale_baseline_entry_reported(self):
+        baseline = Baseline(entries=[BaselineEntry(
+            rule="DET001", path="gone.py", context="nowhere",
+            content="for x in s:", justification="obsolete")])
+        new, accepted, stale = apply_baseline([], baseline)
+        assert [e.path for e in stale] == ["gone.py"]
+
+    def test_baseline_requires_justification(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({
+            "version": 1,
+            "entries": [{"rule": "DET001", "path": "x.py",
+                         "context": "f", "content": "pass",
+                         "justification": "   "}],
+        }))
+        with pytest.raises(ValueError, match="justification"):
+            load_baseline(str(path))
+
+
+# ----------------------------------------------------------------------
+# CLI behaviour
+# ----------------------------------------------------------------------
+class TestCli:
+    def _run(self, *args, cwd=REPO):
+        return subprocess.run(
+            [sys.executable, "-m", "repro.analysis", *args],
+            capture_output=True, text=True, cwd=cwd,
+            env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"})
+
+    def test_findings_exit_one(self):
+        proc = self._run(str(CORPUS / "det001_bad.py"))
+        assert proc.returncode == 1
+        assert "DET001" in proc.stdout
+
+    def test_clean_exit_zero(self):
+        proc = self._run(str(CORPUS / "det001_good.py"))
+        assert proc.returncode == 0
+
+    def test_json_report(self):
+        proc = self._run(str(CORPUS / "det001_bad.py"), "--json")
+        payload = json.loads(proc.stdout)
+        assert payload["files_analyzed"] == 1
+        assert len(payload["findings"]) == 5
+        assert all(f["rule"] == "DET001" for f in payload["findings"])
+
+    def test_write_then_apply_baseline(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        proc = self._run(str(CORPUS / "det001_bad.py"),
+                         "--write-baseline", str(baseline))
+        assert proc.returncode == 0
+        proc = self._run(str(CORPUS / "det001_bad.py"),
+                         "--baseline", str(baseline))
+        assert proc.returncode == 0, proc.stdout
+        assert "5 baselined" in proc.stdout
+
+    def test_rules_filter(self):
+        proc = self._run(str(CORPUS / "det001_bad.py"),
+                         "--rules", "EGR001")
+        assert proc.returncode == 0  # no EGR001 findings in that fixture
+
+    def test_list_rules(self):
+        proc = self._run("--list-rules")
+        assert proc.returncode == 0
+        for rule in RULES:
+            assert rule in proc.stdout
+
+
+# ----------------------------------------------------------------------
+# Meta: the analyzer runs clean over src/repro against the baseline
+# ----------------------------------------------------------------------
+class TestTreeIsClean:
+    def test_src_has_zero_unbaselined_findings(self, monkeypatch):
+        monkeypatch.chdir(REPO)
+        result = run_analysis(["src"])
+        assert result.errors == []
+        baseline = load_baseline(str(BASELINE))
+        new, accepted, stale = apply_baseline(result.findings, baseline)
+        assert new == [], [f"{f.location()} {f.rule} {f.message}"
+                           for f in new]
+        assert stale == [], [e.context for e in stale]
+
+    def test_baseline_justifications_are_real(self):
+        payload = json.loads(BASELINE.read_text(encoding="utf-8"))
+        for entry in payload["entries"]:
+            assert len(entry["justification"]) > 20
+            assert "TODO" not in entry["justification"]
+
+
+# ----------------------------------------------------------------------
+# Surgery: the analyzer guards egraph.py's sorted() wraps and codec.py's
+# wire fields (acceptance criteria)
+# ----------------------------------------------------------------------
+def _whole_tree_model():
+    parsed = []
+    for path in iter_python_files([str(REPO / "src")]):
+        parsed.append((path, ast.parse(Path(path).read_text("utf-8"))))
+    return build_model(parsed)
+
+
+def _splice_out_call(source, call, replacement):
+    """Replace a call's source span with ``replacement``."""
+    lines = source.splitlines(keepends=True)
+    start = sum(len(l) for l in lines[:call.lineno - 1]) + call.col_offset
+    end = (sum(len(l) for l in lines[:call.end_lineno - 1])
+           + call.end_col_offset)
+    return source[:start] + replacement + source[end:]
+
+
+class TestSurgery:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return _whole_tree_model()
+
+    def test_deleting_any_sorted_wrap_in_egraph_is_caught(self, model):
+        path = REPO / "src/repro/egraph/egraph.py"
+        rel = "src/repro/egraph/egraph.py"
+        source = path.read_text(encoding="utf-8")
+        base_keys = {f.baseline_key
+                     for f in analyze_source(source, rel, model).findings}
+        tree = ast.parse(source)
+        sorted_calls = [
+            node for node in ast.walk(tree)
+            if isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "sorted"]
+        assert len(sorted_calls) >= 7  # the guarded determinism wraps
+
+        caught, excluded = [], []
+        for call in sorted_calls:
+            inner = ast.get_source_segment(source, call.args[0])
+            mutated = _splice_out_call(source, call, inner)
+            result = analyze_source(mutated, rel, model)
+            new = [f for f in result.findings
+                   if f.baseline_key not in base_keys]
+            # tuple(sorted(canonical.children)) is a *semantic* multiset
+            # sort (children is already an ordered tuple); deleting it
+            # changes dedup behaviour, not determinism, and is out of
+            # scope for DET001 — the one documented exclusion.
+            is_child_multiset = (isinstance(call.args[0], ast.Attribute)
+                                 and call.args[0].attr == "children")
+            if is_child_multiset:
+                excluded.append(call.lineno)
+            else:
+                assert new, (f"deleting sorted() at egraph.py:"
+                             f"{call.lineno} went undetected")
+                caught.append(call.lineno)
+        assert len(excluded) == 1
+        assert len(caught) == len(sorted_calls) - 1
+
+    def test_deleting_any_to_wire_field_in_codec_is_caught(self, model):
+        path = REPO / "src/repro/store/codec.py"
+        rel = "src/repro/store/codec.py"
+        source = path.read_text(encoding="utf-8")
+        base_keys = {f.baseline_key
+                     for f in analyze_source(source, rel, model).findings}
+        tree = ast.parse(source)
+        lines = source.splitlines(keepends=True)
+
+        deleted = 0
+        for func in tree.body:
+            if (not isinstance(func, ast.FunctionDef)
+                    or not func.name.endswith("to_wire")):
+                continue
+            params = {a.arg for a in func.args.args}
+            for node in ast.walk(func):
+                if not isinstance(node, ast.Dict):
+                    continue
+                for key, value in zip(node.keys, node.values):
+                    if key is None:
+                        continue
+                    used = {n.id for n in ast.walk(value)
+                            if isinstance(n, ast.Name)}
+                    if not (used & params):
+                        continue
+                    # Splice out "key": value (and the trailing comma).
+                    start = (sum(len(l) for l in lines[:key.lineno - 1])
+                             + key.col_offset)
+                    end = (sum(len(l)
+                               for l in lines[:value.end_lineno - 1])
+                           + value.end_col_offset)
+                    tail = source[end:]
+                    stripped = tail.lstrip()
+                    if stripped.startswith(","):
+                        end += len(tail) - len(stripped) + 1
+                    mutated = source[:start] + source[end:]
+                    try:
+                        result = analyze_source(mutated, rel, model)
+                    except SyntaxError:  # pragma: no cover
+                        continue
+                    new = [f for f in result.findings
+                           if f.baseline_key not in base_keys
+                           and f.rule == "WIRE001"]
+                    assert new, (f"deleting {func.name} field "
+                                 f"{key.value!r} went undetected")
+                    deleted += 1
+        assert deleted >= 20  # every dataclass payload field is guarded
+
+
+# ----------------------------------------------------------------------
+# mypy gate (runs when mypy is available; CI installs it)
+# ----------------------------------------------------------------------
+class TestTyping:
+    def test_py_typed_marker_exists(self):
+        assert (REPO / "src/repro/py.typed").exists()
+
+    def test_mypy_clean_on_strict_targets(self):
+        pytest.importorskip("mypy")
+        proc = subprocess.run(
+            [sys.executable, "-m", "mypy", "-p", "repro.store",
+             "-m", "repro.core.phases"],
+            capture_output=True, text=True, cwd=REPO,
+            env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"})
+        assert proc.returncode == 0, proc.stdout + proc.stderr
