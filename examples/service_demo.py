@@ -1,0 +1,89 @@
+"""Saturation-as-a-service demo: server + worker + client in one script.
+
+Starts the HTTP front door on an ephemeral port, spins up an in-process
+fleet worker, drives a tiny sweep through :class:`~repro.service.ServiceClient`,
+and prints each job's plan summary and per-phase progress events.  Run
+it twice against the same store to watch the whole sweep get served warm
+inline (zero queued jobs, zero saturations planned)::
+
+    python examples/service_demo.py .demo-store            # cold: fleet runs
+    python examples/service_demo.py .demo-store            # warm: inline
+    python examples/service_demo.py .demo-store --expect-warm
+
+The options are deliberately tiny (two iterations per saturation phase,
+no NPN counting) so the cold pass takes seconds.
+"""
+
+import sys
+import threading
+
+from repro.service import ServiceClient, ServiceServer, ServiceWorker
+
+FAST = {"r1_iterations": 2, "r2_iterations": 2, "count_npn": False}
+
+SWEEP = [
+    {"arch": "rca", "width": 4, "options": FAST},
+    {"arch": "csa", "width": 3, "options": FAST},
+    {"arch": "csa", "width": 4, "options": FAST},
+]
+
+
+def main(argv) -> int:
+    store_root = argv[1] if len(argv) > 1 else ".demo-store"
+    expect_warm = "--expect-warm" in argv
+
+    server = ServiceServer(store_root, port=0)
+    server.start_background()
+    client = ServiceClient(server.host, server.port)
+    print(f"server on {server.host}:{server.port}, store {store_root!r}")
+
+    worker = ServiceWorker(store_root, poll_interval=0.05)
+    fleet = threading.Thread(
+        target=worker.run_forever, kwargs={"idle_timeout": 30.0},
+        daemon=True)
+    fleet.start()
+
+    queued = 0
+    responses = []
+    for request in SWEEP:
+        response = client.submit(request)
+        responses.append(response)
+        plan = response["plan"]
+        queued += response["state"] == "queued"
+        print(f"\n{plan['name']}: {response['state']}"
+              f" (warm={response['warm']},"
+              f" saturations planned={plan['saturations']},"
+              f" cold phases={plan['cold_phases'] or '[]'})")
+
+    finals = []
+    for response in responses:
+        job_id = response["job_id"]
+        final = client.wait(job_id, timeout=300)
+        finals.append(final)
+        result = final.get("result", {})
+        print(f"\n{final['spec']['name']} -> {final['state']}"
+              f" (exact FAs: {result.get('exact_fas')},"
+              f" paired: {result.get('paired_fas')})")
+        for event in client.events(job_id):
+            if event["event"] == "phase":
+                print(f"  phase {event['name']:<12} "
+                      f"{event['runtime']:8.3f}s"
+                      + ("  (resumed)" if event.get("resumed") else ""))
+            else:
+                print(f"  {event['event']}")
+
+    stats = client.stats()
+    print(f"\nstats: jobs={stats['jobs']} "
+          f"store={stats['store']['artifacts']} artifacts, "
+          f"{stats['store']['total_bytes']} bytes")
+
+    server.stop_background()
+    if expect_warm and queued:
+        print(f"expected an all-warm sweep but {queued} job(s) were queued")
+        return 1
+    failed = sum(1 for final in finals if final["state"] != "done")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

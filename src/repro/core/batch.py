@@ -366,6 +366,40 @@ class BatchReport:
             return 0.0
         return self.num_ok / self.wall_time
 
+    @property
+    def speedup(self) -> float:
+        """Ratio of summed circuit runtimes to wall-clock time.
+
+        Degenerate clocks yield 0.0 instead of dividing by zero — a
+        merged all-warm report can legitimately have
+        ``total_runtime == 0`` (every job served inline from the store).
+        """
+        if self.wall_time <= 0 or self.total_runtime <= 0:
+            return 0.0
+        return self.total_runtime / self.wall_time
+
+    @classmethod
+    def merge(cls, *reports: "BatchReport") -> "BatchReport":
+        """Merge per-host/per-shard reports into one deterministic whole.
+
+        Items are concatenated and sorted by job name (the sort is
+        stable, so shard-internal order breaks ties deterministically);
+        ``wall_time`` is the max of the inputs, because shards run
+        concurrently — per-item runtimes still sum via
+        :meth:`total_runtime`.  The merged report carries no
+        :class:`BatchPlan` (each shard planned against a different
+        store snapshot); plan-derived counters read as zero.
+        :meth:`deterministic_aggregate` of the merge equals the
+        column-wise sum of the shards' deterministic aggregates.
+        """
+        items: List[BatchItemResult] = []
+        for report in reports:
+            items.extend(report.items)
+        items.sort(key=lambda item: item.name)
+        wall_time = max((report.wall_time for report in reports),
+                        default=0.0)
+        return cls(items=items, wall_time=wall_time, plan=None)
+
     def item(self, name: str) -> BatchItemResult:
         """Return the result of the job called ``name``."""
         for entry in self.items:

@@ -1,0 +1,67 @@
+"""repro.service: saturation-as-a-service over the shared artifact store.
+
+The pipeline (PRs 3–6) is a pure, resumable, content-addressed, plannable
+function; this package is the long-lived production layer on top of it
+(documented in ``docs/service.md``):
+
+* :mod:`repro.service.jobs` — the durable job model: ``JobSpec`` /
+  ``JobRecord`` persisted as ``kind="job"`` artifacts keyed by the
+  planner's final content key, so submission dedups against finished
+  artifacts *and* in-flight jobs before any work is spawned;
+* :mod:`repro.service.leases` — advisory lease sidecars in the store
+  (owner + TTL heartbeat, atomic claim, stale takeover) letting multiple
+  hosts' fleets claim disjoint shards of a sweep with no coordination
+  beyond the shared store;
+* :mod:`repro.service.server` — the asyncio HTTP front door
+  (``POST /jobs``, ``GET /jobs/<id>``, ``GET /jobs/<id>/events``,
+  ``GET /healthz``, ``GET /stats``); warm results are served inline in
+  milliseconds, cold keys are enqueued for the fleet;
+* :mod:`repro.service.worker` — the fleet worker loop: claim a lease,
+  run the phase-graph pipeline (kill/resume semantics inherited for
+  free), heartbeat, write the terminal job state;
+* :mod:`repro.service.client` — a small blocking HTTP client used by
+  tests, examples and the CLI (``python -m repro.service``).
+"""
+
+from .client import ServiceClient, ServiceError
+from .jobs import (
+    JOB_STATES,
+    LIVE_STATES,
+    STATE_DONE,
+    STATE_DUPLICATE,
+    STATE_FAILED,
+    STATE_PLANNED,
+    STATE_QUEUED,
+    STATE_RUNNING,
+    TERMINAL_STATES,
+    JobRecord,
+    JobService,
+    JobSpec,
+    job_key,
+)
+from .leases import Lease, LeaseManager, default_owner
+from .server import ServiceServer
+from .worker import ServiceWorker
+
+__all__ = [
+    "JOB_STATES",
+    "LIVE_STATES",
+    "STATE_DONE",
+    "STATE_DUPLICATE",
+    "STATE_FAILED",
+    "STATE_PLANNED",
+    "STATE_QUEUED",
+    "STATE_RUNNING",
+    "TERMINAL_STATES",
+    "JobRecord",
+    "JobService",
+    "JobSpec",
+    "job_key",
+    "Lease",
+    "LeaseManager",
+    "default_owner",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceServer",
+    "ServiceWorker",
+]

@@ -1,0 +1,179 @@
+"""CLI for the saturation service: serve, work, submit, status.
+
+Examples::
+
+    python -m repro.service --root .store serve --port 8765
+    python -m repro.service --root .store work
+    python -m repro.service submit --arch csa --width 4 --port 8765
+    python -m repro.service status <job-id> --port 8765
+
+``serve`` and ``work`` talk to the store directly; ``submit``, ``status``
+and ``stats`` go through a running server over HTTP.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+from typing import Dict, List, Optional
+
+from .client import ServiceClient, ServiceError
+from .jobs import SPEC_ARCHES, TERMINAL_STATES
+from .server import ServiceServer
+from .worker import ServiceWorker
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    """Shared flags, accepted both before and after the subcommand.
+
+    The subcommand-level copies default to ``SUPPRESS`` so they only
+    override the top-level values when given explicitly — ``--port 9
+    serve`` and ``serve --port 9`` both work.
+    """
+    suppress = argparse.SUPPRESS
+    parser.add_argument("--root", default=suppress,
+                        help="artifact store directory (serve/work)")
+    parser.add_argument("--host", default=suppress)
+    parser.add_argument("--port", type=int, default=suppress)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Saturation-as-a-service over a shared artifact store.")
+    parser.add_argument("--root", default=".repro-store",
+                        help="artifact store directory (serve/work)")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8765)
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    _add_common(commands.add_parser("serve", help="run the HTTP front door"))
+
+    work = commands.add_parser("work", help="run a fleet worker")
+    _add_common(work)
+    work.add_argument("--max-jobs", type=int, default=None,
+                      help="exit after completing this many jobs")
+    work.add_argument("--idle-timeout", type=float, default=None,
+                      help="exit after this many idle seconds")
+    work.add_argument("--ttl", type=float, default=30.0,
+                      help="lease heartbeat TTL, seconds")
+
+    submit = commands.add_parser("submit", help="submit a job over HTTP")
+    _add_common(submit)
+    submit.add_argument("--arch", choices=SPEC_ARCHES, default="csa")
+    submit.add_argument("--width", type=int, default=4)
+    submit.add_argument("--raw", action="store_true",
+                        help="skip the post-mapping flow")
+    submit.add_argument("--name", default="")
+    submit.add_argument("--option", action="append", default=[],
+                        metavar="FIELD=VALUE",
+                        help="BoolEOptions override (repeatable)")
+    submit.add_argument("--wait", action="store_true",
+                        help="poll the job to a terminal state")
+
+    status = commands.add_parser("status", help="query one job over HTTP")
+    _add_common(status)
+    status.add_argument("job_id")
+    status.add_argument("--events", action="store_true",
+                        help="stream the job's event log instead")
+
+    _add_common(commands.add_parser(
+        "stats", help="queue/lease/store summary over HTTP"))
+    return parser
+
+
+def _parse_options(pairs: List[str]) -> Dict:
+    options: Dict = {}
+    for pair in pairs:
+        field_name, separator, raw = pair.partition("=")
+        if not separator:
+            raise SystemExit(f"--option wants FIELD=VALUE, got {pair!r}")
+        try:
+            options[field_name] = json.loads(raw)
+        except ValueError:
+            options[field_name] = raw
+    return options
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    server = ServiceServer(args.root, host=args.host, port=args.port)
+
+    async def _main() -> None:
+        await server.start()
+        print(f"repro.service listening on {server.host}:{server.port} "
+              f"(store: {args.root})", flush=True)
+        assert server._server is not None
+        async with server._server:
+            await server._server.serve_forever()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cmd_work(args: argparse.Namespace) -> int:
+    worker = ServiceWorker(args.root, ttl=args.ttl)
+    print(f"worker {worker.owner} polling {args.root}", flush=True)
+    try:
+        completed = worker.run_forever(max_jobs=args.max_jobs,
+                                       idle_timeout=args.idle_timeout)
+    except KeyboardInterrupt:
+        completed = worker.jobs_completed
+    print(f"worker {worker.owner} exiting after {completed} job(s)",
+          flush=True)
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    client = ServiceClient(args.host, args.port)
+    request: Dict = {"arch": args.arch, "width": args.width,
+                     "mapped": not args.raw,
+                     "options": _parse_options(args.option)}
+    if args.name:
+        request["name"] = args.name
+    response = client.submit(request)
+    print(json.dumps(response, indent=2, sort_keys=True))
+    if args.wait and response.get("state") not in TERMINAL_STATES:
+        final = client.wait(str(response["job_id"]))
+        print(json.dumps(final, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    client = ServiceClient(args.host, args.port)
+    if args.events:
+        for event in client.events(args.job_id):
+            print(json.dumps(event, sort_keys=True), flush=True)
+        return 0
+    print(json.dumps(client.status(args.job_id), indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    client = ServiceClient(args.host, args.port)
+    print(json.dumps(client.stats(), indent=2, sort_keys=True))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handlers = {"serve": _cmd_serve, "work": _cmd_work,
+                "submit": _cmd_submit, "status": _cmd_status,
+                "stats": _cmd_stats}
+    try:
+        return handlers[args.command](args)
+    except ServiceError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except ConnectionError as error:
+        print(f"error: cannot reach service at {args.host}:{args.port} "
+              f"({error})", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,132 @@
+"""Small blocking HTTP client for the saturation service.
+
+Used by tests, :mod:`examples.service_demo` and the CLI.  One request
+per connection (matching the server's ``Connection: close`` policy),
+stdlib :mod:`http.client` only.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Dict, Iterator, List, Optional
+
+from .jobs import TERMINAL_STATES
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response from the service."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServiceClient:
+    """Blocking client bound to one server address."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8765, *,
+                 timeout: float = 60.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def _request(self, method: str, path: str,
+                 payload: Optional[Dict] = None) -> Dict:
+        connection = http.client.HTTPConnection(self.host, self.port,
+                                                timeout=self.timeout)
+        try:
+            body: Optional[str] = None
+            headers: Dict[str, str] = {}
+            if payload is not None:
+                body = json.dumps(payload, sort_keys=True)
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            text = response.read().decode("utf-8")
+            try:
+                document = json.loads(text) if text else {}
+            except ValueError:
+                document = {"error": text}
+            if response.status >= 400:
+                raise ServiceError(response.status,
+                                   str(document.get("error", text)))
+            if not isinstance(document, dict):
+                raise ServiceError(response.status, "non-object response")
+            return document
+        finally:
+            connection.close()
+
+    # ------------------------------------------------------------------
+    def healthz(self) -> Dict:
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> Dict:
+        return self._request("GET", "/stats")
+
+    def submit(self, request: Dict) -> Dict:
+        """POST a job spec; returns the submission response."""
+        return self._request("POST", "/jobs", payload=request)
+
+    def status(self, job_id: str) -> Dict:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def events(self, job_id: str) -> Iterator[Dict]:
+        """Stream a job's NDJSON events until the server closes."""
+        connection = http.client.HTTPConnection(self.host, self.port,
+                                                timeout=self.timeout)
+        try:
+            connection.request("GET", f"/jobs/{job_id}/events")
+            response = connection.getresponse()
+            if response.status >= 400:
+                text = response.read().decode("utf-8")
+                try:
+                    document = json.loads(text)
+                except ValueError:
+                    document = {"error": text}
+                raise ServiceError(response.status,
+                                   str(document.get("error", text)))
+            for raw_line in response:
+                line = raw_line.strip()
+                if not line:
+                    continue
+                event = json.loads(line.decode("utf-8"))
+                if isinstance(event, dict):
+                    yield event
+        finally:
+            connection.close()
+
+    # ------------------------------------------------------------------
+    def wait(self, job_id: str, *, timeout: float = 120.0,
+             poll_interval: float = 0.2) -> Dict:
+        """Poll ``/jobs/<id>`` until terminal; returns the final status.
+
+        Raises ``TimeoutError`` when the job is still live at the
+        deadline — the job itself keeps running server-side.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.status(job_id)
+            if status.get("state") in TERMINAL_STATES:
+                return status
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {status.get('state')!r} "
+                    f"after {timeout:.0f}s")
+            time.sleep(poll_interval)
+
+    def sweep(self, requests: List[Dict], *,
+              timeout: float = 300.0) -> List[Dict]:
+        """Submit several specs and wait for all of them; returns the
+        final status documents in submission order."""
+        responses = [self.submit(request) for request in requests]
+        finals: List[Dict] = []
+        for response in responses:
+            job_id = str(response["job_id"])
+            if response.get("state") in TERMINAL_STATES:
+                finals.append(self.status(job_id))
+            else:
+                finals.append(self.wait(job_id, timeout=timeout))
+        return finals

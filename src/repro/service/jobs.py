@@ -1,0 +1,537 @@
+"""Durable job model for the saturation service.
+
+A *job* is one request to run the BoolE pipeline over one netlist with
+one options set.  Jobs are persisted as ``kind="job"`` artifacts in the
+same :class:`~repro.store.ArtifactStore` the pipeline caches into, keyed
+by a stable digest of the planner's ``final_key`` — so two submissions
+that would produce interchangeable results collapse onto one record, and
+submission dedups against both finished artifacts *and* in-flight jobs
+before any work is spawned.
+
+States (``JobRecord.state``):
+
+``queued``
+    submitted, waiting for a worker to claim the final key's lease;
+``planned``
+    a worker claimed the lease and is re-planning against the store;
+``running``
+    the worker is executing the phase graph;
+``done`` / ``failed``
+    terminal; ``done`` records the result summary, ``failed`` the error.
+
+``duplicate`` never appears on a record: it is the *submission-level*
+state returned when a new request collapses onto a live record.
+
+Job records are mutable coordination state at a stable key — unlike
+every other artifact kind they are excluded from the store's
+byte-identity guarantees (see ``docs/serialization.md``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..aig import AIG
+from ..core import BoolEOptions, BoolEPipeline
+from ..core.phases import PipelinePlan
+from ..store import (
+    KIND_CHECKPOINT,
+    KIND_JOB,
+    ArtifactStore,
+    SnapshotError,
+    aig_from_wire,
+    aig_to_wire,
+    canonical_digest,
+)
+
+STATE_QUEUED = "queued"
+STATE_PLANNED = "planned"
+STATE_RUNNING = "running"
+STATE_DONE = "done"
+STATE_FAILED = "failed"
+#: Submission-level only: the request collapsed onto a live record.
+STATE_DUPLICATE = "duplicate"
+
+#: States a persisted record can carry.
+JOB_STATES = (STATE_QUEUED, STATE_PLANNED, STATE_RUNNING,
+              STATE_DONE, STATE_FAILED)
+#: Records in these states have (or await) an active worker.
+LIVE_STATES = frozenset({STATE_QUEUED, STATE_PLANNED, STATE_RUNNING})
+TERMINAL_STATES = frozenset({STATE_DONE, STATE_FAILED})
+
+#: Netlist generators a spec may name instead of shipping an AIG.
+SPEC_ARCHES = ("rca", "csa", "booth", "wallace")
+
+_MAX_WIDTH = 64
+
+#: BoolEOptions fields a spec may override over the wire.
+_OPTION_FIELDS = frozenset(
+    spec_field.name for spec_field in dataclasses.fields(BoolEOptions))
+
+
+def job_key(final_key: str) -> str:
+    """Stable job-record key for a planner ``final_key``.
+
+    The record cannot live at ``final_key`` itself — the result artifact
+    does — so it lives at a derived digest.  Same final key, same job id:
+    that equality is what dedups submissions.
+    """
+    return canonical_digest({"kind": "job-key", "final": final_key})
+
+
+def _build_arch_aig(arch: str, width: int, mapped: bool) -> AIG:
+    """Materialise a generator-described netlist (post-mapped by default)."""
+    from ..generators import (
+        booth_multiplier,
+        csa_multiplier,
+        ripple_carry_adder,
+        wallace_multiplier,
+    )
+
+    if arch == "rca":
+        aig = ripple_carry_adder(width)[0]
+    elif arch == "csa":
+        aig = csa_multiplier(width).aig
+    elif arch == "booth":
+        aig = booth_multiplier(width).aig
+    elif arch == "wallace":
+        aig = wallace_multiplier(width).aig
+    else:  # pragma: no cover - guarded by from_request
+        raise ValueError(f"unknown arch {arch!r}")
+    if mapped:
+        from ..opt import post_mapping_flow
+        aig = post_mapping_flow(aig)
+    return aig
+
+
+@dataclass
+class JobSpec:
+    """What to run: a netlist plus pipeline-option overrides.
+
+    The netlist is always materialised to its wire form at submission
+    time, so workers replay exactly the submitted structure without
+    needing the generators (or their current implementation) to agree
+    across hosts.  ``origin`` keeps the human-readable provenance when
+    the spec came in as ``arch``/``width``.
+    """
+
+    aig_wire: Dict
+    options: Dict = field(default_factory=dict)
+    name: str = ""
+    origin: Optional[Dict] = None
+
+    @classmethod
+    def from_request(cls, request: Dict) -> "JobSpec":
+        """Validate and normalise a wire-level submission request.
+
+        Accepts either ``{"aig": <wire>}`` or
+        ``{"arch": "csa", "width": 4, "mapped": true}``, plus optional
+        ``name`` and ``options`` (whitelisted ``BoolEOptions`` fields).
+        Raises ``ValueError`` on anything malformed.
+        """
+        if not isinstance(request, dict):
+            raise ValueError("job request must be a JSON object")
+        options = request.get("options", {})
+        if not isinstance(options, dict):
+            raise ValueError("options must be an object")
+        unknown = sorted(set(options) - _OPTION_FIELDS)
+        if unknown:
+            raise ValueError(f"unknown option fields: {', '.join(unknown)}")
+        name = request.get("name", "")
+        if not isinstance(name, str):
+            raise ValueError("name must be a string")
+
+        if "aig" in request:
+            wire = request["aig"]
+            if not isinstance(wire, dict):
+                raise ValueError("aig must be a wire object")
+            # Round-trip now so malformed netlists fail at submission,
+            # not inside a worker.
+            aig = aig_from_wire(wire)
+            return cls(aig_wire=aig_to_wire(aig), options=dict(options),
+                       name=name or "submitted-aig")
+
+        arch = request.get("arch")
+        if arch not in SPEC_ARCHES:
+            raise ValueError(
+                f"arch must be one of {', '.join(SPEC_ARCHES)} "
+                "(or provide an explicit aig)")
+        width = request.get("width")
+        if not isinstance(width, int) or isinstance(width, bool) \
+                or not 1 <= width <= _MAX_WIDTH:
+            raise ValueError(f"width must be an int in [1, {_MAX_WIDTH}]")
+        mapped = request.get("mapped", True)
+        if not isinstance(mapped, bool):
+            raise ValueError("mapped must be a boolean")
+        aig = _build_arch_aig(arch, width, mapped)
+        origin = {"arch": arch, "width": width, "mapped": mapped}
+        default_name = f"{arch}-{width}" + ("" if mapped else "-raw")
+        return cls(aig_wire=aig_to_wire(aig), options=dict(options),
+                   name=name or default_name, origin=origin)
+
+    def build_aig(self) -> AIG:
+        return aig_from_wire(self.aig_wire)
+
+    def build_options(self,
+                      defaults: Optional[BoolEOptions] = None
+                      ) -> BoolEOptions:
+        """Service defaults overridden by this spec's option fields."""
+        base = defaults if defaults is not None else BoolEOptions()
+        return dataclasses.replace(base, **self.options)
+
+    def options_signature(self) -> Tuple[Tuple[str, object], ...]:
+        """Hashable identity of the overrides (pipeline-cache key)."""
+        return tuple(sorted(self.options.items()))
+
+    def to_payload(self) -> Dict:
+        payload: Dict = {
+            "name": self.name,
+            "aig": self.aig_wire,
+            "options": dict(self.options),
+        }
+        if self.origin is not None:
+            payload["origin"] = dict(self.origin)
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: Dict) -> "JobSpec":
+        origin = payload.get("origin")
+        return cls(
+            aig_wire=payload["aig"],
+            options=dict(payload.get("options", {})),
+            name=payload.get("name", ""),
+            origin=dict(origin) if isinstance(origin, dict) else None,
+        )
+
+
+@dataclass
+class JobRecord:
+    """Durable state of one job, serialised as a ``kind="job"`` artifact."""
+
+    job_id: str
+    spec: JobSpec
+    state: str
+    base_key: str
+    final_key: str
+    extraction_key: Optional[str]
+    created: float
+    updated: float
+    worker: Optional[str] = None
+    attempts: int = 0
+    error: Optional[str] = None
+    resumed_phase: Optional[str] = None
+    result: Dict = field(default_factory=dict)
+    events: List[Dict] = field(default_factory=list)
+
+    def to_payload(self) -> Dict:
+        return {
+            "job_id": self.job_id,
+            "spec": self.spec.to_payload(),
+            "state": self.state,
+            "base_key": self.base_key,
+            "final_key": self.final_key,
+            "extraction_key": self.extraction_key,
+            "created": self.created,
+            "updated": self.updated,
+            "worker": self.worker,
+            "attempts": self.attempts,
+            "error": self.error,
+            "resumed_phase": self.resumed_phase,
+            "result": dict(self.result),
+            "events": [dict(event) for event in self.events],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict) -> "JobRecord":
+        return cls(
+            job_id=payload["job_id"],
+            spec=JobSpec.from_payload(payload["spec"]),
+            state=payload["state"],
+            base_key=payload["base_key"],
+            final_key=payload["final_key"],
+            extraction_key=payload.get("extraction_key"),
+            created=payload.get("created", 0.0),
+            updated=payload.get("updated", 0.0),
+            worker=payload.get("worker"),
+            attempts=payload.get("attempts", 0),
+            error=payload.get("error"),
+            resumed_phase=payload.get("resumed_phase"),
+            result=dict(payload.get("result", {})),
+            events=[dict(event) for event in payload.get("events", [])],
+        )
+
+    def add_event(self, event: str, at: float, **fields: object) -> Dict:
+        """Append a phase-transition event (served by ``/jobs/<id>/events``)."""
+        entry: Dict = {"seq": len(self.events), "event": event, "at": at}
+        entry.update(fields)
+        self.events.append(entry)
+        return entry
+
+    def public_view(self) -> Dict:
+        """The record as served over HTTP: everything but the netlist."""
+        payload = self.to_payload()
+        spec = dict(payload["spec"])
+        spec.pop("aig", None)
+        payload["spec"] = spec
+        return payload
+
+
+def plan_summary(plan: PipelinePlan) -> Dict:
+    """Compact wire form of a plan, incl. the saturation-work counter.
+
+    ``saturations`` is the number of saturation phase bodies execution
+    would run — the counter the warm-resubmission acceptance check
+    asserts is zero.
+    """
+    saturating = {"saturate-r1", "saturate-r2"}
+    executed = plan.executed_phases
+    return {
+        "name": plan.name,
+        "base_key": plan.base_key,
+        "final_key": plan.final_key,
+        "extraction_key": plan.extraction_key,
+        "fully_warm": plan.is_fully_warm,
+        "predicts_cache_hit": plan.predicts_cache_hit,
+        "cold_phases": plan.cold_phases,
+        "executed_phases": executed,
+        "restore_phase": plan.restore_phase,
+        "resume_phase": plan.resume_phase,
+        "saturations": sum(1 for name in executed if name in saturating),
+    }
+
+
+class JobService:
+    """Submission, status and bookkeeping shared by server and worker.
+
+    Everything durable lives in the :class:`~repro.store.ArtifactStore`;
+    a ``JobService`` holds no state beyond a pipeline cache, so any
+    number of servers and workers on any number of hosts coordinate
+    through the store alone.
+    """
+
+    def __init__(self, store: Union[ArtifactStore, str, Path],
+                 options: Optional[BoolEOptions] = None) -> None:
+        self.store = (store if isinstance(store, ArtifactStore)
+                      else ArtifactStore(store))
+        self.defaults = options if options is not None else BoolEOptions()
+        self._pipelines: Dict[Tuple[Tuple[str, object], ...],
+                              BoolEPipeline] = {}
+
+    # ------------------------------------------------------------------
+    # Pipeline / planning
+    # ------------------------------------------------------------------
+    def pipeline_for(self, spec: JobSpec) -> BoolEPipeline:
+        signature = spec.options_signature()
+        pipeline = self._pipelines.get(signature)
+        if pipeline is None:
+            pipeline = BoolEPipeline(spec.build_options(self.defaults),
+                                     store=self.store)
+            self._pipelines[signature] = pipeline
+        return pipeline
+
+    def plan_spec(self, spec: JobSpec,
+                  aig: Optional[AIG] = None
+                  ) -> Tuple[BoolEPipeline, AIG, PipelinePlan]:
+        pipeline = self.pipeline_for(spec)
+        if aig is None:
+            aig = spec.build_aig()
+        plan = pipeline.plan(aig, store=self.store)
+        if plan.final_key is None:  # pragma: no cover - store always set
+            raise RuntimeError("planner produced no final key")
+        return pipeline, aig, plan
+
+    # ------------------------------------------------------------------
+    # Record persistence
+    # ------------------------------------------------------------------
+    def load(self, job_id: str) -> Optional[JobRecord]:
+        try:
+            payload = self.store.get(job_id, expected_kind=KIND_JOB)
+        except SnapshotError:
+            return None
+        if payload is None:
+            return None
+        return JobRecord.from_payload(payload)
+
+    def save(self, record: JobRecord) -> None:
+        self.store.put(record.job_id, record.to_payload(), kind=KIND_JOB,
+                       meta={"state": record.state, "name": record.spec.name,
+                             "final_key": record.final_key})
+
+    def records(self) -> List[JobRecord]:
+        """All job records, oldest submission first (then by id)."""
+        loaded: List[JobRecord] = []
+        for key, kind in sorted(self.store.kinds().items()):
+            if kind != KIND_JOB:
+                continue
+            record = self.load(key)
+            if record is not None:
+                loaded.append(record)
+        return sorted(loaded, key=lambda record: (record.created,
+                                                  record.job_id))
+
+    def claimable(self) -> List[JobRecord]:
+        """Jobs a worker may (try to) claim, oldest first.
+
+        Queued jobs, plus planned/running jobs whose lease went stale —
+        the owner died, so the next worker takes over and (thanks to the
+        phase graph) resumes from the dead worker's deepest checkpoint.
+        """
+        ready: List[JobRecord] = []
+        for record in self.records():
+            if record.state == STATE_QUEUED:
+                ready.append(record)
+            elif record.state in (STATE_PLANNED, STATE_RUNNING):
+                lease = self.store.read_lease(record.final_key)
+                if self.store.lease_is_stale(lease):
+                    ready.append(record)
+        return ready
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(self, request: Dict) -> Dict:
+        """Plan a submission and serve/dedup/enqueue it.
+
+        Returns a wire-level response: ``state`` is the submission
+        outcome (``done`` served warm inline, ``duplicate`` collapsed
+        onto a live job, ``queued`` enqueued for the fleet), ``plan`` the
+        classification that decided it, ``job`` the current record.
+        """
+        spec = JobSpec.from_request(request)
+        return self.submit_spec(spec)
+
+    def submit_spec(self, spec: JobSpec) -> Dict:
+        pipeline, aig, plan = self.plan_spec(spec)
+        final_key = plan.final_key or ""
+        job_id = job_key(final_key)
+        existing = self.load(job_id)
+        now = time.time()
+
+        if plan.is_fully_warm:
+            # Every boundary artifact is in the store: serving the result
+            # costs one snapshot load, so do it inline on the front door.
+            result = pipeline.run(aig, store=self.store)
+            record = existing if existing is not None else JobRecord(
+                job_id=job_id, spec=spec, state=STATE_DONE,
+                base_key=plan.base_key or "", final_key=final_key,
+                extraction_key=plan.extraction_key,
+                created=now, updated=now)
+            record.state = STATE_DONE
+            record.updated = now
+            record.error = None
+            record.result = result.summary()
+            record.add_event("served-warm", now, final_key=final_key)
+            self.save(record)
+            return {
+                "job_id": job_id,
+                "state": STATE_DONE,
+                "duplicate": existing is not None,
+                "warm": True,
+                "plan": plan_summary(plan),
+                "result": record.result,
+                "job": record.public_view(),
+            }
+
+        if existing is not None and existing.state in LIVE_STATES:
+            # In-flight dedup: same final key, same job — no new work.
+            return {
+                "job_id": job_id,
+                "state": STATE_DUPLICATE,
+                "duplicate": True,
+                "warm": False,
+                "plan": plan_summary(plan),
+                "job": existing.public_view(),
+            }
+
+        # New job, or a terminal record whose artifacts were evicted
+        # (done-but-cold) or which failed: (re-)queue it.
+        record = JobRecord(
+            job_id=job_id, spec=spec, state=STATE_QUEUED,
+            base_key=plan.base_key or "", final_key=final_key,
+            extraction_key=plan.extraction_key,
+            created=existing.created if existing is not None else now,
+            updated=now,
+            attempts=existing.attempts if existing is not None else 0)
+        record.add_event("queued", now, cold_phases=plan.cold_phases,
+                         resume_phase=plan.resume_phase)
+        self.save(record)
+        return {
+            "job_id": job_id,
+            "state": STATE_QUEUED,
+            "duplicate": False,
+            "warm": False,
+            "plan": plan_summary(plan),
+            "job": record.public_view(),
+        }
+
+    # ------------------------------------------------------------------
+    # Status / stats
+    # ------------------------------------------------------------------
+    def progress(self, record: JobRecord) -> Dict:
+        """Per-phase progress for ``GET /jobs/<id>``: a fresh read-only
+        plan against the store, with checkpoint presence and ages."""
+        _, _, plan = self.plan_spec(record.spec)
+        now = time.time()
+        phases: List[Dict] = []
+        for phase_plan in plan.phases:
+            entry: Dict = {
+                "name": phase_plan.name,
+                "classification": phase_plan.classification,
+                "cache_key": phase_plan.cache_key,
+                "checkpoint_key": phase_plan.checkpoint_key,
+            }
+            checkpoint_key = phase_plan.checkpoint_key
+            if checkpoint_key is not None and self.store.probe(
+                    checkpoint_key, expected_kind=KIND_CHECKPOINT):
+                entry["checkpoint_present"] = True
+                try:
+                    mtime = self.store.path_for(checkpoint_key).stat().st_mtime
+                    entry["checkpoint_age"] = max(0.0, now - mtime)
+                except OSError:  # pragma: no cover - raced with a delete
+                    pass
+            phases.append(entry)
+        return {
+            "fully_warm": plan.is_fully_warm,
+            "cold_phases": plan.cold_phases,
+            "restore_phase": plan.restore_phase,
+            "resume_phase": plan.resume_phase,
+            "resumed_phase": record.resumed_phase,
+            "phases": phases,
+        }
+
+    def status(self, job_id: str) -> Optional[Dict]:
+        record = self.load(job_id)
+        if record is None:
+            return None
+        view = record.public_view()
+        view["progress"] = self.progress(record)
+        return view
+
+    def stats(self) -> Dict:
+        """Queue depth, lease table and store summary for ``GET /stats``."""
+        states: Dict = {state: 0 for state in JOB_STATES}
+        for record in self.records():
+            states[record.state] = states.get(record.state, 0) + 1
+        leases: Dict = {}
+        for key, payload in sorted(self.store.leases().items()):
+            entry = dict(payload)
+            entry["stale"] = self.store.lease_is_stale(payload or None)
+            leases[key] = entry
+        entries = self.store.entries()
+        kinds: Dict = {}
+        for entry_record in entries:
+            kinds[entry_record.kind] = kinds.get(entry_record.kind, 0) + 1
+        return {
+            "jobs": states,
+            "queue_depth": states[STATE_QUEUED],
+            "leases": leases,
+            "store": {
+                "artifacts": len(entries),
+                "total_bytes": self.store.total_bytes(),
+                "kinds": dict(sorted(kinds.items())),
+            },
+        }

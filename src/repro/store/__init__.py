@@ -19,6 +19,7 @@ from .codec import (
     KIND_CHECKPOINT,
     KIND_EGRAPH,
     KIND_EXTRACTION,
+    KIND_JOB,
     KIND_SATURATED,
     SnapshotError,
     SnapshotVersionError,
@@ -58,6 +59,7 @@ __all__ = [
     "KIND_CHECKPOINT",
     "KIND_EGRAPH",
     "KIND_EXTRACTION",
+    "KIND_JOB",
     "KIND_SATURATED",
     "SnapshotError",
     "SnapshotVersionError",

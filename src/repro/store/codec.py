@@ -64,6 +64,7 @@ __all__ = [
     "KIND_CHECKPOINT",
     "KIND_SATURATED",
     "KIND_EXTRACTION",
+    "KIND_JOB",
     "SnapshotError",
     "SnapshotVersionError",
     "egraph_to_wire",
@@ -109,6 +110,12 @@ KIND_EGRAPH = "egraph"
 KIND_CHECKPOINT = "checkpoint"
 KIND_SATURATED = "saturated-pipeline"
 KIND_EXTRACTION = "extraction"
+#: Durable service job records (:mod:`repro.service.jobs`).  Unlike the
+#: other kinds — whose payloads are pure functions of their key — a job
+#: record is *mutable state at a stable key* (the key digests the job's
+#: final artifact key, the payload tracks queued→running→done), so job
+#: records are excluded from byte-identity guarantees.
+KIND_JOB = "job"
 
 
 class SnapshotError(RuntimeError):

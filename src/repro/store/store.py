@@ -14,30 +14,41 @@ exactly the artifact you asked for or absent.
 Concurrency/atomicity model: object files are written via temp-file +
 ``os.replace`` (readers never see partial snapshots, concurrent writers
 of the same key race benignly — both write identical bytes).  The index
-is *advisory*: it is rewritten atomically under an in-process lock, and a
-lost update (two processes writing simultaneously) loses only metadata,
-never objects — :meth:`verify` re-adopts any orphaned object file.
+is rewritten atomically, with every read-modify-write serialised by an
+in-process lock *and* an ``flock`` on a sidecar lock file, so concurrent
+writers — other threads, other store instances, other processes on the
+same host — cannot lose each other's entries.  It is still *advisory*
+in the recovery sense: :meth:`verify` re-adopts any orphaned object
+file, so even a byte-level index disaster loses only metadata, never
+objects.
 """
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import re
 import tempfile
 import threading
 import time
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX hosts skip file locking
+    fcntl = None  # type: ignore[assignment]
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, Iterator, List, Optional, Tuple, Union
 
-from .codec import SnapshotError, read_snapshot, write_snapshot
+from .codec import KIND_JOB, SnapshotError, read_snapshot, write_snapshot
 
 __all__ = ["ArtifactStore", "StoreEntry"]
 
 _KEY_RE = re.compile(r"^[0-9a-f]{8,64}$")
 _OBJECT_SUFFIX = ".json.gz"
 _PIN_SUFFIX = ".pin"
+_LEASE_SUFFIX = ".lease"
 
 
 @dataclass
@@ -174,7 +185,7 @@ class ArtifactStore:
         path.unlink(missing_ok=True)
         self._pin_path(key).unlink(missing_ok=True)
         if existed:
-            with self._lock:
+            with self._index_mutation():
                 index = self._read_index()
                 if index.pop(key, None) is not None:
                     self._write_index(index)
@@ -207,6 +218,72 @@ class ArtifactStore:
         """True when ``key`` carries a pin sidecar."""
         self._check_key(key)
         return self._pin_path(key).exists()
+
+    # ------------------------------------------------------------------
+    # Lease sidecars
+    # ------------------------------------------------------------------
+    # The store owns the *file format* of advisory lease sidecars — JSON
+    # ``{"owner", "acquired", "heartbeat", "ttl"}`` next to the object
+    # path, exactly like pins — so verify/gc can self-heal a crashed
+    # fleet without importing the service layer.  The claim/heartbeat
+    # *protocol* lives in :mod:`repro.service.leases`.
+    def lease_path_for(self, key: str) -> Path:
+        """Lease-sidecar path of ``key`` (the file may not exist).
+
+        Leases are claims on keys, not on objects: the sidecar usually
+        appears *before* the artifact it guards (a worker claims the key,
+        then computes the object), so — unlike pins — a lease on a
+        missing artifact is the normal case, not an error.
+        """
+        return self.path_for(key).with_name(
+            f"{key}{_OBJECT_SUFFIX}{_LEASE_SUFFIX}")
+
+    def read_lease(self, key: str) -> Optional[Dict]:
+        """Return ``key``'s lease payload, or ``None`` when absent/corrupt."""
+        try:
+            with open(self.lease_path_for(key), "r",
+                      encoding="utf-8") as stream:
+                payload = json.load(stream)
+        except (OSError, ValueError):
+            return None
+        return payload if isinstance(payload, dict) else None
+
+    @staticmethod
+    def lease_is_stale(payload: Optional[Dict],
+                       now: Optional[float] = None) -> bool:
+        """True when a lease payload's heartbeat has expired (or is junk).
+
+        A lease whose owner stopped heartbeating for longer than its own
+        recorded ``ttl`` is dead capacity: verify/gc collect it and other
+        workers may take the key over.
+        """
+        if payload is None:
+            return True
+        heartbeat = payload.get("heartbeat")
+        ttl = payload.get("ttl")
+        if (not isinstance(heartbeat, (int, float))
+                or not isinstance(ttl, (int, float))):
+            return True
+        if now is None:
+            now = time.time()
+        return now > float(heartbeat) + float(ttl)
+
+    def _lease_files(self) -> List[Path]:
+        if not self._objects_dir.exists():
+            return []
+        return sorted(self._objects_dir.rglob("*" + _LEASE_SUFFIX))
+
+    def leases(self) -> Dict[str, Dict]:
+        """All lease sidecars on disk, ``key → payload`` (sorted by key).
+
+        Unreadable lease files map to an empty payload (always stale).
+        """
+        table: Dict[str, Dict] = {}
+        suffix = _OBJECT_SUFFIX + _LEASE_SUFFIX
+        for path in self._lease_files():
+            key = path.name[:-len(suffix)]
+            table[key] = self.read_lease(key) or {}
+        return table
 
     def describe(self, key: str) -> Optional[Dict]:
         """Return a stored artifact's header (kind, meta, size) sans payload."""
@@ -242,8 +319,37 @@ class ArtifactStore:
             json.dump(index, stream, sort_keys=True, indent=1)
         os.replace(tmp_name, self._index_path)
 
-    def _index_update(self, key: str, entry: StoreEntry) -> None:
+    @property
+    def _index_lock_path(self) -> Path:
+        return self.root / "index.lock"
+
+    @contextlib.contextmanager
+    def _index_mutation(self) -> Iterator[None]:
+        """Serialise index read-modify-writes across threads and processes.
+
+        The in-process lock orders threads sharing this instance; the
+        ``flock`` on a sidecar file orders distinct instances and
+        distinct processes (each acquisition opens its own descriptor,
+        so two instances in one process serialise too).  Without it a
+        concurrent writer's entry is silently lost — metadata-only for
+        result artifacts, but a lost ``kind="job"`` entry hides a queued
+        job from the worker fleet forever.
+        """
         with self._lock:
+            if fcntl is None:  # pragma: no cover - non-POSIX fallback
+                yield
+                return
+            self.root.mkdir(parents=True, exist_ok=True)
+            handle = os.open(self._index_lock_path,
+                             os.O_CREAT | os.O_RDWR, 0o644)
+            try:
+                fcntl.flock(handle, fcntl.LOCK_EX)
+                yield
+            finally:
+                os.close(handle)  # closing the descriptor drops the flock
+
+    def _index_update(self, key: str, entry: StoreEntry) -> None:
+        with self._index_mutation():
             index = self._read_index()
             index[key] = {"kind": entry.kind, "created": entry.created,
                           "size": entry.size, "meta": entry.meta}
@@ -280,12 +386,20 @@ class ArtifactStore:
 
         Returns a report dict: ``unreadable`` objects (corrupt/obsolete
         codec — left in place for :meth:`gc`), ``adopted`` object keys that
-        were missing from the index, and ``dropped`` index entries whose
-        object files are gone.
+        were missing from the index, ``dropped`` index entries whose
+        object files are gone, ``stale_leases`` whose sidecars were
+        collected (heartbeat expired — the owning worker is gone), and
+        ``requeued_jobs``: ``kind="job"`` records stuck in a live state
+        (``planned``/``running``) with no live lease on their final key,
+        reset to ``queued`` so a surviving fleet picks them back up.  The
+        last two are what lets a hard-crashed fleet self-heal with one
+        ``verify`` (or the next worker's takeover scan).
         """
         report: Dict[str, List[str]] = {
-            "unreadable": [], "adopted": [], "dropped": []}
-        with self._lock:
+            "unreadable": [], "adopted": [], "dropped": [],
+            "stale_leases": [], "requeued_jobs": []}
+        now = time.time()
+        with self._index_mutation():
             index = self._read_index()
             on_disk = {}
             for path in self._object_files():
@@ -307,6 +421,36 @@ class ArtifactStore:
                 if key not in on_disk:
                     del index[key]
                     report["dropped"].append(key)
+            for key, payload in self.leases().items():
+                if self.lease_is_stale(payload, now):
+                    self.lease_path_for(key).unlink(missing_ok=True)
+                    report["stale_leases"].append(key)
+            for key, (path, document) in on_disk.items():
+                if document["kind"] != KIND_JOB:
+                    continue
+                payload = document["payload"]
+                if not isinstance(payload, dict):
+                    continue
+                if payload.get("state") not in ("planned", "running"):
+                    continue
+                final_key = payload.get("final_key")
+                lease = (self.read_lease(final_key)
+                         if isinstance(final_key, str)
+                         and _KEY_RE.match(final_key) else None)
+                if not self.lease_is_stale(lease, now):
+                    continue
+                payload = dict(payload)
+                payload["state"] = "queued"
+                payload["worker"] = None
+                payload["updated"] = now
+                write_snapshot(path, KIND_JOB, payload,
+                               meta=document["meta"])
+                index[key] = {"kind": KIND_JOB,
+                              "created": index.get(key, {}).get(
+                                  "created", path.stat().st_mtime),
+                              "size": path.stat().st_size,
+                              "meta": document["meta"]}
+                report["requeued_jobs"].append(key)
             self._write_index(index)
         return report
 
@@ -329,12 +473,20 @@ class ArtifactStore:
            so a shared cache under size pressure sheds the artifacts that
            cost seconds to recompute before the ones that cost minutes.
 
-        With neither limit set, only unreadable objects are collected.
-        :meth:`pin` / :meth:`unpin` control the pin set (e.g. nightly CI
-        pins its 16-bit artifacts so per-PR sweeps cannot evict them).
+        With neither limit set, only unreadable objects and stale leases
+        are collected.  :meth:`pin` / :meth:`unpin` control the pin set
+        (e.g. nightly CI pins its 16-bit artifacts so per-PR sweeps
+        cannot evict them).  Stale ``.lease`` sidecars (heartbeat older
+        than their own ``ttl`` — the owning worker crashed) are always
+        collected; live leases are never touched, even when the object
+        they guard is evicted (the owner may be mid-recompute).
         """
         now = time.time()
         removed: List[str] = []
+        if not dry_run:
+            for key, payload in self.leases().items():
+                if self.lease_is_stale(payload, now):
+                    self.lease_path_for(key).unlink(missing_ok=True)
         survivors: List[Tuple[float, float, Path]] = []
         for path in self._object_files():
             key = path.name[:-len(_OBJECT_SUFFIX)]
@@ -379,7 +531,7 @@ class ArtifactStore:
                 if not dry_run:
                     path.unlink(missing_ok=True)
         if not dry_run and removed:
-            with self._lock:
+            with self._index_mutation():
                 index = self._read_index()
                 for key in removed:
                     index.pop(key, None)

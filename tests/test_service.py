@@ -1,0 +1,620 @@
+"""Tests for repro.service: jobs, leases, HTTP front door, worker fleet.
+
+The acceptance spine: a cold width-4 job submitted over HTTP is claimed
+by a worker under a lease and finishes with an artifact byte-identical
+to an in-process ``BoolEPipeline.run``; an immediate re-submit is served
+warm inline with zero planned saturations; two processes racing for one
+lease elect exactly one winner, so a ``final_key`` is never executed
+twice; and a hard-killed worker's successor takes over its stale lease
+and resumes from its checkpoint bit-identically.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core import BatchItemResult, BatchPipeline, BatchReport, \
+    BoolEOptions, BoolEPipeline
+from repro.generators import csa_multiplier, ripple_carry_adder
+from repro.opt import post_mapping_flow
+from repro.service import (
+    STATE_DONE,
+    STATE_DUPLICATE,
+    STATE_QUEUED,
+    STATE_RUNNING,
+    JobService,
+    JobSpec,
+    LeaseManager,
+    ServiceClient,
+    ServiceError,
+    ServiceServer,
+    ServiceWorker,
+    job_key,
+)
+from repro.store import KIND_JOB, ArtifactStore
+
+SRC_DIR = str(Path(__file__).resolve().parent.parent / "src")
+
+#: Fast pipeline options used throughout (seconds, not minutes).
+FAST = {"r1_iterations": 2, "r2_iterations": 2, "count_npn": False}
+FAST_OPTIONS = BoolEOptions(**FAST)
+
+
+def fast_request(width=3, **extra):
+    request = {"arch": "csa", "width": width, "options": dict(FAST)}
+    request.update(extra)
+    return request
+
+
+def subprocess_env():
+    env = os.environ.copy()
+    env["PYTHONPATH"] = SRC_DIR + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    return env
+
+
+def payload_bytes(store, key):
+    """Canonical bytes of a stored artifact's payload.
+
+    The payload is the deterministic contract (the store's own
+    round-trip tests pin it); the snapshot header's ``meta`` carries
+    wall-clock timings like ``saturation_seconds`` by design, so raw
+    file bytes differ across runs while payloads may not.
+    """
+    return json.dumps(store.get(key), sort_keys=True).encode("utf-8")
+
+
+# ----------------------------------------------------------------------
+# Job model
+# ----------------------------------------------------------------------
+class TestJobSpec:
+    def test_arch_request_materialises_wire(self):
+        spec = JobSpec.from_request(fast_request())
+        assert spec.name == "csa-3"
+        assert spec.origin == {"arch": "csa", "width": 3, "mapped": True}
+        aig = spec.build_aig()
+        assert aig.num_gates == post_mapping_flow(
+            csa_multiplier(3).aig).num_gates
+
+    def test_explicit_aig_round_trips(self):
+        from repro.store import aig_to_wire
+        source = ripple_carry_adder(3)[0]
+        spec = JobSpec.from_request({"aig": aig_to_wire(source),
+                                     "name": "mine"})
+        assert spec.name == "mine"
+        assert spec.build_aig().num_gates == source.num_gates
+
+    def test_payload_round_trip(self):
+        spec = JobSpec.from_request(fast_request(width=2, mapped=False))
+        clone = JobSpec.from_payload(spec.to_payload())
+        assert clone == spec
+
+    @pytest.mark.parametrize("bad", [
+        {"arch": "nope", "width": 3},
+        {"arch": "csa"},
+        {"arch": "csa", "width": 0},
+        {"arch": "csa", "width": 999},
+        {"arch": "csa", "width": True},
+        {"arch": "csa", "width": 3, "mapped": "yes"},
+        {"arch": "csa", "width": 3, "options": {"bogus_field": 1}},
+        {"arch": "csa", "width": 3, "options": []},
+        {"aig": "not-a-wire"},
+        [],
+    ])
+    def test_rejects_malformed_requests(self, bad):
+        with pytest.raises(ValueError):
+            JobSpec.from_request(bad)
+
+    def test_options_merge_over_defaults(self):
+        spec = JobSpec.from_request(fast_request())
+        options = spec.build_options(BoolEOptions(max_nodes=123))
+        assert options.r1_iterations == 2
+        assert options.max_nodes == 123
+
+
+class TestJobKey:
+    def test_stable_and_distinct_from_final_key(self):
+        final = "ab" * 32
+        assert job_key(final) == job_key(final)
+        assert job_key(final) != final
+        assert len(job_key(final)) == 64
+        assert job_key(final) != job_key("cd" * 32)
+
+
+class TestJobService:
+    def test_submit_enqueues_and_dedups(self, tmp_path):
+        service = JobService(tmp_path / "store")
+        first = service.submit(fast_request())
+        assert first["state"] == STATE_QUEUED
+        assert first["duplicate"] is False
+        assert first["plan"]["saturations"] > 0
+        second = service.submit(fast_request())
+        assert second["state"] == STATE_DUPLICATE
+        assert second["duplicate"] is True
+        assert second["job_id"] == first["job_id"]
+        # Only one job record exists for the pair.
+        assert len(service.records()) == 1
+
+    def test_record_persists_as_job_kind(self, tmp_path):
+        service = JobService(tmp_path / "store")
+        response = service.submit(fast_request())
+        job_id = response["job_id"]
+        assert service.store.kinds()[job_id] == KIND_JOB
+        record = service.load(job_id)
+        assert record is not None
+        assert record.state == STATE_QUEUED
+        assert record.job_id == job_key(record.final_key)
+        # The wire view hides the netlist but keeps provenance.
+        view = record.public_view()
+        assert "aig" not in view["spec"]
+        assert view["spec"]["origin"]["arch"] == "csa"
+
+    def test_worker_completes_and_resubmit_is_warm(self, tmp_path):
+        service = JobService(tmp_path / "store")
+        queued = service.submit(fast_request())
+        worker = ServiceWorker(service.store, poll_interval=0.01)
+        assert worker.run_once() == queued["job_id"]
+        record = service.load(queued["job_id"])
+        assert record.state == STATE_DONE
+        assert record.result["exact_fas"] > 0
+        assert record.worker == worker.owner
+        # Same spec again: served inline, zero saturation bodies planned.
+        warm = service.submit(fast_request())
+        assert warm["state"] == STATE_DONE
+        assert warm["warm"] is True
+        assert warm["duplicate"] is True
+        assert warm["plan"]["saturations"] == 0
+        assert warm["plan"]["fully_warm"] is True
+
+    def test_progress_surfaces_phases(self, tmp_path):
+        service = JobService(tmp_path / "store")
+        queued = service.submit(fast_request())
+        record = service.load(queued["job_id"])
+        progress = service.progress(record)
+        names = [phase["name"] for phase in progress["phases"]]
+        assert "saturate-r1" in names and "extract" in names
+        assert progress["fully_warm"] is False
+        ServiceWorker(service.store).run_once()
+        progress = service.progress(service.load(queued["job_id"]))
+        assert progress["fully_warm"] is True
+        assert progress["cold_phases"] == []
+
+    def test_stats_counts_states(self, tmp_path):
+        service = JobService(tmp_path / "store")
+        service.submit(fast_request())
+        stats = service.stats()
+        assert stats["queue_depth"] == 1
+        assert stats["jobs"][STATE_QUEUED] == 1
+        assert stats["store"]["kinds"][KIND_JOB] == 1
+
+    def test_failed_job_records_error_and_requeues(self, tmp_path):
+        service = JobService(tmp_path / "store")
+        response = service.submit(fast_request())
+        # Poison the queued record so the worker's run raises.
+        record = service.load(response["job_id"])
+        record.spec.aig_wire = {"broken": True}
+        service.save(record)
+        worker = ServiceWorker(service.store, poll_interval=0.01)
+        worker.run_once()
+        record = service.load(response["job_id"])
+        assert record.state == "failed"
+        assert record.error
+        # Resubmitting the spec requeues a failed job instead of deduping.
+        again = service.submit(fast_request())
+        assert again["state"] == STATE_QUEUED
+
+
+# ----------------------------------------------------------------------
+# Leases
+# ----------------------------------------------------------------------
+class TestLeases:
+    KEY = "ef" * 32
+
+    def test_claim_release_cycle(self, tmp_path):
+        manager = LeaseManager(tmp_path / "store", owner="a")
+        lease = manager.claim(self.KEY)
+        assert lease is not None
+        assert lease.taken_over_from is None
+        assert manager.store.read_lease(self.KEY)["owner"] == "a"
+        manager.release(lease)
+        assert manager.store.read_lease(self.KEY) is None
+        assert manager.claim(self.KEY) is not None
+
+    def test_second_claimant_loses(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        first = LeaseManager(store, owner="a")
+        second = LeaseManager(store, owner="b")
+        assert first.claim(self.KEY) is not None
+        assert second.claim(self.KEY) is None
+
+    def test_heartbeat_keeps_lease_alive(self, tmp_path):
+        manager = LeaseManager(tmp_path / "store", owner="a", ttl=0.4)
+        lease = manager.claim(self.KEY)
+        for _ in range(3):
+            time.sleep(0.2)
+            assert manager.heartbeat(lease) is True
+        assert not manager.store.lease_is_stale(
+            manager.store.read_lease(self.KEY))
+
+    def test_expiry_enables_takeover_and_deposes_owner(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        dead = LeaseManager(store, owner="dead", ttl=0.2)
+        lease = dead.claim(self.KEY)
+        time.sleep(0.3)  # heartbeat missed: lease is now stale
+        assert store.lease_is_stale(store.read_lease(self.KEY))
+        heir = LeaseManager(store, owner="heir", ttl=30.0)
+        taken = heir.claim(self.KEY)
+        assert taken is not None
+        assert taken.taken_over_from == "dead"
+        # The deposed owner notices on its next heartbeat and backs off.
+        assert dead.heartbeat(lease) is False
+        assert heir.heartbeat(taken) is True
+
+    def test_release_does_not_steal_from_new_owner(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        dead = LeaseManager(store, owner="dead", ttl=0.1)
+        stale = dead.claim(self.KEY)
+        time.sleep(0.2)
+        heir = LeaseManager(store, owner="heir", ttl=30.0)
+        assert heir.claim(self.KEY) is not None
+        dead.release(stale)  # must be a no-op: the lease is heir's now
+        assert store.read_lease(self.KEY)["owner"] == "heir"
+
+
+_CONTENTION_SCRIPT = """
+import sys, time
+from repro.service import LeaseManager
+root, owner, go_file, key = sys.argv[1:5]
+manager = LeaseManager(root, owner=owner, ttl=30.0)
+import os
+while not os.path.exists(go_file):
+    time.sleep(0.005)
+lease = manager.claim(key)
+print("WON" if lease is not None else "LOST")
+"""
+
+
+class TestLeaseContentionTwoProcesses:
+    def test_exactly_one_winner(self, tmp_path):
+        """Two processes race the O_EXCL claim; the filesystem picks one."""
+        key = "ab" * 32
+        go_file = tmp_path / "go"
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", _CONTENTION_SCRIPT,
+                 str(tmp_path / "store"), f"racer-{index}",
+                 str(go_file), key],
+                env=subprocess_env(), stdout=subprocess.PIPE, text=True)
+            for index in range(2)
+        ]
+        time.sleep(0.3)  # both racers are now spinning on the go file
+        go_file.touch()
+        outcomes = sorted(proc.communicate()[0].strip() for proc in procs)
+        assert all(proc.returncode == 0 for proc in procs)
+        assert outcomes == ["LOST", "WON"]
+
+    def test_two_workers_never_double_execute(self, tmp_path):
+        """Two worker processes drain a one-job queue: the job runs once."""
+        store_root = tmp_path / "store"
+        service = JobService(store_root)
+        response = service.submit(fast_request())
+        workers = [
+            subprocess.Popen(
+                [sys.executable, "-m", "repro.service", "--root",
+                 str(store_root), "work", "--max-jobs", "1",
+                 "--idle-timeout", "3"],
+                env=subprocess_env(), stdout=subprocess.PIPE,
+                stderr=subprocess.STDOUT, text=True)
+            for _ in range(2)
+        ]
+        for proc in workers:
+            proc.communicate(timeout=180)
+            assert proc.returncode == 0
+        record = service.load(response["job_id"])
+        assert record.state == STATE_DONE
+        # Exactly one claim, one attempt — the losing racer backed off.
+        assert record.attempts == 1
+        claims = [event for event in record.events
+                  if event["event"] == "claimed"]
+        assert len(claims) == 1
+
+
+# ----------------------------------------------------------------------
+# HTTP front door, end to end
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def running_server(tmp_path):
+    server = ServiceServer(tmp_path / "store", port=0)
+    server.start_background()
+    try:
+        yield server
+    finally:
+        server.stop_background()
+
+
+class TestServiceHTTP:
+    def test_healthz_and_stats(self, running_server):
+        client = ServiceClient(running_server.host, running_server.port)
+        assert client.healthz() == {"ok": True}
+        stats = client.stats()
+        assert stats["queue_depth"] == 0
+        assert stats["store"]["artifacts"] == 0
+
+    def test_unknown_routes_and_jobs_404(self, running_server):
+        client = ServiceClient(running_server.host, running_server.port)
+        with pytest.raises(ServiceError) as excinfo:
+            client.status("ab" * 32)
+        assert excinfo.value.status == 404
+        with pytest.raises(ServiceError) as excinfo:
+            client._request("GET", "/nope")
+        assert excinfo.value.status == 404
+
+    def test_malformed_submissions_400(self, running_server):
+        client = ServiceClient(running_server.host, running_server.port)
+        for bad in [{"arch": "nope", "width": 3},
+                    {"arch": "csa", "width": 3,
+                     "options": {"bogus": True}}]:
+            with pytest.raises(ServiceError) as excinfo:
+                client.submit(bad)
+            assert excinfo.value.status == 400
+
+    def test_cold_submit_worker_done_then_warm_resubmit(
+            self, running_server, tmp_path):
+        """The acceptance spine, over real HTTP with a width-4 job."""
+        client = ServiceClient(running_server.host, running_server.port)
+        response = client.submit(fast_request(width=4))
+        assert response["state"] == STATE_QUEUED
+        assert response["plan"]["saturations"] > 0
+        final_key = response["plan"]["final_key"]
+
+        # While queued, an identical submission collapses onto the job.
+        dup = client.submit(fast_request(width=4))
+        assert dup["state"] == STATE_DUPLICATE
+        assert dup["job_id"] == response["job_id"]
+
+        worker = ServiceWorker(running_server.service.store,
+                               poll_interval=0.01)
+        assert worker.run_forever(max_jobs=1, idle_timeout=10) == 1
+        final = client.wait(response["job_id"], timeout=30)
+        assert final["state"] == STATE_DONE
+        assert final["progress"]["fully_warm"] is True
+
+        # Byte-identity: the service-produced artifact equals a plain
+        # in-process run's artifact in a fresh store, byte for byte.
+        reference_store = ArtifactStore(tmp_path / "reference")
+        aig = post_mapping_flow(csa_multiplier(4).aig)
+        result = BoolEPipeline(FAST_OPTIONS).run(aig, store=reference_store)
+        reference_summary = {key: value
+                             for key, value in result.summary().items()
+                             if key != "runtime"}
+        service_summary = {key: value
+                           for key, value in final["result"].items()
+                           if key != "runtime"}
+        assert service_summary == reference_summary
+        service_store = running_server.service.store
+        assert (payload_bytes(service_store, final_key)
+                == payload_bytes(reference_store, final_key))
+
+        # Warm resubmission: served inline, zero new saturations.
+        warm = client.submit(fast_request(width=4))
+        assert warm["state"] == STATE_DONE
+        assert warm["warm"] is True
+        assert warm["plan"]["saturations"] == 0
+        assert warm["plan"]["cold_phases"] == []
+        assert warm["result"]["exact_fas"] == final["result"]["exact_fas"]
+
+    def test_events_stream_to_terminal_state(self, running_server):
+        client = ServiceClient(running_server.host, running_server.port)
+        response = client.submit(fast_request(width=2))
+        worker = ServiceWorker(running_server.service.store,
+                               poll_interval=0.01)
+        worker.run_forever(max_jobs=1, idle_timeout=10)
+        events = list(client.events(response["job_id"]))
+        kinds = [event["event"] for event in events]
+        assert kinds[0] == "queued"
+        assert "claimed" in kinds and "running" in kinds
+        assert kinds[-1] == "done"
+        assert [event["seq"] for event in events] == list(range(len(events)))
+        phase_events = [event for event in events
+                        if event["event"] == "phase"]
+        assert {event["name"] for event in phase_events} >= {
+            "construct", "saturate-r1", "saturate-r2"}
+
+
+# ----------------------------------------------------------------------
+# Kill-mid-job: successor takes over the lease and resumes
+# ----------------------------------------------------------------------
+_KILLED_WORKER_SCRIPT = """
+import sys
+from repro.service import ServiceWorker
+worker = ServiceWorker(sys.argv[1], ttl=0.5, poll_interval=0.05)
+worker.run_forever(max_jobs=1, idle_timeout=5)
+print("SURVIVED")  # only reached if the kill never fired
+"""
+
+
+class TestKillMidJobTakeover:
+    def test_successor_resumes_from_checkpoint_bit_identically(
+            self, tmp_path):
+        store_root = tmp_path / "store"
+        service = JobService(store_root)
+        options = {**FAST, "r1_iterations": 3, "checkpoint_every": 1}
+        response = service.submit(fast_request(options=options))
+
+        marker = tmp_path / "killed.marker"
+        env = subprocess_env()
+        env["_REPRO_SERVICE_KILL_WORKER_ONCE"] = str(marker)
+        proc = subprocess.run(
+            [sys.executable, "-c", _KILLED_WORKER_SCRIPT, str(store_root)],
+            env=env, capture_output=True, text=True, timeout=180)
+        assert proc.returncode == 17, proc.stdout + proc.stderr
+        assert marker.exists()
+
+        # The dead worker left a live-state record behind a dying lease.
+        record = service.load(response["job_id"])
+        assert record.state == STATE_RUNNING
+        time.sleep(0.6)  # let the orphaned lease pass its 0.5s TTL
+        store = service.store
+        assert store.lease_is_stale(store.read_lease(record.final_key))
+
+        successor = ServiceWorker(store_root, ttl=30.0, poll_interval=0.01)
+        assert successor.run_forever(max_jobs=1, idle_timeout=10) == 1
+        record = service.load(response["job_id"])
+        assert record.state == STATE_DONE
+        assert record.attempts == 2
+        # The takeover resumed the dead worker's checkpoint mid-phase.
+        assert record.resumed_phase in ("saturate-r1", "saturate-r2")
+        takeover = [event for event in record.events
+                    if event["event"] == "claimed"][-1]
+        assert takeover["taken_over_from"] is not None
+
+        # Bit-identical to an uninterrupted in-process run.
+        reference_store = ArtifactStore(tmp_path / "reference")
+        aig = post_mapping_flow(csa_multiplier(3).aig)
+        BoolEPipeline(BoolEOptions(
+            **{**FAST, "r1_iterations": 3})).run(aig, store=reference_store)
+        final_key = record.final_key
+        assert (payload_bytes(store, final_key)
+                == payload_bytes(reference_store, final_key))
+
+
+# ----------------------------------------------------------------------
+# Store self-healing (verify/gc over leases + job records)
+# ----------------------------------------------------------------------
+class TestStoreHealing:
+    KEY = "ab" * 32
+
+    def test_verify_collects_stale_leases_only(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        dead = LeaseManager(store, owner="dead", ttl=0.1)
+        dead.claim(self.KEY)
+        live_key = "cd" * 32
+        LeaseManager(store, owner="live", ttl=300.0).claim(live_key)
+        time.sleep(0.2)
+        report = store.verify()
+        assert report["stale_leases"] == [self.KEY]
+        assert store.read_lease(self.KEY) is None
+        assert store.read_lease(live_key)["owner"] == "live"
+
+    def test_verify_requeues_orphaned_running_jobs(self, tmp_path):
+        service = JobService(tmp_path / "store")
+        response = service.submit(fast_request())
+        record = service.load(response["job_id"])
+        record.state = STATE_RUNNING
+        record.worker = "vanished:1"
+        service.save(record)  # no lease on final_key: the worker is gone
+        report = service.store.verify()
+        assert report["requeued_jobs"] == [record.job_id]
+        healed = service.load(record.job_id)
+        assert healed.state == STATE_QUEUED
+        assert healed.worker is None
+        # And the healed job is claimable again.
+        assert [job.job_id for job in service.claimable()] == [record.job_id]
+
+    def test_verify_leaves_leased_running_jobs_alone(self, tmp_path):
+        service = JobService(tmp_path / "store")
+        response = service.submit(fast_request())
+        record = service.load(response["job_id"])
+        record.state = STATE_RUNNING
+        service.save(record)
+        LeaseManager(service.store, owner="busy",
+                     ttl=300.0).claim(record.final_key)
+        report = service.store.verify()
+        assert report["requeued_jobs"] == []
+        assert service.load(record.job_id).state == STATE_RUNNING
+
+    def test_gc_sweeps_stale_leases_and_keeps_live_ones(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        LeaseManager(store, owner="dead", ttl=0.1).claim(self.KEY)
+        live_key = "cd" * 32
+        LeaseManager(store, owner="live", ttl=300.0).claim(live_key)
+        time.sleep(0.2)
+        store.gc()
+        assert store.read_lease(self.KEY) is None
+        assert store.read_lease(live_key)["owner"] == "live"
+
+    def test_gc_dry_run_touches_nothing(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        LeaseManager(store, owner="dead", ttl=0.1).claim(self.KEY)
+        time.sleep(0.2)
+        store.gc(dry_run=True)
+        assert store.read_lease(self.KEY) is not None
+
+
+# ----------------------------------------------------------------------
+# CLI argument plumbing
+# ----------------------------------------------------------------------
+class TestCliParser:
+    def test_common_flags_accepted_before_and_after_subcommand(self):
+        from repro.service.__main__ import _build_parser
+        parser = _build_parser()
+        before = parser.parse_args(["--port", "9001", "serve"])
+        after = parser.parse_args(["serve", "--port", "9001"])
+        assert before.port == after.port == 9001
+        assert before.root == after.root == ".repro-store"
+        defaulted = parser.parse_args(["--root", "/tmp/x", "work"])
+        assert defaulted.root == "/tmp/x" and defaulted.port == 8765
+
+
+# ----------------------------------------------------------------------
+# BatchReport.merge
+# ----------------------------------------------------------------------
+def _report(names_runtimes, wall_time):
+    items = [BatchItemResult(name=name, ok=True, runtime=runtime,
+                             summary={"exact_fas": 1.0, "runtime": runtime})
+             for name, runtime in names_runtimes]
+    return BatchReport(items=items, wall_time=wall_time)
+
+
+class TestBatchReportMerge:
+    def test_merge_sorts_items_and_takes_max_wall_time(self):
+        left = _report([("b", 1.0), ("a", 2.0)], wall_time=3.0)
+        right = _report([("c", 4.0)], wall_time=5.0)
+        merged = BatchReport.merge(left, right)
+        assert [item.name for item in merged.items] == ["a", "b", "c"]
+        assert merged.wall_time == 5.0
+        assert merged.plan is None
+        assert merged.total_runtime == pytest.approx(7.0)
+
+    def test_merge_is_deterministic_and_aggregate_additive(self):
+        left = _report([("a", 1.0)], wall_time=1.0)
+        right = _report([("b", 2.0)], wall_time=2.0)
+        once = BatchReport.merge(left, right)
+        again = BatchReport.merge(left, right)
+        assert ([item.name for item in once.items]
+                == [item.name for item in again.items])
+        assert once.deterministic_aggregate() == again.deterministic_aggregate()
+        expected = {}
+        for shard in (left, right):
+            for key, value in shard.deterministic_aggregate().items():
+                expected[key] = expected.get(key, 0.0) + value
+        assert once.deterministic_aggregate() == expected
+
+    def test_empty_merge_and_zero_guards(self):
+        merged = BatchReport.merge()
+        assert merged.items == []
+        assert merged.wall_time == 0.0
+        assert merged.throughput == 0.0
+        assert merged.speedup == 0.0
+        # All-warm merged shard: real wall clock, zero summed runtime.
+        warm = BatchReport.merge(_report([("a", 0.0)], wall_time=2.0))
+        assert warm.total_runtime == 0.0
+        assert warm.speedup == 0.0
+        assert warm.throughput == pytest.approx(0.5)
+
+    def test_merge_of_real_shards_matches_single_batch(self, tmp_path):
+        jobs = [ripple_carry_adder(3)[0], ripple_carry_adder(4)[0]]
+        whole = BatchPipeline(FAST_OPTIONS, executor="serial").run(jobs)
+        shard_a = BatchPipeline(FAST_OPTIONS, executor="serial").run(
+            [ripple_carry_adder(3)[0]])
+        shard_b = BatchPipeline(FAST_OPTIONS, executor="serial").run(
+            [ripple_carry_adder(4)[0]])
+        merged = BatchReport.merge(shard_a, shard_b)
+        assert (merged.deterministic_aggregate()
+                == whole.deterministic_aggregate())
+        assert merged.num_ok == 2

@@ -407,6 +407,32 @@ class TestArtifactStore:
         assert not store.contains(stale)
         assert [entry.key for entry in store.entries()] == [fresh]
 
+    def test_concurrent_instances_lose_no_index_entries(self, tmp_path):
+        # Two store instances over one root (a server and a worker of the
+        # service layer, or two processes on a shared mount) interleave
+        # index read-modify-writes; without cross-instance locking one
+        # writer's entry vanishes and e.g. a queued job becomes invisible
+        # to the fleet.  Every key written by either side must be indexed.
+        import threading
+
+        first = ArtifactStore(tmp_path)
+        second = ArtifactStore(tmp_path)
+        keys = [f"{i:08x}" for i in range(120)]
+
+        def writer(store, shard):
+            for key in shard:
+                store.put(key, {"key": key}, kind="egraph")
+
+        threads = [
+            threading.Thread(target=writer, args=(first, keys[::2])),
+            threading.Thread(target=writer, args=(second, keys[1::2])),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert set(first.kinds()) == set(keys)
+
     def test_gc_size_budget_evicts_lru(self, tmp_path):
         store = ArtifactStore(tmp_path)
         first, second = "aa" * 20, "bb" * 20
