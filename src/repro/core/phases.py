@@ -36,7 +36,7 @@ from dataclasses import dataclass, field
 from typing import (TYPE_CHECKING, Any, Callable, Dict, List,
                     Optional, Tuple)
 
-from ..egraph import Op, Runner, RunnerCheckpoint
+from ..egraph import Op, Runner, RunnerCheckpoint, as_engine
 from ..store import (
     KIND_CHECKPOINT,
     KIND_EXTRACTION,
@@ -785,6 +785,12 @@ class SaturatePhase(_BoolEPhase):
                               })
 
         started = time.perf_counter()
+        # Saturation runs on the configured engine.  Construction always
+        # builds the reference object graph (and checkpoints/artifacts
+        # decode to it), so convert at the phase boundary; the wire state
+        # is engine-neutral, which is what lets a checkpoint written under
+        # one engine resume under the other.
+        construction.egraph = as_engine(construction.egraph, options.engine)
         if resume is not None:
             runner = Runner.from_checkpoint(resume)
         else:

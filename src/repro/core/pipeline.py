@@ -97,6 +97,13 @@ class BoolEOptions:
         count_npn: count NPN FA pairs on the saturated e-graph.
         incremental: use delta e-matching after each phase's first iteration
             (see ``docs/performance.md``); disable to force full scans.
+        engine: saturation backend — ``"dense"`` (default) runs the
+            struct-of-arrays engine with batched e-matching
+            (:class:`~repro.egraph.DenseEGraph`), ``"python"`` the
+            object-graph reference engine.  The engines are bit-identical
+            (same saturated graphs, same artifact bytes), so the choice is
+            pure performance and is excluded from cache fingerprints:
+            artifacts produced under either engine warm the other.
         checkpoint_every: with a store configured, write a mid-phase
             ``kind="checkpoint"`` artifact after every this-many
             saturation iterations (both R1 and R2); a killed run resumes
@@ -121,10 +128,15 @@ class BoolEOptions:
     refine_rounds: int = 0
     count_npn: bool = True
     incremental: bool = True
+    engine: str = "dense"
     checkpoint_every: Optional[int] = None
     debug_check_full: bool = False
 
     def __post_init__(self) -> None:
+        if self.engine not in ("dense", "python"):
+            raise ValueError(
+                f"unknown e-graph engine {self.engine!r}; expected 'dense' "
+                "or 'python'")
         if self.checkpoint_every is not None and self.checkpoint_every < 1:
             raise ValueError(
                 "checkpoint_every must be >= 1 (or None to disable "
@@ -222,6 +234,27 @@ class BoolEResult:
         return replace(
             self, construction=None, extraction=None,
             _egraph_shape=(self.egraph_classes, self.egraph_nodes))
+
+    def saturation_stats(self) -> Dict[str, object]:
+        """Engine and e-matching telemetry of this run's saturation phases.
+
+        ``engine`` is ``None`` when no saturation actually executed in this
+        process (fully warm runs decode their reports from artifacts, which
+        deliberately do not carry engine provenance — the engines are
+        bit-identical).  ``ematch_ops`` counts e-nodes scanned by the
+        matcher; the dense engine counts operator-span scans and the
+        reference engine full-class scans, so rates are comparable within
+        an engine, not across engines.
+        """
+        ops = self.r1_report.ematch_ops + self.r2_report.ematch_ops
+        seconds = self.r1_report.total_time + self.r2_report.total_time
+        return {
+            "engine": self.r2_report.engine if ops else None,
+            "ematch_ops": ops,
+            "ematch_ops_per_s": (round(ops / seconds, 1)
+                                 if ops and seconds > 0 else 0.0),
+            "saturation_seconds": round(seconds, 3),
+        }
 
     def summary(self) -> Dict[str, float]:
         """Compact numeric summary used by the benchmark harness."""

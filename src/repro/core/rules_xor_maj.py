@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Iterable, List, Sequence, Tuple
 
-from ..egraph import EGraph, ENode, Op, Rewrite
+from ..egraph import EGraph, Op, Rewrite
 from ..egraph.pattern import Subst
 
 __all__ = ["xor_rules", "maj_rules", "identification_rules", "ruleset_summary"]
@@ -35,10 +35,12 @@ def _sorted_applier(op: str, names: Sequence[str],
     """Build an applier inserting ``op`` over sorted child classes."""
 
     def apply(egraph: EGraph, subst: Subst) -> int:
-        children = tuple(sorted(egraph.find(subst[name]) for name in names))
-        class_id = egraph.add(ENode(op, children))
+        find = egraph.find
+        children = [find(subst[name]) for name in names]
+        children.sort()
+        class_id = egraph.add_term(op, *children)
         if negate_output:
-            class_id = egraph.add(ENode(Op.NOT, (class_id,)))
+            class_id = egraph.add_term(Op.NOT, class_id)
         return class_id
 
     return apply

@@ -1,0 +1,1087 @@
+"""Dense struct-of-arrays e-graph engine with batched e-matching.
+
+:class:`DenseEGraph` implements the same public API (and the same
+*observable semantics*, down to snapshot bytes) as the object-graph
+:class:`~repro.egraph.egraph.EGraph`, but stores everything as flat integer
+structures:
+
+* the union-find is a plain ``List[int]`` parent array with iterative path
+  compression;
+* operator names and leaf payloads are interned to small integer ids;
+* e-nodes are interned rows of a struct-of-arrays node table — an op-code
+  column, a payload-id column, and the children flattened into one int
+  buffer with CSR-style offsets.  A given ``(op, children, payload)`` shape
+  is interned exactly once, so node identity is integer identity and the
+  hashcons is a plain ``Dict[int, int]``;
+* per-class node sets and parent lists hold node *ids*, not node objects.
+
+E-matching runs as **batched column scans**: a pattern is compiled once
+into a linear program of ``expand`` / ``leaf`` / ``check`` steps over slot
+columns, and each step sweeps the whole table of partial matches at C speed
+(list comprehensions over int tuples) instead of recursing per e-node with
+per-step ``dict`` copies.  Because the steps execute in pattern pre-order
+and every expansion preserves row order, the match stream is *identical* —
+match for match — to the recursive reference matcher, so truncation by the
+back-off scheduler's budget cuts the same suffix on both engines.
+
+Bit-identity contract
+---------------------
+
+The object-graph engine stays the property-test oracle (the
+``extraction_reference.py`` freeze is the template): for any input,
+saturating with either engine must produce byte-identical snapshot
+artifacts.  That works because this class mirrors ``EGraph``'s mutation
+logic *operation for operation* — hashcons insertion/eviction order,
+parent-list append order, the rebuild work-set iteration, leader selection
+by parent-list length — and :meth:`export_state` decodes the interned ids
+back into the exact structures ``EGraph.export_state`` produces (the
+union-find array is exported fully path-compressed by both engines, so
+search-layer differences cannot leak into snapshots).
+
+Cross-engine round-trips are therefore free: ``DenseEGraph.from_state(
+python_graph.export_state())`` and the reverse direction both preserve all
+observable state, which is how checkpoints written by one engine resume
+under the other.
+"""
+
+from __future__ import annotations
+
+from operator import itemgetter
+from typing import (
+    AbstractSet,
+    Dict,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from .egraph import EGraph, enode_sort_key
+from .enode import ENode, Op, OPERATOR_ARITIES
+from .pattern import (
+    _MAX_PIVOT_DEPTH,
+    _PIVOT_ADVANTAGE,
+    MatchPlan,
+    Pattern,
+    PatternNode,
+    PatternVar,
+    Subst,
+)
+
+__all__ = ["DenseEGraph", "as_engine", "ENGINES", "DEFAULT_ENGINE"]
+
+#: Recognised values of the ``engine`` option.
+ENGINES = ("dense", "python")
+
+#: The default saturation backend.
+DEFAULT_ENGINE = "dense"
+
+#: Candidate roots are fed through the batched matcher in chunks of this
+#: many classes, so a rule whose budget is exceeded stops matching after
+#: the current chunk instead of materialising every match in the e-graph.
+_ROOT_CHUNK = 256
+
+
+class _DenseClass:
+    """Per-class storage: node ids and a flat ``[node, class, ...]`` parent
+    list.  ``nodes``/``parents`` decode to the object-graph forms so code
+    written against :class:`~repro.egraph.egraph.EClass` keeps working."""
+
+    __slots__ = ("id", "node_ids", "parent_pairs", "_graph")
+
+    def __init__(self, class_id: int, graph: "DenseEGraph") -> None:
+        self.id = class_id
+        self.node_ids: Set[int] = set()
+        self.parent_pairs: List[int] = []
+        self._graph = graph
+
+    @property
+    def nodes(self) -> Set[ENode]:
+        decode = self._graph._decode
+        return {decode(node_id) for node_id in self.node_ids}
+
+    @property
+    def parents(self) -> List[Tuple[ENode, int]]:
+        decode = self._graph._decode
+        pairs = self.parent_pairs
+        return [(decode(pairs[i]), pairs[i + 1])
+                for i in range(0, len(pairs), 2)]
+
+
+class DenseEGraph:
+    """A congruence-closed e-graph over interned integer e-nodes.
+
+    Drop-in replacement for :class:`~repro.egraph.egraph.EGraph`: same
+    constructors, same queries, same snapshot format.  See the module
+    docstring for the representation and the bit-identity contract.
+    """
+
+    engine = "dense"
+
+    def __init__(self) -> None:
+        # Union-find over class ids (flat parent array).
+        self._uf: List[int] = []
+        # Interning tables.  Payload ids are keyed by the payload *value*
+        # (dict equality), which reproduces ENode equality exactly —
+        # including Python's bool/int unification.
+        self._op_names: List[str] = []
+        self._op_ids: Dict[str, int] = {}
+        self._op_rank: List[int] = []
+        self._payloads: List[Hashable] = []
+        self._payload_ids: Dict[Hashable, int] = {}
+        self._payload_rank: List[int] = []
+        # Node table (struct of arrays + CSR children).
+        self._node_op: List[int] = []
+        self._node_payload: List[int] = []
+        self._node_off: List[int] = [0]
+        self._node_child: List[int] = []
+        self._node_ids: Dict[Tuple[int, ...], int] = {}
+        self._node_obj: List[Optional[ENode]] = []
+        # Canonicalization memo, valid while ``_epoch`` is unchanged (the
+        # epoch advances on every successful union).
+        self._node_canon: List[int] = []
+        self._canon_stamp: List[int] = []
+        self._epoch = 0
+        # Mirrors of EGraph's mutable state, in the int domain.
+        self._classes: Dict[int, _DenseClass] = {}
+        self._hashcons: Dict[int, int] = {}
+        self._pending: List[int] = []
+        self._clean = True
+        self._op_classes: Dict[int, Set[int]] = {}
+        self._dirty: Set[int] = set()
+        self._seq: Dict[int, int] = {}
+        # Derived caches (same invalidation discipline as EGraph).
+        self._enode_cache: Dict[int, List[int]] = {}
+        self._span_cache: Dict[int, Dict[int, Tuple[int, int]]] = {}
+        self._decoded_cache: Dict[int, List[ENode]] = {}
+        # (op, arity) -> class -> (child tuples in span order, span
+        # length): the expand step's working set, shared across rules.
+        # Two levels so the per-row lookup in the hottest loop is an
+        # int-keyed get instead of a fresh 3-tuple hash.
+        self._tail_cache: Dict[
+            Tuple[int, int],
+            Dict[int, Tuple[List[Tuple[int, ...]], int]]] = {}
+        self._class_order: Optional[List[int]] = None
+        self._num_canonical: Optional[int] = None
+        # Compiled matcher/builder programs, keyed by ``id(pattern)``.
+        # Each entry keeps a strong reference to its pattern, which pins
+        # the id for the graph's lifetime (patterns hash recursively, so
+        # hashing them on every search would dominate small searches).
+        self._match_programs: Dict[int, Tuple[Pattern, List[Tuple],
+                                              List[Tuple[str, int]]]] = {}
+        self._build_programs: Dict[int, Tuple[Pattern, List[Tuple]]] = {}
+        #: E-nodes scanned by the batched matcher (in-memory observability
+        #: only; never serialized).
+        self.match_ops = 0
+
+    # ------------------------------------------------------------------
+    # Interning
+    # ------------------------------------------------------------------
+    def _intern_op(self, op: str) -> int:
+        op_id = self._op_ids.get(op)
+        if op_id is None:
+            op_id = len(self._op_names)
+            self._op_ids[op] = op_id
+            self._op_names.append(op)
+            # Recompute lexicographic ranks; relative ranks of existing ops
+            # never change, so cached per-class sort orders stay valid.
+            order = sorted(range(len(self._op_names)),
+                           key=self._op_names.__getitem__)
+            rank = [0] * len(order)
+            for position, index in enumerate(order):
+                rank[index] = position
+            self._op_rank = rank
+        return op_id
+
+    def _intern_payload(self, payload: Hashable) -> int:
+        payload_id = self._payload_ids.get(payload)
+        if payload_id is None:
+            payload_id = len(self._payloads)
+            self._payload_ids[payload] = payload_id
+            self._payloads.append(payload)
+            # Rank by str(payload) — the component enode_sort_key compares —
+            # with the insertion index as a deterministic tie-break.
+            payloads = self._payloads
+            order = sorted(range(len(payloads)),
+                           key=lambda index: (str(payloads[index]), index))
+            rank = [0] * len(order)
+            for position, index in enumerate(order):
+                rank[index] = position
+            self._payload_rank = rank
+        return payload_id
+
+    def _intern_node(self, op_id: int, payload_id: int,
+                     children: Tuple[int, ...]) -> int:
+        key = (op_id, payload_id) + children
+        node_id = self._node_ids.get(key)
+        if node_id is None:
+            node_id = len(self._node_op)
+            self._node_ids[key] = node_id
+            self._node_op.append(op_id)
+            self._node_payload.append(payload_id)
+            self._node_child.extend(children)
+            self._node_off.append(len(self._node_child))
+            self._node_obj.append(None)
+            self._node_canon.append(-1)
+            self._canon_stamp.append(-1)
+        return node_id
+
+    def _intern_enode(self, node: ENode) -> int:
+        """Intern an :class:`ENode` verbatim (children left as given)."""
+        return self._intern_node(self._intern_op(node.op),
+                                 self._intern_payload(node.payload),
+                                 tuple(node.children))
+
+    def _decode(self, node_id: int) -> ENode:
+        node = self._node_obj[node_id]
+        if node is None:
+            offsets = self._node_off
+            children = tuple(
+                self._node_child[offsets[node_id]:offsets[node_id + 1]])
+            node = ENode(self._op_names[self._node_op[node_id]], children,
+                         self._payloads[self._node_payload[node_id]])
+            self._node_obj[node_id] = node
+        return node
+
+    def _canonical(self, node_id: int) -> int:
+        """Canonical interned form of a node (children mapped through find).
+
+        Memoized per union epoch: between unions the union-find mapping is
+        constant, so each node is re-canonicalised at most once per epoch.
+        """
+        if self._canon_stamp[node_id] == self._epoch:
+            return self._node_canon[node_id]
+        offsets = self._node_off
+        low, high = offsets[node_id], offsets[node_id + 1]
+        if low == high:
+            result = node_id
+        else:
+            buffer = self._node_child
+            parent = self._uf
+            find = self._find
+            changed = False
+            children = []
+            for index in range(low, high):
+                child = buffer[index]
+                if parent[child] == child:
+                    children.append(child)
+                    continue
+                children.append(find(child))
+                changed = True
+            if changed:
+                result = self._intern_node(self._node_op[node_id],
+                                           self._node_payload[node_id],
+                                           tuple(children))
+            else:
+                result = node_id
+        self._canon_stamp[node_id] = self._epoch
+        self._node_canon[node_id] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # Union-find
+    # ------------------------------------------------------------------
+    def _find(self, item: int) -> int:
+        parent = self._uf
+        root = item
+        while parent[root] != root:
+            root = parent[root]
+        while parent[item] != root:
+            parent[item], item = root, parent[item]
+        return root
+
+    # ------------------------------------------------------------------
+    # Basic queries (API parity with EGraph)
+    # ------------------------------------------------------------------
+    @property
+    def num_classes(self) -> int:
+        return len(self._classes)
+
+    @property
+    def num_nodes(self) -> int:
+        return sum(len(cls.node_ids) for cls in self._classes.values())
+
+    def num_canonical_nodes(self) -> int:
+        count = self._num_canonical
+        if count is None:
+            count = self._num_canonical = sum(
+                len(self._canonical_ids(class_id))
+                for class_id in self._classes)
+        return count
+
+    @property
+    def is_clean(self) -> bool:
+        return self._clean
+
+    def find(self, class_id: int) -> int:
+        parent = self._uf
+        if parent[class_id] == class_id:
+            return class_id
+        return self._find(class_id)
+
+    def seq(self, class_id: int) -> int:
+        return self._seq[self._find(class_id)]
+
+    def sorted_by_seq(self, ids: Iterable[int]) -> List[int]:
+        return sorted(ids, key=self._seq.__getitem__)
+
+    def _ordered_class_ids(self) -> List[int]:
+        order = self._class_order
+        if order is None:
+            order = self._class_order = self.sorted_by_seq(self._classes.keys())
+        return order
+
+    def classes(self) -> Iterator[_DenseClass]:
+        classes = self._classes
+        return iter([classes[class_id]
+                     for class_id in self._ordered_class_ids()])
+
+    def eclass(self, class_id: int) -> _DenseClass:
+        return self._classes[self._find(class_id)]
+
+    def _canonical_ids(self, root: int) -> List[int]:
+        """Sorted canonical node ids of a class (the int-domain ``enodes``).
+
+        Sorted by ``(op rank, children, payload rank)``, which realises the
+        same total order as :func:`~repro.egraph.egraph.enode_sort_key`
+        over the decoded nodes.
+        """
+        cached = self._enode_cache.get(root)
+        if cached is None:
+            canonical = self._canonical
+            op_rank = self._op_rank
+            payload_rank = self._payload_rank
+            node_op = self._node_op
+            node_payload = self._node_payload
+            offsets = self._node_off
+            buffer = self._node_child
+
+            def sort_key(node_id: int):
+                return (op_rank[node_op[node_id]],
+                        buffer[offsets[node_id]:offsets[node_id + 1]],
+                        payload_rank[node_payload[node_id]])
+
+            cached = sorted({canonical(node_id)
+                             for node_id in self._classes[root].node_ids},
+                            key=sort_key)
+            self._enode_cache[root] = cached
+        return cached
+
+    def _op_spans(self, root: int) -> Dict[int, Tuple[int, int]]:
+        """Map op-code -> contiguous ``[lo, hi)`` span in the class's sorted
+        canonical node-id list (nodes of one op are adjacent by sort order)."""
+        spans = self._span_cache.get(root)
+        if spans is None:
+            ids = self._canonical_ids(root)
+            spans = {}
+            node_op = self._node_op
+            previous = -1
+            start = 0
+            for index, node_id in enumerate(ids):
+                op_id = node_op[node_id]
+                if op_id != previous:
+                    if previous >= 0:
+                        spans[previous] = (start, index)
+                    previous = op_id
+                    start = index
+            if previous >= 0:
+                spans[previous] = (start, len(ids))
+            self._span_cache[root] = spans
+        return spans
+
+    def enodes(self, class_id: int) -> List[ENode]:
+        root = self._find(class_id)
+        decoded = self._decoded_cache.get(root)
+        if decoded is None:
+            decode = self._decode
+            decoded = [decode(node_id)
+                       for node_id in self._canonical_ids(root)]
+            self._decoded_cache[root] = decoded
+        return decoded
+
+    def _invalidate_caches(self) -> None:
+        if self._enode_cache:
+            self._enode_cache.clear()
+            self._span_cache.clear()
+            self._decoded_cache.clear()
+        if self._tail_cache:
+            self._tail_cache.clear()
+        self._class_order = None
+        self._num_canonical = None
+
+    def __contains__(self, node: ENode) -> bool:
+        return self.lookup(node) is not None
+
+    def lookup(self, node: ENode) -> Optional[int]:
+        op_id = self._op_ids.get(node.op)
+        if op_id is None:
+            return None
+        payload_id = self._payload_ids.get(node.payload)
+        if payload_id is None:
+            return None
+        find = self._find
+        key = (op_id, payload_id) + tuple(find(child)
+                                          for child in node.children)
+        node_id = self._node_ids.get(key)
+        if node_id is None:
+            return None
+        found = self._hashcons.get(node_id)
+        return None if found is None else find(found)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add(self, node: ENode) -> int:
+        """Insert an e-node and return its (canonical) e-class id."""
+        find = self._find
+        parent = self._uf
+        node_id = self._intern_node(
+            self._intern_op(node.op), self._intern_payload(node.payload),
+            tuple(child if parent[child] == child else find(child)
+                  for child in node.children))
+        return self._add_node(node_id)
+
+    def _add_node(self, node_id: int) -> int:
+        """Insert an interned node whose children are already canonical."""
+        existing = self._hashcons.get(node_id)
+        if existing is not None:
+            if self._uf[existing] == existing:
+                return existing
+            return self._find(existing)
+        class_id = len(self._uf)
+        self._uf.append(class_id)
+        eclass = _DenseClass(class_id, self)
+        eclass.node_ids.add(node_id)
+        self._classes[class_id] = eclass
+        self._seq[class_id] = class_id  # fresh ids are already monotone
+        self._hashcons[node_id] = class_id
+        offsets = self._node_off
+        buffer = self._node_child
+        classes = self._classes
+        for index in range(offsets[node_id], offsets[node_id + 1]):
+            pairs = classes[buffer[index]].parent_pairs
+            pairs.append(node_id)
+            pairs.append(class_id)
+        self._op_classes.setdefault(self._node_op[node_id],
+                                    set()).add(class_id)
+        self._dirty.add(class_id)
+        # A fresh node lives in a fresh class: no other class's canonical
+        # node list (or op spans) can change, so only the order/count
+        # caches go stale — unions do the wholesale invalidation.
+        self._class_order = None
+        self._num_canonical = None
+        return class_id
+
+    def add_leaf(self, op: str, payload: Hashable) -> int:
+        return self._add_node(self._intern_node(
+            self._intern_op(op), self._intern_payload(payload), ()))
+
+    def var(self, name: str) -> int:
+        return self.add_leaf(Op.VAR, name)
+
+    def const(self, value: bool) -> int:
+        return self.add_leaf(Op.CONST, bool(value))
+
+    def add_term(self, op: str, *children: int) -> int:
+        expected = OPERATOR_ARITIES.get(op)
+        if expected is not None and expected != len(children):
+            raise ValueError(
+                f"operator {op!r} expects {expected} children, "
+                f"got {len(children)}")
+        find = self._find
+        parent = self._uf
+        return self._add_node(self._intern_node(
+            self._intern_op(op), self._intern_payload(None),
+            tuple(child if parent[child] == child else find(child)
+                  for child in children)))
+
+    def add_expr(self, expr) -> int:
+        if isinstance(expr, bool):
+            return self.const(expr)
+        if isinstance(expr, int):
+            return self.const(bool(expr))
+        if isinstance(expr, str):
+            return self.var(expr)
+        if isinstance(expr, tuple) and expr:
+            op = expr[0]
+            children = [self.add_expr(child) for child in expr[1:]]
+            return self.add_term(op, *children)
+        raise TypeError(f"cannot interpret expression {expr!r}")
+
+    # ------------------------------------------------------------------
+    # Union and rebuilding
+    # ------------------------------------------------------------------
+    def union(self, a: int, b: int) -> bool:
+        parent = self._uf
+        root_a = a if parent[a] == a else self._find(a)
+        root_b = b if parent[b] == b else self._find(b)
+        if root_a == root_b:
+            return False
+        classes = self._classes
+        class_a = classes[root_a]
+        class_b = classes[root_b]
+        # Keep the class with more parents as the leader to move less data
+        # (same tie-break as EGraph.union, so both engines elect the same
+        # leaders and export identical parent arrays).
+        if len(class_a.parent_pairs) < len(class_b.parent_pairs):
+            root_a, root_b = root_b, root_a
+            class_a, class_b = class_b, class_a
+        self._uf[root_b] = root_a
+        self._epoch += 1
+        del classes[root_b]
+        class_a.node_ids.update(class_b.node_ids)
+        class_a.parent_pairs.extend(class_b.parent_pairs)
+        seq = self._seq
+        seq_b = seq.pop(root_b)
+        if seq_b < seq[root_a]:
+            seq[root_a] = seq_b
+        self._pending.append(root_a)
+        self._clean = False
+        self._dirty.add(root_a)
+        self._invalidate_caches()
+        return True
+
+    def rebuild(self) -> int:
+        repairs = 0
+        while self._pending:
+            todo = {self._find(class_id) for class_id in self._pending}
+            self._pending.clear()
+            for class_id in todo:
+                repairs += self._repair(class_id)
+        self._clean = True
+        return repairs
+
+    def _repair(self, class_id: int) -> int:
+        find = self._find
+        class_id = find(class_id)
+        eclass = self._classes.get(class_id)
+        if eclass is None:
+            return 0
+        repairs = 0
+        canonical_of = self._canonical
+        stamps = self._canon_stamp
+        canon = self._node_canon
+        hashcons = self._hashcons
+        seen: Dict[int, int] = {}
+        new_pairs: List[int] = []
+        pairs = eclass.parent_pairs
+        # The live list may grow while we scan it (a congruence union can
+        # merge another class into this one); iterate by live length, like
+        # the reference engine's ``for ... in eclass.parents`` does.
+        index = 0
+        while index < len(pairs):
+            parent_node = pairs[index]
+            parent_class = pairs[index + 1]
+            index += 2
+            # Inline _canonical's epoch-memo hit (re-read the epoch each
+            # time — the unions below bump it).
+            if stamps[parent_node] == self._epoch:
+                canonical = canon[parent_node]
+            else:
+                canonical = canonical_of(parent_node)
+            hashcons.pop(parent_node, None)
+            existing = seen.get(canonical)
+            parent_root = find(parent_class)
+            if existing is not None:
+                if find(existing) != parent_root:
+                    self.union(existing, parent_root)
+                    repairs += 1
+                parent_root = find(existing)
+            else:
+                seen[canonical] = parent_root
+            previous = hashcons.get(canonical)
+            if previous is not None and find(previous) != parent_root:
+                self.union(previous, parent_root)
+                repairs += 1
+                parent_root = find(previous)
+            hashcons[canonical] = parent_root
+            new_pairs.append(canonical)
+            new_pairs.append(parent_root)
+        root = find(class_id)
+        current = self._classes.get(root)
+        if current is None:
+            return repairs
+        if root == class_id:
+            current.parent_pairs = new_pairs
+        else:
+            current.parent_pairs.extend(new_pairs)
+        current.node_ids = {canonical_of(node_id)
+                            for node_id in current.node_ids}
+        return repairs
+
+    # ------------------------------------------------------------------
+    # Indexing and maintenance helpers
+    # ------------------------------------------------------------------
+    def class_ids(self) -> List[int]:
+        return list(self._ordered_class_ids())
+
+    def candidate_classes(self, op: str) -> Set[int]:
+        op_id = self._op_ids.get(op)
+        if op_id is None:
+            return set()
+        ids = self._op_classes.get(op_id)
+        if not ids:
+            return set()
+        find = self._find
+        canonical = {find(class_id) for class_id in ids}
+        if len(canonical) != len(ids):
+            self._op_classes[op_id] = set(canonical)
+        return canonical
+
+    def parent_classes(self, class_id: int) -> Set[int]:
+        eclass = self._classes.get(self._find(class_id))
+        if eclass is None:
+            return set()
+        find = self._find
+        pairs = eclass.parent_pairs
+        return {find(pairs[index]) for index in range(1, len(pairs), 2)}
+
+    def peek_dirty(self) -> List[int]:
+        find = self._find
+        return self.sorted_by_seq({find(class_id)
+                                   for class_id in self._dirty})
+
+    def take_dirty(self) -> List[int]:
+        find = self._find
+        dirty = {find(class_id) for class_id in self._dirty}
+        self._dirty.clear()
+        return self.sorted_by_seq(dirty)
+
+    def prune_duplicates(self, ops: Iterable[str]) -> int:
+        op_ids = {self._op_ids[op] for op in ops if op in self._op_ids}
+        removed = 0
+        self._invalidate_caches()
+        canonical_of = self._canonical
+        node_op = self._node_op
+        node_payload = self._node_payload
+        offsets = self._node_off
+        buffer = self._node_child
+        op_rank = self._op_rank
+        payload_rank = self._payload_rank
+
+        def sort_key(node_id: int):
+            return (op_rank[node_op[node_id]],
+                    buffer[offsets[node_id]:offsets[node_id + 1]],
+                    payload_rank[node_payload[node_id]])
+
+        for eclass in self._classes.values():
+            kept: Dict[Tuple, int] = {}
+            new_ids: Set[int] = set()
+            # Canonicalise first, keep duplicates in the sort (the oracle
+            # counts every stale duplicate of a pruned node as removed).
+            for node_id in sorted([canonical_of(node_id)
+                                   for node_id in eclass.node_ids],
+                                  key=sort_key):
+                op_id = node_op[node_id]
+                if op_id in op_ids:
+                    key = (op_id,
+                           tuple(sorted(
+                               buffer[offsets[node_id]:offsets[node_id + 1]])),
+                           node_payload[node_id])
+                    if key in kept:
+                        removed += 1
+                        continue
+                    kept[key] = node_id
+                new_ids.add(node_id)
+            eclass.node_ids = new_ids
+        return removed
+
+    def total_size(self) -> Tuple[int, int]:
+        return self.num_classes, self.num_nodes
+
+    # ------------------------------------------------------------------
+    # Batched e-matching
+    # ------------------------------------------------------------------
+    def _compile_match(self, pattern: Pattern
+                       ) -> Tuple[List[Tuple], List[Tuple[str, int]]]:
+        """Compile a pattern into a pre-order program over row slots.
+
+        Instructions (executed over a table of int-tuple rows):
+
+        * ``("expand", src, op_id, arity, base)`` — for each row, branch on
+          every ``op_id`` e-node of arity ``arity`` in class ``row[src]``,
+          appending the node's children as slots ``base..base+arity-1``;
+        * ``("leaf", src, op_id, payload_id)`` — keep one branch per
+          matching leaf e-node in ``row[src]`` (payload compared by id);
+        * ``("check", src, bound)`` — keep rows with ``row[src] ==
+          row[bound]`` (a repeated pattern variable).
+
+        Slots are allocated in pattern pre-order, so slot index == position
+        in the row tuple, and executing the steps in order reproduces the
+        recursive matcher's depth-first match order exactly.
+        """
+        cached = self._match_programs.get(id(pattern))
+        if cached is not None:
+            return cached[1], cached[2]
+        steps: List[Tuple] = []
+        var_slots: List[Tuple[str, int]] = []
+        bound: Dict[str, int] = {}
+        slot_count = 1
+
+        def walk(node: Pattern, slot: int) -> None:
+            nonlocal slot_count
+            if isinstance(node, PatternVar):
+                previous = bound.get(node.name)
+                if previous is None:
+                    bound[node.name] = slot
+                    var_slots.append((node.name, slot))
+                else:
+                    steps.append(("check", slot, previous))
+                return
+            op_id = self._intern_op(node.op)
+            if node.op in (Op.VAR, Op.CONST):
+                steps.append(("leaf", slot, op_id,
+                              self._intern_payload(node.payload)))
+                return
+            base = slot_count
+            slot_count += len(node.children)
+            steps.append(("expand", slot, op_id, len(node.children), base))
+            for position, child in enumerate(node.children):
+                walk(child, base + position)
+
+        walk(pattern, 0)
+        self._match_programs[id(pattern)] = (pattern, steps, var_slots)
+        return steps, var_slots
+
+    def _expand_tails(self, class_id: int, op_id: int, arity: int
+                      ) -> Tuple[List[Tuple[int, ...]], int]:
+        """Child tuples (in span order) of the class's ``op_id``/``arity``
+        nodes, plus the scanned span length — the expand step's memo."""
+        spans = self._span_cache.get(class_id)
+        if spans is None:
+            spans = self._op_spans(class_id)
+        span = spans.get(op_id)
+        if span is None:
+            entry: Tuple[List[Tuple[int, ...]], int] = ([], 0)
+        else:
+            low, high = span
+            offsets = self._node_off
+            buffer = self._node_child
+            tails = []
+            for node_id in self._enode_cache[class_id][low:high]:
+                start = offsets[node_id]
+                if offsets[node_id + 1] - start == arity:
+                    tails.append(tuple(buffer[start:start + arity]))
+            entry = (tails, high - low)
+        self._tail_cache.setdefault((op_id, arity), {})[class_id] = entry
+        return entry
+
+    def _run_match(self, steps: List[Tuple],
+                   rows: List[Tuple[int, ...]]) -> List[Tuple[int, ...]]:
+        node_payload = self._node_payload
+        span_get = self._span_cache.get
+        op_spans = self._op_spans
+        enode_cache = self._enode_cache
+        tail_cache = self._tail_cache
+        expand_tails = self._expand_tails
+        scanned = 0
+        for step in steps:
+            kind = step[0]
+            if kind == "expand":
+                _, src, op_id, arity, _base = step
+                sub = tail_cache.get((op_id, arity))
+                if sub is None:
+                    sub = tail_cache[(op_id, arity)] = {}
+                sub_get = sub.get
+                new_rows: List[Tuple[int, ...]] = []
+                append = new_rows.append
+                for row in rows:
+                    class_id = row[src]
+                    entry = sub_get(class_id)
+                    if entry is None:
+                        entry = expand_tails(class_id, op_id, arity)
+                    tails, span_length = entry
+                    scanned += span_length
+                    for tail in tails:
+                        append(row + tail)
+                rows = new_rows
+            elif kind == "check":
+                _, src, bound = step
+                rows = [row for row in rows if row[src] == row[bound]]
+            else:  # leaf
+                _, src, op_id, payload_id = step
+                new_rows = []
+                append = new_rows.append
+                for row in rows:
+                    class_id = row[src]
+                    spans = span_get(class_id)
+                    if spans is None:
+                        spans = op_spans(class_id)
+                    span = spans.get(op_id)
+                    if span is None:
+                        continue
+                    low, high = span
+                    scanned += high - low
+                    for node_id in enode_cache[class_id][low:high]:
+                        if node_payload[node_id] == payload_id:
+                            append(row)
+                rows = new_rows
+            if not rows:
+                break
+        self.match_ops += scanned
+        return rows
+
+    def _candidate_roots(self, plan: MatchPlan,
+                         restrict: Optional[AbstractSet[int]]) -> List[int]:
+        """Mirror of :meth:`MatchPlan.candidate_roots` over this engine."""
+        roots: AbstractSet[int] = self.candidate_classes(plan.root_op)
+        if not roots:
+            return []
+        if restrict is not None:
+            return self.sorted_by_seq(roots & restrict)
+        pivot_classes: Optional[AbstractSet[int]] = None
+        pivot_depth = 0
+        for op, depth in plan.op_min_depth.items():
+            if op == plan.root_op:
+                continue
+            classes = self.candidate_classes(op)
+            if not classes:
+                return []
+            if (0 < depth <= _MAX_PIVOT_DEPTH
+                    and (pivot_classes is None
+                         or len(classes) < len(pivot_classes))):
+                pivot_classes, pivot_depth = classes, depth
+        if (pivot_classes is not None
+                and len(pivot_classes) * _PIVOT_ADVANTAGE <= len(roots)):
+            ancestors: AbstractSet[int] = pivot_classes
+            for _ in range(pivot_depth):
+                level: Set[int] = set()
+                for class_id in ancestors:
+                    level |= self.parent_classes(class_id)
+                ancestors = level
+            roots = ancestors & roots
+        return self.sorted_by_seq(roots)
+
+    def plan_search(self, plan: MatchPlan,
+                    restrict: Optional[AbstractSet[int]] = None
+                    ) -> Iterator[Tuple[int, Subst]]:
+        """Batched drop-in for :meth:`MatchPlan.search` on this engine.
+
+        Yields exactly the ``(root, substitution)`` stream the recursive
+        matcher would produce, in the same order; candidate roots are
+        processed in chunks so callers that stop consuming (budget
+        exceeded) do not pay for the rest of the e-graph.
+        """
+        pattern = plan.pattern
+        if isinstance(pattern, PatternVar):
+            classes: Iterable[int] = (self.class_ids() if restrict is None
+                                      else self.sorted_by_seq(restrict))
+            name = pattern.name
+            for class_id in classes:
+                yield class_id, {name: class_id}
+            return
+        steps, var_slots = self._compile_match(pattern)
+        roots = self._candidate_roots(plan, restrict)
+        run = self._run_match
+        if len(var_slots) == 1:
+            name0, slot0 = var_slots[0]
+            for start in range(0, len(roots), _ROOT_CHUNK):
+                seed = [(root,)
+                        for root in roots[start:start + _ROOT_CHUNK]]
+                for row in run(steps, seed):
+                    yield row[0], {name0: row[slot0]}
+            return
+        names = tuple(name for name, _ in var_slots)
+        # itemgetter needs two slots to return a tuple; zero-var (ground)
+        # patterns fall back to the comprehension, which yields {}.
+        if len(var_slots) < 2:
+            for start in range(0, len(roots), _ROOT_CHUNK):
+                seed = [(root,)
+                        for root in roots[start:start + _ROOT_CHUNK]]
+                for row in run(steps, seed):
+                    yield row[0], {name: row[slot]
+                                   for name, slot in var_slots}
+            return
+        pick = itemgetter(*(slot for _, slot in var_slots))
+        for start in range(0, len(roots), _ROOT_CHUNK):
+            seed = [(root,) for root in roots[start:start + _ROOT_CHUNK]]
+            for row in run(steps, seed):
+                yield row[0], dict(zip(names, pick(row)))
+
+    def _compile_build(self, pattern: Pattern) -> List[Tuple]:
+        """Compile a rule right-hand side into a post-order stack program.
+
+        Instructions (executed over a stack of class ids):
+
+        * ``("var", name)`` — push ``subst[name]``;
+        * ``("leaf", op_id, payload_id)`` — add a leaf node, push its
+          class;
+        * ``("node", op_id, payload_id, arity)`` — pop ``arity`` children
+          (mapped through find), add the node, push its class.
+
+        Post-order emission interns ops/payloads in the same order the
+        recursive instantiation would, and arity errors surface at
+        compile time — before any mutation, like the recursive version.
+        """
+        steps: List[Tuple] = []
+
+        def walk(node: Pattern) -> None:
+            if isinstance(node, PatternVar):
+                steps.append(("var", node.name))
+                return
+            if node.op in (Op.VAR, Op.CONST):
+                steps.append(("leaf", self._intern_op(node.op),
+                              self._intern_payload(node.payload)))
+                return
+            expected = OPERATOR_ARITIES.get(node.op)
+            if expected is not None and expected != len(node.children):
+                raise ValueError(
+                    f"operator {node.op!r} expects {expected} children, "
+                    f"got {len(node.children)}")
+            for child in node.children:
+                walk(child)
+            steps.append(("node", self._intern_op(node.op),
+                          self._intern_payload(None), len(node.children)))
+
+        walk(pattern)
+        if (len(steps) > 1 and steps[-1][0] == "node"
+                and steps[-1][3] == len(steps) - 1
+                and all(step[0] == "var" for step in steps[:-1])):
+            # One operator over pattern variables is the dominant rule
+            # shape; collapse it to a single instruction so instantiation
+            # skips the stack machine entirely.
+            _, op_id, payload_id, arity = steps[-1]
+            steps = [("simple", op_id, payload_id,
+                      tuple(step[1] for step in steps[:-1]))]
+        self._build_programs[id(pattern)] = (pattern, steps)
+        return steps
+
+    def instantiate_pattern(self, pattern: Pattern, subst: Subst) -> int:
+        """Instantiate a rule right-hand side without building ENodes."""
+        cached = self._build_programs.get(id(pattern))
+        if cached is not None:
+            steps = cached[1]
+        else:
+            steps = self._compile_build(pattern)
+        find = self._find
+        intern_node = self._intern_node
+        add_node = self._add_node
+        first = steps[0]
+        if first[0] == "simple":
+            parent = self._uf
+            children: List[int] = []
+            append_child = children.append
+            try:
+                for name in first[3]:
+                    child = subst[name]
+                    append_child(child if parent[child] == child
+                                 else find(child))
+            except KeyError as error:
+                raise KeyError(
+                    f"pattern variable {name} unbound during "
+                    "instantiation") from error
+            node_id = intern_node(first[1], first[2], tuple(children))
+            existing = self._hashcons.get(node_id)
+            if existing is not None and parent[existing] == existing:
+                return existing
+            return add_node(node_id)
+        stack: List[int] = []
+        append = stack.append
+        for step in steps:
+            kind = step[0]
+            if kind == "node":
+                _, op_id, payload_id, arity = step
+                if arity == 2:
+                    children = (find(stack[-2]), find(stack[-1]))
+                    del stack[-2:]
+                else:
+                    children = tuple(find(item) for item in stack[-arity:])
+                    del stack[-arity:]
+                append(add_node(intern_node(op_id, payload_id, children)))
+            elif kind == "var":
+                name = step[1]
+                try:
+                    append(subst[name])
+                except KeyError as error:
+                    raise KeyError(
+                        f"pattern variable {name} unbound during "
+                        "instantiation") from error
+            else:  # leaf
+                append(add_node(intern_node(step[1], step[2], ())))
+        return stack[0]
+
+    # ------------------------------------------------------------------
+    # Snapshot support (repro.store)
+    # ------------------------------------------------------------------
+    def export_state(self) -> Dict[str, object]:
+        """Identical structure (and, downstream, identical bytes) to
+        :meth:`EGraph.export_state` — interned ids decode back to e-nodes
+        and the union-find is exported fully path-compressed."""
+        decode = self._decode
+        classes = {}
+        for class_id in sorted(self._classes):
+            eclass = self._classes[class_id]
+            pairs = eclass.parent_pairs
+            classes[class_id] = (
+                sorted((decode(node_id) for node_id in eclass.node_ids),
+                       key=enode_sort_key),
+                [(decode(pairs[index]), pairs[index + 1])
+                 for index in range(0, len(pairs), 2)],
+            )
+        find = self._find
+        return {
+            "parents_array": [find(item) for item in range(len(self._uf))],
+            "classes": classes,
+            "hashcons": {decode(node_id): class_id
+                         for node_id, class_id in self._hashcons.items()},
+            "pending": list(self._pending),
+            "clean": self._clean,
+            "dirty": sorted(self._dirty),
+            "seq": dict(self._seq),
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "DenseEGraph":
+        graph = cls()
+        graph._uf = list(state["parents_array"])
+        intern = graph._intern_enode
+        for class_id, (nodes, parents) in state["classes"].items():
+            eclass = _DenseClass(class_id, graph)
+            eclass.node_ids = {intern(node) for node in nodes}
+            flat: List[int] = []
+            for node, parent_class in parents:
+                flat.append(intern(node))
+                flat.append(parent_class)
+            eclass.parent_pairs = flat
+            graph._classes[class_id] = eclass
+            for node_id in eclass.node_ids:
+                graph._op_classes.setdefault(graph._node_op[node_id],
+                                             set()).add(class_id)
+        graph._hashcons = {intern(node): class_id
+                           for node, class_id in state["hashcons"].items()}
+        graph._pending = list(state["pending"])
+        graph._clean = bool(state["clean"])
+        graph._dirty = set(state["dirty"])
+        graph._seq = dict(state["seq"])
+        return graph
+
+    def dump(self, limit: int = 50) -> str:  # pragma: no cover - debugging aid
+        lines = []
+        for count, eclass in enumerate(self._classes.values()):
+            if count >= limit:
+                lines.append("...")
+                break
+            nodes = ", ".join(str(node) for node in eclass.nodes)
+            lines.append(f"class {eclass.id}: {nodes}")
+        return "\n".join(lines)
+
+
+def as_engine(egraph, engine: str):
+    """Return ``egraph`` represented by the requested engine.
+
+    Conversion round-trips through :meth:`export_state`, which preserves
+    every bit of observable state, so switching engines mid-pipeline (e.g.
+    resuming a checkpoint written by the other engine) is transparent.
+    Returns the input object unchanged when it already is the right engine.
+    """
+    if engine not in ENGINES:
+        raise ValueError(
+            f"unknown e-graph engine {engine!r}; expected one of {ENGINES}")
+    current = getattr(egraph, "engine", "python")
+    if current == engine:
+        return egraph
+    target = DenseEGraph if engine == "dense" else EGraph
+    return target.from_state(egraph.export_state())

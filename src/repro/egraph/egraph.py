@@ -72,8 +72,17 @@ class EGraph:
     :meth:`find`, plus convenience constructors for Boolean terms.
     """
 
+    #: Engine tag surfaced in runner reports and service stats.  The dense
+    #: struct-of-arrays engine (:class:`repro.egraph.dense.DenseEGraph`)
+    #: overrides this with ``"dense"``.
+    engine = "python"
+
     def __init__(self) -> None:
         self._union_find = UnionFind()
+        #: E-nodes scanned by the e-matcher (in-memory observability only;
+        #: never serialized).  Incremented by the pattern matcher, read by
+        #: the runner to report an effective e-matching rate.
+        self.match_ops = 0
         self._classes: Dict[int, EClass] = {}
         self._hashcons: Dict[ENode, int] = {}
         self._pending: List[int] = []
@@ -90,6 +99,8 @@ class EGraph:
         # class keeps the smaller seq, giving a stable total order over
         # classes that both engines (full-scan and delta) agree on.
         self._seq: Dict[int, int] = {}
+        # Cached num_canonical_nodes(); invalidated with the e-node cache.
+        self._num_canonical: Optional[int] = None
 
     # ------------------------------------------------------------------
     # Basic queries
@@ -114,9 +125,15 @@ class EGraph:
 
         Unlike :attr:`num_nodes` this is invariant under the merge history
         that produced the e-graph, so two saturation engines reaching the
-        same e-graph agree on it exactly.
+        same e-graph agree on it exactly.  The count is cached until the
+        next mutation (it shares the e-node cache's invalidation), so
+        repeated calls between rewrites are O(1).
         """
-        return sum(len(self.enodes(class_id)) for class_id in self._classes)
+        count = self._num_canonical
+        if count is None:
+            count = self._num_canonical = sum(
+                len(self.enodes(class_id)) for class_id in self._classes)
+        return count
 
     @property
     def is_clean(self) -> bool:
@@ -188,6 +205,7 @@ class EGraph:
         if self._enode_cache:
             self._enode_cache.clear()
         self._class_order = None
+        self._num_canonical = None
 
     def __contains__(self, node: ENode) -> bool:
         return node.canonicalize(self.find) in self._hashcons
@@ -213,8 +231,10 @@ class EGraph:
         self._classes[class_id] = eclass
         self._seq[class_id] = class_id  # make_set ids are already monotone
         self._hashcons[canonical] = class_id
+        # ``canonical.children`` are already canonical ids (canonicalize maps
+        # every child through ``find``), so they index ``_classes`` directly.
         for child in canonical.children:
-            self._classes[self.find(child)].parents.append((canonical, class_id))
+            self._classes[child].parents.append((canonical, class_id))
         self._op_classes.setdefault(canonical.op, set()).add(class_id)
         self._dirty.add(class_id)
         self._invalidate_enode_cache()
@@ -437,8 +457,11 @@ class EGraph:
     def export_state(self) -> Dict[str, object]:
         """Return the complete mutable state as plain Python containers.
 
-        Everything a bit-identical restore needs is included: the raw
-        union-find parent array, the per-class node sets and parent lists,
+        Everything a bit-identical restore needs is included: the union-find
+        parent array (exported fully path-compressed — see
+        :meth:`~repro.egraph.unionfind.UnionFind.canonical_list` — so the
+        bytes depend only on the unions performed, not on which searches
+        compressed which paths), the per-class node sets and parent lists,
         the hashcons, pending repairs, the dirty set and the insertion seqs.
         The operator index and the e-node/order caches are *derived* state
         and are rebuilt by :meth:`from_state`.
@@ -457,7 +480,7 @@ class EGraph:
                 list(eclass.parents),
             )
         return {
-            "parents_array": self._union_find.to_list(),
+            "parents_array": self._union_find.canonical_list(),
             "classes": classes,
             "hashcons": dict(self._hashcons),
             "pending": list(self._pending),

@@ -134,7 +134,9 @@ def match_in_class(egraph: EGraph, pattern: Pattern, class_id: int,
             yield subst
         return
 
-    for node in egraph.enodes(class_id):
+    nodes = egraph.enodes(class_id)
+    egraph.match_ops += len(nodes)
+    for node in nodes:
         if node.op != pattern.op:
             continue
         if pattern.op in (Op.VAR, Op.CONST):

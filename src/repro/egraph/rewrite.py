@@ -395,10 +395,18 @@ class _DirtyFrontier:
 def _iter_matches(egraph: EGraph, rule: Rewrite,
                   frontier: Optional[_DirtyFrontier]
                   ) -> Iterator[Tuple[Pattern, int, Subst]]:
-    """Yield the condition-filtered matches of one rule in stable order."""
+    """Yield the condition-filtered matches of one rule in stable order.
+
+    An engine exposing ``plan_search`` (the dense engine's batched matcher)
+    executes the compiled plan itself; the match stream it yields is
+    identical, match for match, to :meth:`MatchPlan.search`.
+    """
+    plan_search = getattr(egraph, "plan_search", None)
     for plan, build in rule.plans():
         restrict = None if frontier is None else frontier.at(plan.height)
-        for class_id, subst in plan.search(egraph, restrict):
+        matches = (plan.search(egraph, restrict) if plan_search is None
+                   else plan_search(plan, restrict))
+        for class_id, subst in matches:
             if rule.condition is not None and not rule.condition(
                     egraph, class_id, subst):
                 continue
@@ -505,10 +513,13 @@ def apply_rules(egraph: EGraph, rules: Sequence[Rewrite],
         planned.extend((rule, build, class_id, subst)
                        for build, class_id, subst in matches)
 
+    instantiate_pattern = getattr(egraph, "instantiate_pattern", None)
     for rule, build, class_id, subst in planned:
         rule_stats = stats[rule.name]
         if rule.applier is not None:
             new_class = rule.applier(egraph, subst)
+        elif instantiate_pattern is not None:
+            new_class = instantiate_pattern(build, subst)
         else:
             new_class = instantiate(egraph, build, subst)
         rule_stats.applications += 1
@@ -555,9 +566,12 @@ def _verify_delta_complete(egraph: EGraph, rules: Sequence[Rewrite],
                     continue  # pending: this round created it, next round sees it
                 suspects.append((rule, build, class_id, subst))
     missed: List[str] = []
+    instantiate_pattern = getattr(egraph, "instantiate_pattern", None)
     for rule, build, class_id, subst in suspects:
         if rule.applier is not None:
             new_class = rule.applier(egraph, subst)
+        elif instantiate_pattern is not None:
+            new_class = instantiate_pattern(build, subst)
         else:
             new_class = instantiate(egraph, build, subst)
         if egraph.union(class_id, new_class):

@@ -138,6 +138,21 @@ class RunnerReport:
     #: In-memory observability only — deliberately not serialized, so a
     #: resumed run still writes byte-identical snapshot payload structure.
     resumed_at: Optional[int] = None
+    #: Saturation backend that executed the run (``"python"`` / ``"dense"``).
+    #: In-memory observability only, like :attr:`resumed_at` — the engines
+    #: are bit-identical, so serializing this would split cache artifacts
+    #: that are in fact interchangeable.
+    engine: str = "python"
+    #: E-nodes scanned by the e-matcher over the run (engine-specific
+    #: metric: the dense engine counts operator-span scans, the reference
+    #: engine full-class scans).  In-memory observability only.
+    ematch_ops: int = 0
+
+    def ematch_ops_per_second(self) -> float:
+        """Effective e-matching rate of the run (0.0 for an empty run)."""
+        if self.total_time <= 0.0:
+            return 0.0
+        return self.ematch_ops / self.total_time
 
     @property
     def num_iterations(self) -> int:
@@ -249,6 +264,7 @@ class Runner:
                 hash seeds and schedulers).
         """
         limits = self.limits
+        ops_start = getattr(egraph, "match_ops", 0)
         if resume_from is not None:
             incremental = resume_from.incremental
             scheduler = resume_from.scheduler
@@ -273,6 +289,7 @@ class Runner:
             egraph.take_dirty()
             dirty = None
             first_iteration = 0
+        report.engine = getattr(egraph, "engine", "python")
         for iteration in range(first_iteration, limits.max_iterations):
             if time.perf_counter() - start > limits.time_limit:
                 report.stop_reason = StopReason.TIME_LIMIT
@@ -334,4 +351,5 @@ class Runner:
         if scheduler is not None:
             report.scheduler_stats = scheduler.stats()
         report.total_time = time.perf_counter() - start
+        report.ematch_ops += getattr(egraph, "match_ops", 0) - ops_start
         return report

@@ -64,6 +64,20 @@ class UnionFind:
         """
         return list(self._parent)
 
+    def canonical_list(self) -> List[int]:
+        """Return the fully path-compressed parent array (a copy).
+
+        Every entry is its root, so the result depends only on the
+        partition and the chosen leaders — not on which :meth:`find` calls
+        happened to compress which paths.  Snapshots use this form: two
+        engines that performed the same unions export identical arrays even
+        though their search layers issued different ``find`` sequences.
+        (The live array is compressed as a side effect, which is
+        unobservable: compression never changes any ``find`` answer.)
+        """
+        find = self.find
+        return [find(item) for item in range(len(self._parent))]
+
     @classmethod
     def from_list(cls, parents: List[int]) -> "UnionFind":
         """Rebuild a union-find from a parent array produced by :meth:`to_list`."""

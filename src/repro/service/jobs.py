@@ -512,10 +512,30 @@ class JobService:
         return view
 
     def stats(self) -> Dict:
-        """Queue depth, lease table and store summary for ``GET /stats``."""
+        """Queue depth, lease table, store summary and saturation-engine
+        telemetry for ``GET /stats``."""
         states: Dict = {state: 0 for state in JOB_STATES}
+        saturation: Dict = {"runs": 0, "ematch_ops": 0,
+                            "saturation_seconds": 0.0, "engines": {}}
         for record in self.records():
             states[record.state] = states.get(record.state, 0) + 1
+            for event in record.events:
+                # Workers stamp completed cold runs with the engine that
+                # saturated them and the e-nodes it scanned (warm serves
+                # carry no ops — nothing was matched).
+                if event.get("event") != "done" or not event.get("ematch_ops"):
+                    continue
+                saturation["runs"] += 1
+                saturation["ematch_ops"] += event["ematch_ops"]
+                saturation["saturation_seconds"] += event.get(
+                    "saturation_seconds", 0.0)
+                engine = event.get("engine") or "unknown"
+                saturation["engines"][engine] = (
+                    saturation["engines"].get(engine, 0) + 1)
+        seconds = saturation["saturation_seconds"]
+        saturation["ematch_ops_per_s"] = (
+            round(saturation["ematch_ops"] / seconds, 1) if seconds else 0.0)
+        saturation["engines"] = dict(sorted(saturation["engines"].items()))
         leases: Dict = {}
         for key, payload in sorted(self.store.leases().items()):
             entry = dict(payload)
@@ -528,6 +548,7 @@ class JobService:
         return {
             "jobs": states,
             "queue_depth": states[STATE_QUEUED],
+            "saturation": saturation,
             "leases": leases,
             "store": {
                 "artifacts": len(entries),

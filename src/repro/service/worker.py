@@ -208,7 +208,8 @@ class ServiceWorker:
             record.add_event("done", now, worker=self.owner,
                              cache_hit=result.cache_hit,
                              extraction_cache_hit=result.extraction_cache_hit,
-                             resumed_phase=result.resumed_phase)
+                             resumed_phase=result.resumed_phase,
+                             **result.saturation_stats())
             service.save(record)
             self.jobs_completed += 1
             return record.job_id

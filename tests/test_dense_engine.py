@@ -1,0 +1,369 @@
+"""Cross-engine A/B properties: the dense SoA engine vs the reference.
+
+The dense struct-of-arrays engine (:mod:`repro.egraph.dense`) promises
+*bit identity* with the reference object-graph engine: same wire bytes,
+same fingerprints, same extraction choices — only faster.  These tests
+enforce that contract from three directions:
+
+* in-process state round-trips (``export_state``/``from_state`` across
+  engines is a byte-preserving bijection),
+* Hypothesis property runs with the reference engine as oracle
+  (identical mutation sequences => identical wire bytes),
+* full-pipeline subprocess runs across ``PYTHONHASHSEED`` values, both
+  schedulers, and cross-engine checkpoint resume — a checkpoint written
+  under one engine resumed under the other must land on the same bytes
+  as an uninterrupted run.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aig import AIG, lit_not
+from repro.core import BoolEOptions, BoolEPipeline
+from repro.core.construct import aig_to_egraph
+from repro.core.fa_structure import insert_fa_structures
+from repro.core.rules_basic import basic_rules
+from repro.egraph import (
+    DEFAULT_ENGINE,
+    ENGINES,
+    DenseEGraph,
+    EGraph,
+    Runner,
+    RunnerLimits,
+    as_engine,
+)
+from repro.generators import csa_multiplier
+from repro.opt import post_mapping_flow
+from repro.service import JobService, ServiceWorker
+from repro.store.codec import egraph_to_wire
+
+SRC_DIR = str(Path(__file__).resolve().parent.parent / "src")
+
+
+def _wire_bytes(egraph) -> bytes:
+    return json.dumps(egraph_to_wire(egraph), sort_keys=True).encode()
+
+
+def _mapped_csa3():
+    return post_mapping_flow(csa_multiplier(3).aig)
+
+
+def _subprocess_env(hash_seed: int) -> dict:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = str(hash_seed)
+    env["PYTHONPATH"] = SRC_DIR + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    return env
+
+
+# ----------------------------------------------------------------------
+# Engine registry basics
+# ----------------------------------------------------------------------
+class TestEngineRegistry:
+    def test_dense_is_the_default(self):
+        assert DEFAULT_ENGINE == "dense"
+        assert BoolEOptions().engine == "dense"
+        assert set(ENGINES) == {"dense", "python"}
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="engine"):
+            BoolEOptions(engine="fortran")
+        with pytest.raises(ValueError, match="engine"):
+            as_engine(EGraph(), "fortran")
+
+    def test_as_engine_is_identity_on_matching_engine(self):
+        egraph = EGraph()
+        egraph.var("a")
+        assert as_engine(egraph, "python") is egraph
+        dense = as_engine(egraph, "dense")
+        assert isinstance(dense, DenseEGraph)
+        assert as_engine(dense, "dense") is dense
+
+
+# ----------------------------------------------------------------------
+# State round-trips
+# ----------------------------------------------------------------------
+class TestStateRoundTrip:
+    def _saturated_reference(self):
+        construction = aig_to_egraph(_mapped_csa3())
+        limits = RunnerLimits(max_iterations=6, match_limit=60, ban_length=1)
+        Runner(limits).run(construction.egraph, basic_rules())
+        return construction.egraph
+
+    def test_python_to_dense_preserves_bytes(self):
+        reference = self._saturated_reference()
+        dense = DenseEGraph.from_state(reference.export_state())
+        assert _wire_bytes(dense) == _wire_bytes(reference)
+        assert dense.num_classes == reference.num_classes
+        assert (dense.num_canonical_nodes()
+                == reference.num_canonical_nodes())
+
+    def test_dense_to_python_round_trip_is_bijective(self):
+        reference = self._saturated_reference()
+        dense = DenseEGraph.from_state(reference.export_state())
+        back = EGraph.from_state(dense.export_state())
+        assert _wire_bytes(back) == _wire_bytes(reference)
+
+    def test_class_handouts_match(self):
+        reference = self._saturated_reference()
+        dense = DenseEGraph.from_state(reference.export_state())
+        ref_ids = [eclass.id for eclass in reference.classes()]
+        assert [eclass.id for eclass in dense.classes()] == ref_ids
+        for class_id in ref_ids:
+            assert (dense.enodes(class_id)
+                    == reference.enodes(class_id)), class_id
+            assert dense.seq(class_id) == reference.seq(class_id)
+
+
+# ----------------------------------------------------------------------
+# Reference engine as property-test oracle
+# ----------------------------------------------------------------------
+@st.composite
+def random_aigs(draw):
+    """A small random AIG: a DAG of AND gates over negated fanins."""
+    num_inputs = draw(st.integers(min_value=2, max_value=4))
+    num_gates = draw(st.integers(min_value=1, max_value=12))
+    aig = AIG(name="rand")
+    literals = [aig.add_input(f"x{i}") for i in range(num_inputs)]
+    for _ in range(num_gates):
+        a = literals[draw(st.integers(0, len(literals) - 1))]
+        b = literals[draw(st.integers(0, len(literals) - 1))]
+        if draw(st.booleans()):
+            a = lit_not(a)
+        if draw(st.booleans()):
+            b = lit_not(b)
+        literals.append(aig.and_(a, b))
+    aig.add_output(literals[-1], "f")
+    return aig
+
+
+class TestDenseOracleEquivalence:
+    @given(random_aigs())
+    @settings(max_examples=12, deadline=None)
+    def test_saturation_bit_identical_to_reference(self, aig):
+        """Identical inputs through both engines => identical wire bytes
+        after saturation, pruning and FA structuring."""
+        reference = aig_to_egraph(aig).egraph
+        dense = DenseEGraph.from_state(reference.export_state())
+        limits = RunnerLimits(max_iterations=10, match_limit=12,
+                              ban_length=1)
+        ref_report = Runner(limits).run(reference, basic_rules())
+        dense_report = Runner(limits).run(dense, basic_rules())
+        assert _wire_bytes(dense) == _wire_bytes(reference)
+        assert dense_report.stop_reason == ref_report.stop_reason
+        assert dense_report.num_iterations == ref_report.num_iterations
+        insert_fa_structures(reference)
+        insert_fa_structures(dense)
+        assert _wire_bytes(dense) == _wire_bytes(reference)
+
+    @given(random_aigs())
+    @settings(max_examples=8, deadline=None)
+    def test_full_scan_engine_agrees_too(self, aig):
+        reference = aig_to_egraph(aig).egraph
+        dense = DenseEGraph.from_state(reference.export_state())
+        limits = RunnerLimits(max_iterations=8, match_limit=12,
+                              ban_length=1)
+        Runner(limits, incremental=False).run(reference, basic_rules())
+        Runner(limits, incremental=False).run(dense, basic_rules())
+        assert _wire_bytes(dense) == _wire_bytes(reference)
+
+
+# ----------------------------------------------------------------------
+# Full pipeline across engines, hash seeds and schedulers (subprocess)
+# ----------------------------------------------------------------------
+_ENGINE_PIPELINE_SCRIPT = """
+import hashlib
+import json
+from repro.core import BoolEOptions, BoolEPipeline
+from repro.generators import csa_multiplier
+from repro.opt import post_mapping_flow
+from repro.store.codec import egraph_to_wire
+
+mapped = post_mapping_flow(csa_multiplier(3).aig)
+options = BoolEOptions(r1_iterations=30, r2_iterations=40, match_limit=60,
+                       ban_length=1, incremental={incremental},
+                       engine={engine!r})
+result = BoolEPipeline(options).run(mapped)
+egraph = result.construction.egraph
+wire = json.dumps(egraph_to_wire(egraph), sort_keys=True).encode()
+stats = result.saturation_stats()
+print(json.dumps({{
+    "wire_sha": hashlib.sha256(wire).hexdigest(),
+    "exact_fas": result.num_exact_fas,
+    "npn_fas": result.num_npn_fas,
+    "classes": egraph.num_classes,
+    "nodes": egraph.num_canonical_nodes(),
+    "total_bans": (result.r1_report.total_bans()
+                   + result.r2_report.total_bans()),
+    "r1_stop": result.r1_report.stop_reason,
+    "r2_stop": result.r2_report.stop_reason,
+    "engine_reported": stats["engine"],
+    "counted_ops": stats["ematch_ops"] > 0,
+}}))
+"""
+
+
+def _run_engine_pipeline(engine: str, hash_seed: int,
+                         incremental: bool = True) -> dict:
+    script = _ENGINE_PIPELINE_SCRIPT.format(engine=engine,
+                                            incremental=incremental)
+    proc = subprocess.run([sys.executable, "-c", script],
+                          env=_subprocess_env(hash_seed),
+                          capture_output=True, text=True, timeout=600)
+    assert proc.returncode == 0, proc.stderr
+    return json.loads(proc.stdout)
+
+
+def _strip_telemetry(row: dict) -> dict:
+    return {key: value for key, value in row.items()
+            if key not in ("engine_reported", "counted_ops")}
+
+
+class TestPipelineEngineEquivalence:
+    def test_bit_identical_across_engines_and_hash_seeds(self):
+        """dense(seed A), dense(seed B) and python(seed C) all produce the
+        same saturated artifact bytes, ban schedule included."""
+        dense_a = _run_engine_pipeline("dense", hash_seed=0)
+        dense_b = _run_engine_pipeline("dense", hash_seed=98765)
+        python_c = _run_engine_pipeline("python", hash_seed=31337)
+        assert dense_a["total_bans"] > 0, "budget never exceeded; vacuous"
+        assert dense_a["engine_reported"] == "dense"
+        assert python_c["engine_reported"] == "python"
+        assert dense_a["counted_ops"] and python_c["counted_ops"]
+        assert _strip_telemetry(dense_a) == _strip_telemetry(dense_b)
+        assert _strip_telemetry(dense_a) == _strip_telemetry(python_c)
+
+    def test_full_scan_scheduler_agrees_across_engines(self):
+        dense = _run_engine_pipeline("dense", hash_seed=1,
+                                     incremental=False)
+        python = _run_engine_pipeline("python", hash_seed=2,
+                                      incremental=False)
+        assert _strip_telemetry(dense) == _strip_telemetry(python)
+
+
+# ----------------------------------------------------------------------
+# Cross-engine checkpoint resume (subprocess)
+# ----------------------------------------------------------------------
+_CHECKPOINT_SCRIPT = """
+import hashlib
+import json
+import sys
+from repro.core.construct import aig_to_egraph
+from repro.core.rules_basic import basic_rules
+from repro.core.rules_xor_maj import identification_rules
+from repro.egraph import Runner, RunnerLimits, as_engine
+from repro.generators import csa_multiplier
+from repro.opt import post_mapping_flow
+from repro.store import load_checkpoint, save_checkpoint
+from repro.store.codec import egraph_to_wire
+
+mode, path, engine = sys.argv[1], sys.argv[2], sys.argv[3]
+aig = post_mapping_flow(csa_multiplier(3).aig)
+rules = basic_rules() + identification_rules(True)
+limits = RunnerLimits(max_iterations=12, match_limit=60, ban_length=1)
+
+def signature(egraph):
+    wire = json.dumps(egraph_to_wire(egraph), sort_keys=True).encode()
+    return hashlib.sha256(wire).hexdigest()
+
+if mode == "full":
+    egraph = as_engine(aig_to_egraph(aig).egraph, engine)
+    Runner(limits).run(egraph, rules)
+    print(signature(egraph))
+elif mode == "checkpoint":
+    egraph = as_engine(aig_to_egraph(aig).egraph, engine)
+    saved = []
+    def on_checkpoint(cp):
+        if not saved:
+            save_checkpoint(path, egraph, cp)
+            saved.append(cp.iteration)
+    Runner(limits).run(egraph, rules, checkpoint_every=3,
+                       on_checkpoint=on_checkpoint)
+    print(saved[0] if saved else -1)
+else:
+    egraph, cp = load_checkpoint(path)
+    egraph = as_engine(egraph, engine)
+    Runner.from_checkpoint(cp).run(egraph, rules, resume_from=cp)
+    print(signature(egraph))
+"""
+
+
+def _checkpoint_subprocess(mode: str, path: str, engine: str,
+                           hash_seed: int) -> str:
+    proc = subprocess.run(
+        [sys.executable, "-c", _CHECKPOINT_SCRIPT, mode, path, engine],
+        env=_subprocess_env(hash_seed), capture_output=True, text=True,
+        timeout=600)
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout.strip()
+
+
+class TestCrossEngineCheckpointResume:
+    @pytest.mark.parametrize("writer,resumer", [("dense", "python"),
+                                                ("python", "dense")])
+    def test_checkpoint_written_by_one_engine_resumes_under_other(
+            self, writer, resumer, tmp_path):
+        """Kill/resume across the engine boundary: the wire state is
+        engine-neutral, so a mid-saturation checkpoint taken under one
+        engine must resume under the other to the exact same bytes as an
+        uninterrupted reference run."""
+        path = str(tmp_path / "checkpoint.json.gz")
+        reference = _checkpoint_subprocess("full", path, "python",
+                                           hash_seed=0)
+        first = _checkpoint_subprocess("checkpoint", path, writer,
+                                       hash_seed=31337)
+        assert int(first) > 0, "no checkpoint was written"
+        resumed = _checkpoint_subprocess("resume", path, resumer,
+                                         hash_seed=98765)
+        assert resumed == reference
+
+
+# ----------------------------------------------------------------------
+# Telemetry surfacing: RunnerReport and service stats
+# ----------------------------------------------------------------------
+FAST = {"r1_iterations": 2, "r2_iterations": 2, "count_npn": False}
+
+
+class TestTelemetrySurfacing:
+    def test_report_carries_engine_and_ops(self):
+        result = BoolEPipeline(BoolEOptions(**FAST)).run(_mapped_csa3())
+        assert result.r1_report.engine == "dense"
+        assert result.r2_report.engine == "dense"
+        assert result.r1_report.ematch_ops > 0
+        assert result.r1_report.ematch_ops_per_second() >= 0.0
+        stats = result.saturation_stats()
+        assert stats["engine"] == "dense"
+        assert stats["ematch_ops"] > 0
+        assert stats["saturation_seconds"] >= 0.0
+
+    def test_python_engine_still_selectable(self):
+        result = BoolEPipeline(
+            BoolEOptions(engine="python", **FAST)).run(_mapped_csa3())
+        assert result.r1_report.engine == "python"
+        assert result.saturation_stats()["engine"] == "python"
+
+    def test_summary_unchanged_by_telemetry(self):
+        """The warm/cold summary-equality contract: telemetry must live
+        in saturation_stats(), never in summary()."""
+        result = BoolEPipeline(BoolEOptions(**FAST)).run(_mapped_csa3())
+        assert "engine" not in result.summary()
+        assert "ematch_ops" not in result.summary()
+
+    def test_service_stats_aggregate_engine_throughput(self, tmp_path):
+        service = JobService(tmp_path / "store")
+        request = {"arch": "csa", "width": 3, "options": dict(FAST)}
+        queued = service.submit(request)
+        worker = ServiceWorker(service.store, poll_interval=0.01)
+        assert worker.run_once() == queued["job_id"]
+        saturation = service.stats()["saturation"]
+        assert saturation["runs"] == 1
+        assert saturation["ematch_ops"] > 0
+        assert saturation["ematch_ops_per_s"] >= 0.0
+        assert "dense" in saturation["engines"]
