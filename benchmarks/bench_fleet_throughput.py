@@ -1,0 +1,117 @@
+"""Fleet throughput: one server-planned sweep drained by N workers.
+
+The ISSUE-10 acceptance harness: a cold two-prefix sweep (widths 3 and 4,
+``refine_rounds`` ∈ {0, 1, 2} each) is submitted once through
+``JobService.submit_sweep`` — planned server-side into 2 pool leaders and
+4 dependency-gated followers — and then drained by subprocess worker
+fleets of growing size.  The table records wall-clock per fleet size;
+because the two leaders are independent, a second worker can saturate
+width 4 while the first saturates width 3, so on a multi-core host the
+2-worker fleet must beat the 1-worker fleet.  On a single core the
+workers time-slice one CPU and the comparison only measures scheduling
+noise, so the assertion is skipped with a note (same gate as
+``bench_batch_backends.py``).
+
+Every fleet size must also saturate exactly twice — once per distinct
+prefix — regardless of how many workers race: dependents stay invisible
+to ``claimable()`` until their leader's final artifact lands, then
+restore the shared prefix instead of re-matching.
+
+Numbers from this harness are recorded in ``docs/performance.md``.
+"""
+
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from common import print_table
+
+from repro.service import SWEEP_TERMINAL_STATES, JobService
+
+COLUMNS = ["workers", "wall_s", "jobs", "saturations", "jobs_per_s"]
+
+SRC_DIR = str(Path(__file__).resolve().parent.parent / "src")
+
+#: Heavy enough that saturation dominates worker start-up (the wall the
+#: 1-vs-2 comparison measures is compute, not Python import time), light
+#: enough for a nightly lane.
+OPTIONS = {"r1_iterations": 3, "r2_iterations": 3, "count_npn": False}
+
+#: Two independent prefixes × three refine_rounds values.
+SWEEP_REQUEST = {"generator": {"archs": ["csa"], "widths": [4, 5],
+                               "options": OPTIONS,
+                               "option_sets": [{"refine_rounds": value}
+                                               for value in (0, 1, 2)]}}
+
+_DRAIN_TIMEOUT = 600.0
+
+
+def _spawn_workers(store_root, count):
+    env = os.environ.copy()
+    env["PYTHONPATH"] = SRC_DIR + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    return [
+        subprocess.Popen(
+            [sys.executable, "-m", "repro.service", "--root",
+             str(store_root), "work", "--idle-timeout", "5"],
+            env=env, stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT, text=True)
+        for _ in range(count)
+    ]
+
+
+def _drain(service, sweep_id, workers):
+    """Wall-clock seconds from fleet start to the sweep's terminal rollup."""
+    started = time.perf_counter()
+    deadline = started + _DRAIN_TIMEOUT
+    while True:
+        status = service.sweep_status(sweep_id)
+        if status["state"] in SWEEP_TERMINAL_STATES:
+            wall = time.perf_counter() - started
+            break
+        if time.perf_counter() >= deadline:
+            raise TimeoutError(f"sweep still {status['state']!r}")
+        time.sleep(0.1)
+    for proc in workers:
+        proc.communicate(timeout=120)
+        assert proc.returncode == 0
+    return wall, status
+
+
+def test_fleet_throughput(tmp_path):
+    cores = os.cpu_count() or 1
+    fleet_sizes = [1, 2] + ([4] if cores >= 4 else [])
+    rows = []
+    walls = {}
+    for count in fleet_sizes:
+        service = JobService(tmp_path / f"store-{count}")
+        response = service.submit_sweep(dict(SWEEP_REQUEST))
+        assert response["counts"]["pool"] == 2
+        assert response["counts"]["dependent"] == 4
+        workers = _spawn_workers(service.store.root, count)
+        wall, status = _drain(service, response["sweep_id"], workers)
+        assert status["state"] == "done", status
+        jobs = len(response["jobs"])
+        runs = service.stats()["saturation"]["runs"]
+        # One saturation per distinct prefix, no matter the fleet size.
+        assert runs == 2, runs
+        walls[count] = wall
+        rows.append({
+            "workers": count,
+            "wall_s": round(wall, 2),
+            "jobs": jobs,
+            "saturations": runs,
+            "jobs_per_s": round(jobs / wall, 3),
+        })
+    print_table(
+        f"Fleet throughput, 6-job two-prefix sweep ({cores} cores)",
+        rows, COLUMNS)
+
+    # Two workers drain two independent leaders concurrently — a real
+    # speedup only when there are real cores to run them on.
+    if cores >= 2:
+        assert walls[2] < walls[1], walls
+    else:
+        print(f"single core: skipping 2<1 worker assertion {walls}")

@@ -7,6 +7,7 @@ from .batch import (
     BatchPipeline,
     BatchPlan,
     BatchReport,
+    plan_batch,
 )
 from .construct import (
     ConstructionResult,
@@ -50,6 +51,7 @@ __all__ = [
     "BatchPipeline",
     "BatchPlan",
     "BatchReport",
+    "plan_batch",
     "ConstructionResult",
     "PlannedConstruction",
     "aig_to_egraph",

@@ -64,7 +64,16 @@ from concurrent.futures import (
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from ..aig import AIG
 from ..store import ArtifactStore
@@ -78,6 +87,7 @@ __all__ = [
     "BatchPipeline",
     "BatchPlan",
     "BatchReport",
+    "plan_batch",
 ]
 
 #: Auto-chunking splits the cold-job list into roughly this many chunks
@@ -438,7 +448,7 @@ class BatchReport:
 # Worker bodies (module-level so the process backend can pickle them)
 # ----------------------------------------------------------------------
 def _options_cache_key(options: Optional[BoolEOptions]):
-    return None if options is None else dataclasses.astuple(options)
+    return None if options is None else options.cache_token()
 
 
 def _run_one(cache: "_PipelineCache", job: BatchJob,
@@ -555,6 +565,77 @@ def _chunked(indices: Sequence[int], size: int) -> List[List[int]]:
             for start in range(0, len(indices), size)]
 
 
+def plan_batch(jobs: Sequence[BatchJob],
+               pipeline_for: Callable[[Optional[BoolEOptions]],
+                                      BoolEPipeline],
+               store: Optional[ArtifactStore]) -> BatchPlan:
+    """Plan a job list with the prefix-sharing store overlay.
+
+    The shared scheduling brain of :meth:`BatchPipeline.plan` and the
+    service's ``JobService.submit_sweep``: jobs are planned in submission
+    order against one read of the store index *plus* an overlay of what
+    earlier planned jobs will have written, so a sweep sharing one
+    saturated prefix plans as one cold leader and N-1 dependents, and
+    jobs collapsing onto the same final content key are marked as
+    duplicates of the first.  ``pipeline_for`` maps a job's options to a
+    (cached) :class:`BoolEPipeline`; the store is only probed read-only.
+    """
+    started = time.perf_counter()
+    batch = BatchPlan()
+    kinds = store.kinds() if store is not None else None
+    # Keys earlier planned jobs will have written/deleted by the time
+    # a later job runs: later plans see their predecessors' warmth.
+    overlay_writes: set = set()
+    overlay_deletes: set = set()
+    # base_key → name of the cold job that will write it first.
+    prefix_writer: Dict[str, str] = {}
+    seen_final: Dict[str, str] = {}
+    for job in jobs:
+        try:
+            pipeline = pipeline_for(job.options)
+            plan = pipeline.plan(
+                job.aig, store=store,
+                assume_present=tuple(sorted(overlay_writes)),
+                assume_absent=tuple(sorted(overlay_deletes)),
+                kinds=kinds)
+        except Exception as error:  # noqa: BLE001 - bad options/netlist
+            # Schedule it cold; the worker-side capture turns the
+            # same failure into this job's own error item.
+            batch.items.append(BatchItemPlan(
+                name=job.name,
+                error=f"{type(error).__name__}: {error}"))
+            continue
+        item = BatchItemPlan(name=job.name, plan=plan)
+        final_key = plan.final_key
+        canonical = seen_final.get(final_key) if final_key else None
+        if canonical is not None:
+            # Same final content key: interchangeable results.  No
+            # overlay updates — the canonical job already made them.
+            item.duplicate_of = canonical
+            batch.items.append(item)
+            continue
+        if final_key:
+            seen_final[final_key] = job.name
+        if plan.predicts_cache_hit:
+            leader = (prefix_writer.get(plan.base_key)
+                      if plan.base_key else None)
+            if leader is not None:
+                # Warm only via the overlay: the prefix does not
+                # exist yet — its writer must run first.
+                item.prefix_leader = leader
+            else:
+                item.inline = True
+        if store is not None:
+            overlay_writes.update(plan.planned_writes)
+            overlay_deletes.update(plan.planned_deletes)
+            if (plan.base_key and plan.base_key in plan.planned_writes
+                    and plan.base_key not in prefix_writer):
+                prefix_writer[plan.base_key] = job.name
+        batch.items.append(item)
+    batch.plan_seconds = time.perf_counter() - started
+    return batch
+
+
 class BatchPipeline:
     """Run many AIGs through :class:`BoolEPipeline` concurrently.
 
@@ -620,66 +701,8 @@ class BatchPipeline:
         """
         normalized = [self._normalize(job, index)
                       for index, job in enumerate(jobs)]
-        return self._plan(normalized,
-                          _PipelineCache(self.options, self.store_root))
-
-    def _plan(self, normalized: List[BatchJob],
-              cache: _PipelineCache) -> BatchPlan:
-        started = time.perf_counter()
-        batch = BatchPlan()
-        store = cache.store
-        kinds = store.kinds() if store is not None else None
-        # Keys earlier planned jobs will have written/deleted by the time
-        # a later job runs: later plans see their predecessors' warmth.
-        overlay_writes: set = set()
-        overlay_deletes: set = set()
-        # base_key → name of the cold job that will write it first.
-        prefix_writer: Dict[str, str] = {}
-        seen_final: Dict[str, str] = {}
-        for job in normalized:
-            try:
-                pipeline = cache.pipeline_for(job.options)
-                plan = pipeline.plan(
-                    job.aig, store=store,
-                    assume_present=tuple(sorted(overlay_writes)),
-                    assume_absent=tuple(sorted(overlay_deletes)),
-                    kinds=kinds)
-            except Exception as error:  # noqa: BLE001 - bad options/netlist
-                # Schedule it cold; the worker-side capture turns the
-                # same failure into this job's own error item.
-                batch.items.append(BatchItemPlan(
-                    name=job.name,
-                    error=f"{type(error).__name__}: {error}"))
-                continue
-            item = BatchItemPlan(name=job.name, plan=plan)
-            final_key = plan.final_key
-            canonical = seen_final.get(final_key) if final_key else None
-            if canonical is not None:
-                # Same final content key: interchangeable results.  No
-                # overlay updates — the canonical job already made them.
-                item.duplicate_of = canonical
-                batch.items.append(item)
-                continue
-            if final_key:
-                seen_final[final_key] = job.name
-            if plan.predicts_cache_hit:
-                leader = (prefix_writer.get(plan.base_key)
-                          if plan.base_key else None)
-                if leader is not None:
-                    # Warm only via the overlay: the prefix does not
-                    # exist yet — its writer must run first.
-                    item.prefix_leader = leader
-                else:
-                    item.inline = True
-            if store is not None:
-                overlay_writes.update(plan.planned_writes)
-                overlay_deletes.update(plan.planned_deletes)
-                if (plan.base_key and plan.base_key in plan.planned_writes
-                        and plan.base_key not in prefix_writer):
-                    prefix_writer[plan.base_key] = job.name
-            batch.items.append(item)
-        batch.plan_seconds = time.perf_counter() - started
-        return batch
+        cache = _PipelineCache(self.options, self.store_root)
+        return plan_batch(normalized, cache.pipeline_for, cache.store)
 
     def run(self, jobs: Iterable[Union[BatchJob, AIG]]) -> BatchReport:
         """Execute every job and return the aggregated report.
@@ -704,7 +727,8 @@ class BatchPipeline:
         start = time.perf_counter()
         results: Dict[int, BatchItemResult] = {}
         probe_cache = _PipelineCache(self.options, self.store_root)
-        plan = self._plan(normalized, probe_cache)
+        plan = plan_batch(normalized, probe_cache.pipeline_for,
+                          probe_cache.store)
         report.plan = plan
 
         inline: List[int] = []

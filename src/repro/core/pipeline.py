@@ -32,6 +32,7 @@ uninterrupted run) instead of restarting the phase.
 
 from __future__ import annotations
 
+import dataclasses
 import time
 import warnings
 from dataclasses import dataclass, field, replace
@@ -157,6 +158,16 @@ class BoolEOptions:
             "match_limit/ban_length (the alias builds a flat compatibility "
             "scheduler with one-iteration bans)",
             DeprecationWarning, stacklevel=3)
+
+    def cache_token(self) -> Tuple[object, ...]:
+        """Hashable identity of this options object.
+
+        The key under which pipeline caches (the batch overlay planner,
+        the service's per-options pipeline table) share one
+        :class:`BoolEPipeline` — and with it the parsed rulesets and
+        memoized fingerprints — across jobs configured identically.
+        """
+        return dataclasses.astuple(self)
 
 
 @dataclass

@@ -7,15 +7,20 @@ function; this package is the long-lived production layer on top of it
 * :mod:`repro.service.jobs` — the durable job model: ``JobSpec`` /
   ``JobRecord`` persisted as ``kind="job"`` artifacts keyed by the
   planner's final content key, so submission dedups against finished
-  artifacts *and* in-flight jobs before any work is spawned;
+  artifacts *and* in-flight jobs before any work is spawned; plus
+  server-side sweeps (``SweepRecord``): a whole batch planned once with
+  the prefix-sharing overlay and materialised as a DAG of jobs
+  (``depends_on`` edges, ``priority`` ordering, ``requires``
+  capability tags) the fleet drains without re-planning;
 * :mod:`repro.service.leases` — advisory lease sidecars in the store
   (owner + TTL heartbeat, atomic claim, stale takeover) letting multiple
   hosts' fleets claim disjoint shards of a sweep with no coordination
   beyond the shared store;
 * :mod:`repro.service.server` — the asyncio HTTP front door
-  (``POST /jobs``, ``GET /jobs/<id>``, ``GET /jobs/<id>/events``,
-  ``GET /healthz``, ``GET /stats``); warm results are served inline in
-  milliseconds, cold keys are enqueued for the fleet;
+  (``POST /jobs``, ``POST /sweeps``, ``GET /jobs/<id>``,
+  ``GET /jobs/<id>/events``, ``GET /sweeps/<id>``, ``GET /healthz``,
+  ``GET /stats``); warm results are served inline in milliseconds,
+  cold keys are enqueued for the fleet;
 * :mod:`repro.service.worker` — the fleet worker loop: claim a lease,
   run the phase-graph pipeline (kill/resume semantics inherited for
   free), heartbeat, write the terminal job state;
@@ -33,11 +38,18 @@ from .jobs import (
     STATE_PLANNED,
     STATE_QUEUED,
     STATE_RUNNING,
+    SWEEP_DONE,
+    SWEEP_FAILED,
+    SWEEP_RUNNING,
+    SWEEP_SCHEDULES,
+    SWEEP_TERMINAL_STATES,
     TERMINAL_STATES,
     JobRecord,
     JobService,
     JobSpec,
+    SweepRecord,
     job_key,
+    sweep_key,
 )
 from .leases import Lease, LeaseManager, default_owner
 from .server import ServiceServer
@@ -52,11 +64,18 @@ __all__ = [
     "STATE_PLANNED",
     "STATE_QUEUED",
     "STATE_RUNNING",
+    "SWEEP_DONE",
+    "SWEEP_FAILED",
+    "SWEEP_RUNNING",
+    "SWEEP_SCHEDULES",
+    "SWEEP_TERMINAL_STATES",
     "TERMINAL_STATES",
     "JobRecord",
     "JobService",
     "JobSpec",
+    "SweepRecord",
     "job_key",
+    "sweep_key",
     "Lease",
     "LeaseManager",
     "default_owner",

@@ -3,12 +3,17 @@
 Examples::
 
     python -m repro.service --root .store serve --port 8765
-    python -m repro.service --root .store work
+    python -m repro.service --root .store work --capability gpu
     python -m repro.service submit --arch csa --width 4 --port 8765
+    python -m repro.service submit --sweep --archs csa --widths 4,8 \\
+        --refine-rounds 0,1,2 --wait
     python -m repro.service status <job-id> --port 8765
 
 ``serve`` and ``work`` talk to the store directly; ``submit``, ``status``
-and ``stats`` go through a running server over HTTP.
+and ``stats`` go through a running server over HTTP.  ``submit --sweep``
+sends one ``POST /sweeps`` generator request — the server expands the
+``archs × widths × refine-rounds`` cross product, plans it once and
+materialises it as a job DAG for the fleet.
 """
 
 from __future__ import annotations
@@ -20,7 +25,7 @@ import sys
 from typing import Dict, List, Optional
 
 from .client import ServiceClient, ServiceError
-from .jobs import SPEC_ARCHES, TERMINAL_STATES
+from .jobs import SPEC_ARCHES, SWEEP_TERMINAL_STATES, TERMINAL_STATES
 from .server import ServiceServer
 from .worker import ServiceWorker
 
@@ -59,8 +64,12 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="exit after this many idle seconds")
     work.add_argument("--ttl", type=float, default=30.0,
                       help="lease heartbeat TTL, seconds")
+    work.add_argument("--capability", action="append", default=[],
+                      metavar="TAG",
+                      help="capability tag this worker offers (repeatable)")
 
-    submit = commands.add_parser("submit", help="submit a job over HTTP")
+    submit = commands.add_parser("submit",
+                                 help="submit a job or sweep over HTTP")
     _add_common(submit)
     submit.add_argument("--arch", choices=SPEC_ARCHES, default="csa")
     submit.add_argument("--width", type=int, default=4)
@@ -71,13 +80,32 @@ def _build_parser() -> argparse.ArgumentParser:
                         metavar="FIELD=VALUE",
                         help="BoolEOptions override (repeatable)")
     submit.add_argument("--wait", action="store_true",
-                        help="poll the job to a terminal state")
+                        help="poll the job (or sweep) to a terminal state")
+    submit.add_argument("--sweep", action="store_true",
+                        help="POST /sweeps with a generator cross product")
+    submit.add_argument("--archs", default=None, metavar="A,B",
+                        help="sweep arch list (default: --arch)")
+    submit.add_argument("--widths", default=None, metavar="N,M",
+                        help="sweep width list (default: --width)")
+    submit.add_argument("--refine-rounds", default=None, metavar="N,M",
+                        help="sweep option sets over refine_rounds values")
+    submit.add_argument("--priority", type=int, default=0,
+                        help="claim priority for queued sweep jobs")
+    submit.add_argument("--require", action="append", default=[],
+                        metavar="TAG",
+                        help="capability tag the jobs need (repeatable)")
 
     status = commands.add_parser("status", help="query one job over HTTP")
     _add_common(status)
     status.add_argument("job_id")
     status.add_argument("--events", action="store_true",
                         help="stream the job's event log instead")
+
+    sweep = commands.add_parser("sweep", help="query one sweep over HTTP")
+    _add_common(sweep)
+    sweep.add_argument("sweep_id")
+    sweep.add_argument("--wait", action="store_true",
+                       help="poll the sweep to a terminal rollup")
 
     _add_common(commands.add_parser(
         "stats", help="queue/lease/store summary over HTTP"))
@@ -115,9 +143,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _csv(text: str) -> List[str]:
+    return [item for item in (part.strip() for part in text.split(","))
+            if item]
+
+
 def _cmd_work(args: argparse.Namespace) -> int:
-    worker = ServiceWorker(args.root, ttl=args.ttl)
-    print(f"worker {worker.owner} polling {args.root}", flush=True)
+    worker = ServiceWorker(args.root, ttl=args.ttl,
+                           capabilities=args.capability)
+    tags = f" [{', '.join(worker.capabilities)}]" if worker.capabilities \
+        else ""
+    print(f"worker {worker.owner} polling {args.root}{tags}", flush=True)
     try:
         completed = worker.run_forever(max_jobs=args.max_jobs,
                                        idle_timeout=args.idle_timeout)
@@ -130,6 +166,12 @@ def _cmd_work(args: argparse.Namespace) -> int:
 
 def _cmd_submit(args: argparse.Namespace) -> int:
     client = ServiceClient(args.host, args.port)
+    if args.sweep:
+        return _cmd_submit_sweep(client, args)
+    for flag in ("archs", "widths", "refine_rounds"):
+        if getattr(args, flag) is not None:
+            raise SystemExit(
+                f"--{flag.replace('_', '-')} needs --sweep")
     request: Dict = {"arch": args.arch, "width": args.width,
                      "mapped": not args.raw,
                      "options": _parse_options(args.option)}
@@ -139,6 +181,40 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     print(json.dumps(response, indent=2, sort_keys=True))
     if args.wait and response.get("state") not in TERMINAL_STATES:
         final = client.wait(str(response["job_id"]))
+        print(json.dumps(final, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_submit_sweep(client: ServiceClient,
+                      args: argparse.Namespace) -> int:
+    archs = _csv(args.archs) if args.archs is not None else [args.arch]
+    widths_text = (_csv(args.widths) if args.widths is not None
+                   else [str(args.width)])
+    try:
+        widths = [int(width) for width in widths_text]
+    except ValueError:
+        raise SystemExit(f"--widths wants integers, got {args.widths!r}") \
+            from None
+    generator: Dict = {"archs": archs, "widths": widths,
+                       "mapped": not args.raw,
+                       "options": _parse_options(args.option)}
+    if args.refine_rounds is not None:
+        try:
+            rounds = [int(value) for value in _csv(args.refine_rounds)]
+        except ValueError:
+            raise SystemExit("--refine-rounds wants integers, got "
+                             f"{args.refine_rounds!r}") from None
+        generator["option_sets"] = [{"refine_rounds": value}
+                                    for value in rounds]
+    request: Dict = {"generator": generator}
+    if args.priority:
+        request["priority"] = args.priority
+    if args.require:
+        request["requires"] = list(args.require)
+    response = client.submit_sweep(request)
+    print(json.dumps(response, indent=2, sort_keys=True))
+    if args.wait and response.get("state") not in SWEEP_TERMINAL_STATES:
+        final = client.wait_sweep(str(response["sweep_id"]))
         print(json.dumps(final, indent=2, sort_keys=True))
     return 0
 
@@ -153,6 +229,14 @@ def _cmd_status(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    client = ServiceClient(args.host, args.port)
+    status = (client.wait_sweep(args.sweep_id) if args.wait
+              else client.sweep_status(args.sweep_id))
+    print(json.dumps(status, indent=2, sort_keys=True))
+    return 0
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     client = ServiceClient(args.host, args.port)
     print(json.dumps(client.stats(), indent=2, sort_keys=True))
@@ -163,7 +247,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {"serve": _cmd_serve, "work": _cmd_work,
                 "submit": _cmd_submit, "status": _cmd_status,
-                "stats": _cmd_stats}
+                "sweep": _cmd_sweep, "stats": _cmd_stats}
     try:
         return handlers[args.command](args)
     except ServiceError as error:

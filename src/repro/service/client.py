@@ -12,7 +12,7 @@ import json
 import time
 from typing import Dict, Iterator, List, Optional
 
-from .jobs import TERMINAL_STATES
+from .jobs import SWEEP_TERMINAL_STATES, TERMINAL_STATES
 
 
 class ServiceError(RuntimeError):
@@ -70,8 +70,15 @@ class ServiceClient:
         """POST a job spec; returns the submission response."""
         return self._request("POST", "/jobs", payload=request)
 
+    def submit_sweep(self, request: Dict) -> Dict:
+        """POST a sweep request (job list or generator cross product)."""
+        return self._request("POST", "/sweeps", payload=request)
+
     def status(self, job_id: str) -> Dict:
         return self._request("GET", f"/jobs/{job_id}")
+
+    def sweep_status(self, sweep_id: str) -> Dict:
+        return self._request("GET", f"/sweeps/{sweep_id}")
 
     def events(self, job_id: str) -> Iterator[Dict]:
         """Stream a job's NDJSON events until the server closes."""
@@ -100,13 +107,18 @@ class ServiceClient:
 
     # ------------------------------------------------------------------
     def wait(self, job_id: str, *, timeout: float = 120.0,
-             poll_interval: float = 0.2) -> Dict:
+             poll_interval: float = 0.2,
+             deadline: Optional[float] = None) -> Dict:
         """Poll ``/jobs/<id>`` until terminal; returns the final status.
 
-        Raises ``TimeoutError`` when the job is still live at the
-        deadline — the job itself keeps running server-side.
+        ``deadline`` (a ``time.monotonic`` instant) overrides
+        ``timeout`` — multi-job waits pass one shared deadline so the
+        whole batch, not each member, gets the budget.  Raises
+        ``TimeoutError`` when the job is still live at the deadline —
+        the job itself keeps running server-side.
         """
-        deadline = time.monotonic() + timeout
+        if deadline is None:
+            deadline = time.monotonic() + timeout
         while True:
             status = self.status(job_id)
             if status.get("state") in TERMINAL_STATES:
@@ -114,13 +126,19 @@ class ServiceClient:
             if time.monotonic() >= deadline:
                 raise TimeoutError(
                     f"job {job_id} still {status.get('state')!r} "
-                    f"after {timeout:.0f}s")
+                    "at the wait deadline")
             time.sleep(poll_interval)
 
     def sweep(self, requests: List[Dict], *,
               timeout: float = 300.0) -> List[Dict]:
         """Submit several specs and wait for all of them; returns the
-        final status documents in submission order."""
+        final status documents in submission order.
+
+        ``timeout`` is one shared wall-clock budget for the whole sweep:
+        every wait polls against the same deadline, so N slow jobs can
+        never stretch the call to N × timeout.
+        """
+        deadline = time.monotonic() + timeout
         responses = [self.submit(request) for request in requests]
         finals: List[Dict] = []
         for response in responses:
@@ -128,5 +146,24 @@ class ServiceClient:
             if response.get("state") in TERMINAL_STATES:
                 finals.append(self.status(job_id))
             else:
-                finals.append(self.wait(job_id, timeout=timeout))
+                finals.append(self.wait(job_id, deadline=deadline))
         return finals
+
+    def wait_sweep(self, sweep_id: str, *, timeout: float = 300.0,
+                   poll_interval: float = 0.2) -> Dict:
+        """Poll ``/sweeps/<id>`` until its rollup is terminal.
+
+        One shared wall-clock deadline, same semantics as :meth:`wait`;
+        each poll also advances the server-side rollup (sweeps roll up
+        on read).
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.sweep_status(sweep_id)
+            if status.get("state") in SWEEP_TERMINAL_STATES:
+                return status
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"sweep {sweep_id} still {status.get('state')!r} "
+                    "at the wait deadline")
+            time.sleep(poll_interval)

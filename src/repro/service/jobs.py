@@ -33,14 +33,16 @@ import dataclasses
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..aig import AIG
-from ..core import BoolEOptions, BoolEPipeline
+from ..core import BatchJob, BatchPlan, BoolEOptions, BoolEPipeline, \
+    plan_batch
 from ..core.phases import PipelinePlan
 from ..store import (
     KIND_CHECKPOINT,
     KIND_JOB,
+    KIND_SWEEP,
     ArtifactStore,
     SnapshotError,
     aig_from_wire,
@@ -63,10 +65,24 @@ JOB_STATES = (STATE_QUEUED, STATE_PLANNED, STATE_RUNNING,
 LIVE_STATES = frozenset({STATE_QUEUED, STATE_PLANNED, STATE_RUNNING})
 TERMINAL_STATES = frozenset({STATE_DONE, STATE_FAILED})
 
+#: Rollup states of a sweep record (computed from its member jobs).
+SWEEP_RUNNING = "running"
+SWEEP_DONE = "done"
+SWEEP_FAILED = "failed"
+SWEEP_TERMINAL_STATES = frozenset({SWEEP_DONE, SWEEP_FAILED})
+
+#: Schedule classes a sweep item can land in: served inline from the
+#: warm store, queued as an independent cold leader, queued behind a
+#: prefix leader (dependency-gated), or collapsed onto a canonical job.
+SWEEP_SCHEDULES = ("inline", "pool", "dependent", "duplicate")
+
 #: Netlist generators a spec may name instead of shipping an AIG.
 SPEC_ARCHES = ("rca", "csa", "booth", "wallace")
 
 _MAX_WIDTH = 64
+#: Server-side generator expansion cap: a cross product beyond this is a
+#: client error, not a fleet-sized denial of service.
+_MAX_SWEEP_JOBS = 256
 
 #: BoolEOptions fields a spec may override over the wire.
 _OPTION_FIELDS = frozenset(
@@ -81,6 +97,18 @@ def job_key(final_key: str) -> str:
     that equality is what dedups submissions.
     """
     return canonical_digest({"kind": "job-key", "final": final_key})
+
+
+def sweep_key(final_keys: Sequence[str]) -> str:
+    """Stable sweep-record key for a planned batch's final keys.
+
+    Content-derived on purpose: resubmitting the same sweep (same
+    specs against the same codec version) lands on the same record, so
+    sweeps dedup exactly like jobs do.  The member order is irrelevant —
+    a sweep is a set of jobs plus a plan, not a sequence.
+    """
+    return canonical_digest({"kind": "sweep-key",
+                             "finals": sorted(final_keys)})
 
 
 def _build_arch_aig(arch: str, width: int, mapped: bool) -> AIG:
@@ -210,7 +238,13 @@ class JobSpec:
 
 @dataclass
 class JobRecord:
-    """Durable state of one job, serialised as a ``kind="job"`` artifact."""
+    """Durable state of one job, serialised as a ``kind="job"`` artifact.
+
+    The scheduling fields added for sweeps — ``depends_on``,
+    ``priority``, ``requires``, ``sweep_id`` — are queue metadata, not
+    content: they never enter any cache fingerprint, and records written
+    before they existed deserialise with neutral defaults.
+    """
 
     job_id: str
     spec: JobSpec
@@ -226,6 +260,16 @@ class JobRecord:
     resumed_phase: Optional[str] = None
     result: Dict = field(default_factory=dict)
     events: List[Dict] = field(default_factory=list)
+    #: Store keys that must exist before a worker may claim this job —
+    #: the DAG edges of a sweep (each is a prefix leader's final key,
+    #: checked with a cheap :meth:`~repro.store.ArtifactStore.probe`).
+    depends_on: List[str] = field(default_factory=list)
+    #: Claim-ordering key: higher first, age breaks ties.
+    priority: int = 0
+    #: Capability tags a worker must offer to claim this job.
+    requires: List[str] = field(default_factory=list)
+    #: Sweep record this job was materialised by, if any.
+    sweep_id: Optional[str] = None
 
     def to_payload(self) -> Dict:
         return {
@@ -243,6 +287,10 @@ class JobRecord:
             "resumed_phase": self.resumed_phase,
             "result": dict(self.result),
             "events": [dict(event) for event in self.events],
+            "depends_on": list(self.depends_on),
+            "priority": self.priority,
+            "requires": list(self.requires),
+            "sweep_id": self.sweep_id,
         }
 
     @classmethod
@@ -262,6 +310,10 @@ class JobRecord:
             resumed_phase=payload.get("resumed_phase"),
             result=dict(payload.get("result", {})),
             events=[dict(event) for event in payload.get("events", [])],
+            depends_on=[str(key) for key in payload.get("depends_on", [])],
+            priority=int(payload.get("priority", 0)),
+            requires=[str(tag) for tag in payload.get("requires", [])],
+            sweep_id=payload.get("sweep_id"),
         )
 
     def add_event(self, event: str, at: float, **fields: object) -> Dict:
@@ -304,6 +356,123 @@ def plan_summary(plan: PipelinePlan) -> Dict:
     }
 
 
+def _capability_tags(value: object) -> List[str]:
+    """Validate a wire-level capability-tag list (sorted, deduped)."""
+    if not isinstance(value, list) or not all(
+            isinstance(tag, str) and tag for tag in value):
+        raise ValueError("requires must be a list of capability tags")
+    return sorted(set(value))
+
+
+def _priority_value(value: object) -> int:
+    """Validate a wire-level priority (plain int; bool is a type error)."""
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise ValueError("priority must be an integer")
+    return value
+
+
+def _expand_generator(generator: object) -> List[Dict]:
+    """Expand a generator spec into per-job requests (cross product)."""
+    if not isinstance(generator, dict):
+        raise ValueError("generator must be a JSON object")
+    known = {"arch", "archs", "widths", "mapped", "options", "option_sets"}
+    unknown = sorted(set(generator) - known)
+    if unknown:
+        raise ValueError(
+            f"unknown generator fields: {', '.join(unknown)}")
+    archs = generator.get("archs")
+    if archs is None and "arch" in generator:
+        archs = [generator["arch"]]
+    if not isinstance(archs, list) or not archs:
+        raise ValueError("generator needs a non-empty archs list (or arch)")
+    widths = generator.get("widths")
+    if not isinstance(widths, list) or not widths:
+        raise ValueError("generator needs a non-empty widths list")
+    mapped = generator.get("mapped", True)
+    base_options = generator.get("options", {})
+    if not isinstance(base_options, dict):
+        raise ValueError("options must be an object")
+    option_sets = generator.get("option_sets", [{}])
+    if not isinstance(option_sets, list) or not option_sets:
+        raise ValueError("option_sets must be a non-empty list")
+    entries: List[Dict] = []
+    for arch in archs:
+        for width in widths:
+            for option_set in option_sets:
+                if not isinstance(option_set, dict):
+                    raise ValueError("each option set must be an object")
+                entries.append({
+                    "arch": arch, "width": width, "mapped": mapped,
+                    "options": {**base_options, **option_set}})
+    return entries
+
+
+def _sweep_rollup(states: Dict[str, int]) -> str:
+    """Aggregate member-job states into the sweep's rollup state."""
+    total = sum(states.values())
+    if total and states.get(STATE_DONE, 0) == total:
+        return SWEEP_DONE
+    live = sum(states.get(state, 0) for state in sorted(LIVE_STATES))
+    if states.get(STATE_FAILED, 0) and not live:
+        return SWEEP_FAILED
+    return SWEEP_RUNNING
+
+
+@dataclass
+class SweepRecord:
+    """Durable aggregate state of one server-planned sweep.
+
+    Serialised as a ``kind="sweep"`` artifact at :func:`sweep_key` of the
+    member jobs' final keys.  ``items`` records one entry per submitted
+    spec — ``{"name", "job_id", "final_key", "schedule", "depends_on"}``
+    in submission order — and ``counts`` the per-schedule-class totals
+    the planner decided.  ``state`` / ``result`` are the terminal rollup,
+    refreshed from the member job records on every
+    :meth:`JobService.sweep_status` read (sweeps have no worker of their
+    own, so observation is the only actor that can roll them up).
+    """
+
+    sweep_id: str
+    state: str
+    created: float
+    updated: float
+    priority: int = 0
+    requires: List[str] = field(default_factory=list)
+    counts: Dict = field(default_factory=dict)
+    plan: Dict = field(default_factory=dict)
+    items: List[Dict] = field(default_factory=list)
+    result: Dict = field(default_factory=dict)
+
+    def to_payload(self) -> Dict:
+        return {
+            "sweep_id": self.sweep_id,
+            "state": self.state,
+            "created": self.created,
+            "updated": self.updated,
+            "priority": self.priority,
+            "requires": list(self.requires),
+            "counts": dict(self.counts),
+            "plan": dict(self.plan),
+            "items": [dict(item) for item in self.items],
+            "result": dict(self.result),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict) -> "SweepRecord":
+        return cls(
+            sweep_id=payload["sweep_id"],
+            state=payload["state"],
+            created=payload.get("created", 0.0),
+            updated=payload.get("updated", 0.0),
+            priority=int(payload.get("priority", 0)),
+            requires=[str(tag) for tag in payload.get("requires", [])],
+            counts=dict(payload.get("counts", {})),
+            plan=dict(payload.get("plan", {})),
+            items=[dict(item) for item in payload.get("items", [])],
+            result=dict(payload.get("result", {})),
+        )
+
+
 class JobService:
     """Submission, status and bookkeeping shared by server and worker.
 
@@ -318,20 +487,31 @@ class JobService:
         self.store = (store if isinstance(store, ArtifactStore)
                       else ArtifactStore(store))
         self.defaults = options if options is not None else BoolEOptions()
-        self._pipelines: Dict[Tuple[Tuple[str, object], ...],
-                              BoolEPipeline] = {}
+        self._pipelines: Dict[Tuple[object, ...], BoolEPipeline] = {}
 
     # ------------------------------------------------------------------
     # Pipeline / planning
     # ------------------------------------------------------------------
-    def pipeline_for(self, spec: JobSpec) -> BoolEPipeline:
-        signature = spec.options_signature()
-        pipeline = self._pipelines.get(signature)
+    def pipeline_for_options(self,
+                             options: Optional[BoolEOptions]
+                             ) -> BoolEPipeline:
+        """One cached pipeline per distinct resolved options object.
+
+        Keyed on :meth:`~repro.core.BoolEOptions.cache_token`, the same
+        identity the batch overlay planner uses, so sweep planning and
+        single-job submission share pipelines (and their parsed rulesets
+        and memoized fingerprints).
+        """
+        resolved = options if options is not None else self.defaults
+        token = resolved.cache_token()
+        pipeline = self._pipelines.get(token)
         if pipeline is None:
-            pipeline = BoolEPipeline(spec.build_options(self.defaults),
-                                     store=self.store)
-            self._pipelines[signature] = pipeline
+            pipeline = BoolEPipeline(resolved, store=self.store)
+            self._pipelines[token] = pipeline
         return pipeline
+
+    def pipeline_for(self, spec: JobSpec) -> BoolEPipeline:
+        return self.pipeline_for_options(spec.build_options(self.defaults))
 
     def plan_spec(self, spec: JobSpec,
                   aig: Optional[AIG] = None
@@ -373,21 +553,48 @@ class JobService:
         return sorted(loaded, key=lambda record: (record.created,
                                                   record.job_id))
 
-    def claimable(self) -> List[JobRecord]:
-        """Jobs a worker may (try to) claim, oldest first.
+    def claimable(self,
+                  capabilities: Optional[Sequence[str]] = None
+                  ) -> List[JobRecord]:
+        """Jobs a worker may (try to) claim, highest priority first.
 
         Queued jobs, plus planned/running jobs whose lease went stale —
         the owner died, so the next worker takes over and (thanks to the
         phase graph) resumes from the dead worker's deepest checkpoint.
+        Three scheduling gates apply on top:
+
+        * **dependencies** — a record whose ``depends_on`` keys are not
+          all in the store yet is invisible (cheap existence probes, no
+          deserialisation): its prefix leader has not landed the shared
+          boundary artifact, so claiming it would re-saturate the prefix;
+        * **capabilities** — with ``capabilities`` given (a worker's tag
+          set, possibly empty), records requiring tags the worker does
+          not offer are skipped; ``None`` disables the filter (the
+          admin's whole-queue view);
+        * **priority** — survivors sort by ``(-priority, created,
+          job_id)``: explicit priority first, then age.
         """
+        offered = (None if capabilities is None
+                   else frozenset(capabilities))
         ready: List[JobRecord] = []
         for record in self.records():
             if record.state == STATE_QUEUED:
-                ready.append(record)
+                pass
             elif record.state in (STATE_PLANNED, STATE_RUNNING):
                 lease = self.store.read_lease(record.final_key)
-                if self.store.lease_is_stale(lease):
-                    ready.append(record)
+                if not self.store.lease_is_stale(lease):
+                    continue
+            else:
+                continue
+            if (offered is not None
+                    and not frozenset(record.requires) <= offered):
+                continue
+            if record.depends_on \
+                    and not self.store.probe_all(record.depends_on):
+                continue
+            ready.append(record)
+        ready.sort(key=lambda record: (-record.priority, record.created,
+                                       record.job_id))
         return ready
 
     # ------------------------------------------------------------------
@@ -404,6 +611,39 @@ class JobService:
         spec = JobSpec.from_request(request)
         return self.submit_spec(spec)
 
+    def _serve_warm(self, spec: JobSpec, aig: AIG, plan: PipelinePlan,
+                    now: float,
+                    sweep_id: Optional[str] = None
+                    ) -> Tuple[JobRecord, bool]:
+        """Run a fully-warm spec inline and persist its done record.
+
+        Every boundary artifact is in the store, so serving the result
+        costs one snapshot load — no worker round-trip.  Returns the
+        record and whether one already existed.
+        """
+        pipeline = self.pipeline_for(spec)
+        result = pipeline.run(aig, store=self.store)
+        final_key = plan.final_key or ""
+        job_id = job_key(final_key)
+        existing = self.load(job_id)
+        record = existing if existing is not None else JobRecord(
+            job_id=job_id, spec=spec, state=STATE_DONE,
+            base_key=plan.base_key or "", final_key=final_key,
+            extraction_key=plan.extraction_key,
+            created=now, updated=now)
+        record.state = STATE_DONE
+        record.updated = now
+        record.error = None
+        record.result = result.summary()
+        if sweep_id is not None:
+            record.sweep_id = sweep_id
+            record.add_event("served-warm", now, final_key=final_key,
+                             sweep_id=sweep_id)
+        else:
+            record.add_event("served-warm", now, final_key=final_key)
+        self.save(record)
+        return record, existing is not None
+
     def submit_spec(self, spec: JobSpec) -> Dict:
         pipeline, aig, plan = self.plan_spec(spec)
         final_key = plan.final_key or ""
@@ -412,24 +652,11 @@ class JobService:
         now = time.time()
 
         if plan.is_fully_warm:
-            # Every boundary artifact is in the store: serving the result
-            # costs one snapshot load, so do it inline on the front door.
-            result = pipeline.run(aig, store=self.store)
-            record = existing if existing is not None else JobRecord(
-                job_id=job_id, spec=spec, state=STATE_DONE,
-                base_key=plan.base_key or "", final_key=final_key,
-                extraction_key=plan.extraction_key,
-                created=now, updated=now)
-            record.state = STATE_DONE
-            record.updated = now
-            record.error = None
-            record.result = result.summary()
-            record.add_event("served-warm", now, final_key=final_key)
-            self.save(record)
+            record, was_existing = self._serve_warm(spec, aig, plan, now)
             return {
                 "job_id": job_id,
                 "state": STATE_DONE,
-                "duplicate": existing is not None,
+                "duplicate": was_existing,
                 "warm": True,
                 "plan": plan_summary(plan),
                 "result": record.result,
@@ -467,6 +694,259 @@ class JobService:
             "plan": plan_summary(plan),
             "job": record.public_view(),
         }
+
+    # ------------------------------------------------------------------
+    # Sweeps
+    # ------------------------------------------------------------------
+    def expand_sweep_request(self, request: Dict) -> Tuple[
+            List[Tuple[JobSpec, int, List[str]]], int, List[str]]:
+        """Validate a sweep request into ``(spec, priority, requires)``.
+
+        Accepts ``{"jobs": [<job request>, ...]}`` or
+        ``{"generator": {...}}`` — a cross product of
+        ``archs × widths × option_sets`` expanded server-side — plus
+        top-level ``priority`` / ``requires`` defaults each job request
+        may override.  Job names are uniquified with ``#<n>`` suffixes so
+        every sweep item is addressable.  Returns the members plus the
+        sweep-level priority and capability tags; raises ``ValueError``
+        on malformed input or an expansion beyond the server cap.
+        """
+        if not isinstance(request, dict):
+            raise ValueError("sweep request must be a JSON object")
+        priority = _priority_value(request.get("priority", 0))
+        requires = _capability_tags(request.get("requires", []))
+        if ("jobs" in request) == ("generator" in request):
+            raise ValueError(
+                "sweep request needs exactly one of jobs or generator")
+        if "jobs" in request:
+            entries = request["jobs"]
+            if not isinstance(entries, list):
+                raise ValueError("jobs must be a list of job requests")
+        else:
+            entries = _expand_generator(request["generator"])
+        if not entries:
+            raise ValueError("sweep expands to zero jobs")
+        if len(entries) > _MAX_SWEEP_JOBS:
+            raise ValueError(f"sweep expands to {len(entries)} jobs "
+                             f"(cap {_MAX_SWEEP_JOBS})")
+        members: List[Tuple[JobSpec, int, List[str]]] = []
+        seen_names: Dict[str, int] = {}
+        for entry in entries:
+            if not isinstance(entry, dict):
+                raise ValueError("each sweep job must be a JSON object")
+            entry = dict(entry)
+            job_priority = _priority_value(entry.pop("priority", priority))
+            job_requires = _capability_tags(entry.pop("requires", requires))
+            spec = JobSpec.from_request(entry)
+            count = seen_names.get(spec.name, 0)
+            seen_names[spec.name] = count + 1
+            if count:
+                spec.name = f"{spec.name}#{count + 1}"
+            members.append((spec, job_priority, job_requires))
+        return members, priority, requires
+
+    def plan_sweep(self, specs: Sequence[JobSpec]
+                   ) -> Tuple[List[BatchJob], BatchPlan]:
+        """Batch-plan the specs: one store-index read plus the overlay.
+
+        Delegates to :func:`repro.core.plan_batch` — the same scheduling
+        brain :class:`~repro.core.BatchPipeline` uses in-process — with
+        this service's pipeline cache, so a sweep sharing one saturated
+        prefix plans as one cold leader and N-1 dependents.
+        """
+        jobs = [BatchJob(name=spec.name, aig=spec.build_aig(),
+                         options=spec.build_options(self.defaults))
+                for spec in specs]
+        return jobs, plan_batch(jobs, self.pipeline_for_options, self.store)
+
+    def _enqueue_sweep_member(self, spec: JobSpec, plan: PipelinePlan,
+                              now: float, *, sweep_id: str,
+                              depends_on: List[str], priority: int,
+                              requires: List[str],
+                              schedule: str) -> JobRecord:
+        """Queue one sweep member (unless a live record already covers it).
+
+        Cross-sweep dedup: a live record at the same final key keeps its
+        own scheduling metadata untouched — resetting it could strand a
+        claimed lease.  New or terminal records are (re-)queued with the
+        sweep's DAG edges and scheduling tags.
+        """
+        final_key = plan.final_key or ""
+        jid = job_key(final_key)
+        existing = self.load(jid)
+        if existing is not None and existing.state in LIVE_STATES:
+            return existing
+        record = JobRecord(
+            job_id=jid, spec=spec, state=STATE_QUEUED,
+            base_key=plan.base_key or "", final_key=final_key,
+            extraction_key=plan.extraction_key,
+            created=existing.created if existing is not None else now,
+            updated=now,
+            attempts=existing.attempts if existing is not None else 0,
+            depends_on=list(depends_on), priority=priority,
+            requires=list(requires), sweep_id=sweep_id)
+        record.add_event("queued", now, cold_phases=plan.cold_phases,
+                         resume_phase=plan.resume_phase, schedule=schedule,
+                         sweep_id=sweep_id)
+        self.save(record)
+        return record
+
+    def submit_sweep(self, request: Dict) -> Dict:
+        """Plan a whole sweep once, server-side, and materialise it.
+
+        The batch overlay planner classifies every member against one
+        read of the store index; the classification *is* the schedule:
+
+        * ``inline`` — fully warm against the store right now, served on
+          the front door (one snapshot load, no worker);
+        * ``duplicate`` — collapses onto an earlier member's identical
+          final key (same job id, no record written);
+        * ``dependent`` — shares a saturated prefix an earlier cold
+          member will write; queued with ``depends_on=[<leader's final
+          key>]`` so no worker claims it before the leader lands;
+        * ``pool`` — an independent cold job, queued for the fleet.
+
+        A ``kind="sweep"`` record tracks the aggregate.  Raises
+        ``ValueError`` (HTTP 400) when any member fails to plan.
+        """
+        members, priority, requires = self.expand_sweep_request(request)
+        jobs, plan = self.plan_sweep([spec for spec, _, _ in members])
+        errors = sorted((item.name, item.error) for item in plan.items
+                        if item.error is not None)
+        if errors:
+            details = "; ".join(f"{name}: {error}"
+                                for name, error in errors)
+            raise ValueError(f"sweep failed to plan: {details}")
+        finals = {item.name: item.final_key or "" for item in plan.items}
+        sweep_id = sweep_key(list(finals.values()))
+        existing_sweep = self.load_sweep(sweep_id)
+        now = time.time()
+
+        counts: Dict[str, int] = {schedule: 0
+                                  for schedule in SWEEP_SCHEDULES}
+        items: List[Dict] = []
+        for (spec, job_priority, job_requires), job, item in zip(
+                members, jobs, plan.items):
+            item_plan = item.plan
+            if item_plan is None:  # pragma: no cover - errors raised above
+                raise RuntimeError(f"missing plan for {item.name}")
+            final_key = finals[item.name]
+            depends_on: List[str] = []
+            if item.duplicate_of is not None:
+                # Same final key as the canonical member — same job id,
+                # so its record (and result) is already the dedup target.
+                schedule = "duplicate"
+            elif item_plan.is_fully_warm:
+                schedule = "inline"
+                self._serve_warm(spec, job.aig, item_plan, now,
+                                 sweep_id=sweep_id)
+            else:
+                if item.prefix_leader is not None:
+                    schedule = "dependent"
+                    depends_on = [finals[item.prefix_leader]]
+                else:
+                    schedule = "pool"
+                self._enqueue_sweep_member(
+                    spec, item_plan, now, sweep_id=sweep_id,
+                    depends_on=depends_on, priority=job_priority,
+                    requires=job_requires, schedule=schedule)
+            counts[schedule] += 1
+            items.append({
+                "name": item.name,
+                "job_id": job_key(final_key),
+                "final_key": final_key,
+                "schedule": schedule,
+                "depends_on": list(depends_on),
+            })
+
+        sweep = SweepRecord(
+            sweep_id=sweep_id, state=SWEEP_RUNNING,
+            created=(existing_sweep.created
+                     if existing_sweep is not None else now),
+            updated=now, priority=priority, requires=list(requires),
+            counts=counts, plan=dict(plan.summary()), items=items)
+        self.save_sweep(sweep)
+        status = self.sweep_status(sweep_id)
+        if status is None:  # pragma: no cover - just written
+            raise RuntimeError("sweep record vanished after write")
+        return {
+            "sweep_id": sweep_id,
+            "state": status["state"],
+            "duplicate": existing_sweep is not None,
+            "counts": dict(counts),
+            "plan": dict(plan.summary()),
+            "jobs": [dict(entry) for entry in items],
+            "sweep": status,
+        }
+
+    def load_sweep(self, sweep_id: str) -> Optional[SweepRecord]:
+        try:
+            payload = self.store.get(sweep_id, expected_kind=KIND_SWEEP)
+        except SnapshotError:
+            return None
+        if payload is None:
+            return None
+        return SweepRecord.from_payload(payload)
+
+    def save_sweep(self, record: SweepRecord) -> None:
+        self.store.put(record.sweep_id, record.to_payload(),
+                       kind=KIND_SWEEP,
+                       meta={"state": record.state,
+                             "jobs": len(record.items)})
+
+    def sweep_records(self) -> List[SweepRecord]:
+        """All sweep records, oldest first (then by id)."""
+        loaded: List[SweepRecord] = []
+        for key, kind in sorted(self.store.kinds().items()):
+            if kind != KIND_SWEEP:
+                continue
+            record = self.load_sweep(key)
+            if record is not None:
+                loaded.append(record)
+        return sorted(loaded, key=lambda record: (record.created,
+                                                  record.sweep_id))
+
+    def sweep_status(self, sweep_id: str) -> Optional[Dict]:
+        """The ``GET /sweeps/<id>`` view, rolled up from member jobs.
+
+        Sweeps have no worker of their own, so observation is what
+        advances them: every read recomputes the rollup from the member
+        job records and persists it when it changed (or when a terminal
+        rollup has no result summary yet).  ``progress`` additionally
+        reports which queued members are still blocked on un-landed
+        dependency artifacts — the live depth of the DAG.
+        """
+        record = self.load_sweep(sweep_id)
+        if record is None:
+            return None
+        states: Dict[str, int] = {}
+        job_states: Dict[str, str] = {}
+        blocked = 0
+        for item in record.items:
+            job = self.load(str(item.get("job_id", "")))
+            state = job.state if job is not None else STATE_QUEUED
+            job_states[str(item.get("name", ""))] = state
+            states[state] = states.get(state, 0) + 1
+            if job is not None and state == STATE_QUEUED \
+                    and job.depends_on \
+                    and self.store.missing_keys(job.depends_on):
+                blocked += 1
+        rollup = _sweep_rollup(states)
+        if rollup != record.state or (
+                rollup in SWEEP_TERMINAL_STATES and not record.result):
+            record.state = rollup
+            record.updated = time.time()
+            if rollup in SWEEP_TERMINAL_STATES:
+                record.result = {"jobs": len(record.items),
+                                 "states": dict(sorted(states.items()))}
+            self.save_sweep(record)
+        view = record.to_payload()
+        view["progress"] = {
+            "states": dict(sorted(states.items())),
+            "job_states": job_states,
+            "blocked_on_dependency": blocked,
+        }
+        return view
 
     # ------------------------------------------------------------------
     # Status / stats
@@ -517,8 +997,14 @@ class JobService:
         states: Dict = {state: 0 for state in JOB_STATES}
         saturation: Dict = {"runs": 0, "ematch_ops": 0,
                             "saturation_seconds": 0.0, "engines": {}}
+        job_state_by_id: Dict[str, str] = {}
+        blocked_jobs = 0
         for record in self.records():
             states[record.state] = states.get(record.state, 0) + 1
+            job_state_by_id[record.job_id] = record.state
+            if record.state == STATE_QUEUED and record.depends_on \
+                    and not self.store.probe_all(record.depends_on):
+                blocked_jobs += 1
             for event in record.events:
                 # Workers stamp completed cold runs with the engine that
                 # saturated them and the e-nodes it scanned (warm serves
@@ -545,6 +1031,27 @@ class JobService:
         kinds: Dict = {}
         for entry_record in entries:
             kinds[entry_record.kind] = kinds.get(entry_record.kind, 0) + 1
+        # Sweep rollups are recomputed live from the job states gathered
+        # above (the durable sweep state only refreshes on /sweeps/<id>
+        # reads, so it can lag the fleet).
+        sweep_states: Dict[str, int] = {}
+        schedules: Dict[str, int] = {schedule: 0
+                                     for schedule in SWEEP_SCHEDULES}
+        live_sweeps = 0
+        sweeps = self.sweep_records()
+        for sweep in sweeps:
+            member_states: Dict[str, int] = {}
+            for item in sweep.items:
+                state = job_state_by_id.get(str(item.get("job_id", "")),
+                                            STATE_QUEUED)
+                member_states[state] = member_states.get(state, 0) + 1
+            rollup = (_sweep_rollup(member_states) if sweep.items
+                      else sweep.state)
+            sweep_states[rollup] = sweep_states.get(rollup, 0) + 1
+            if rollup not in SWEEP_TERMINAL_STATES:
+                live_sweeps += 1
+            for schedule, count in sorted(sweep.counts.items()):
+                schedules[schedule] = schedules.get(schedule, 0) + count
         return {
             "jobs": states,
             "queue_depth": states[STATE_QUEUED],
@@ -554,5 +1061,12 @@ class JobService:
                 "artifacts": len(entries),
                 "total_bytes": self.store.total_bytes(),
                 "kinds": dict(sorted(kinds.items())),
+            },
+            "sweeps": {
+                "total": len(sweeps),
+                "live": live_sweeps,
+                "states": dict(sorted(sweep_states.items())),
+                "schedules": dict(sorted(schedules.items())),
+                "blocked_on_dependency": blocked_jobs,
             },
         }

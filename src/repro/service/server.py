@@ -9,12 +9,16 @@ Endpoints (see ``docs/service.md``):
 
 * ``POST /jobs`` — submit a job spec; fully-warm results are served
   inline from the store (no worker round-trip), cold keys are enqueued;
+* ``POST /sweeps`` — submit a job list or a generator cross product;
+  planned once server-side and materialised as a DAG of jobs (inline /
+  pool / dependent / duplicate — see ``JobService.submit_sweep``);
 * ``GET /jobs/<id>`` — record + per-phase progress (classification,
   checkpoint presence/ages, ``resumed_phase``);
 * ``GET /jobs/<id>/events`` — phase transitions as NDJSON, streamed
   until the job reaches a terminal state;
+* ``GET /sweeps/<id>`` — sweep record + live member rollup;
 * ``GET /healthz`` — liveness;
-* ``GET /stats`` — queue depth, lease table, store summary.
+* ``GET /stats`` — queue depth, lease table, store summary, sweeps.
 
 Blocking :class:`~repro.service.jobs.JobService` calls (planning, warm
 inline serves) run in the default thread-pool executor so slow clients
@@ -209,6 +213,18 @@ class ServiceServer:
         if path == "/jobs" and method == "POST":
             await self._handle_submit(writer, body)
             return
+        if path == "/sweeps" and method == "POST":
+            await self._handle_submit_sweep(writer, body)
+            return
+        if path.startswith("/sweeps/"):
+            parts = [part for part in path.split("/") if part]
+            if method != "GET":
+                await self._send_json(writer, 405,
+                                      {"error": "method not allowed"})
+                return
+            if len(parts) == 2:
+                await self._handle_sweep_status(writer, parts[1])
+                return
         if path.startswith("/jobs/"):
             parts = [part for part in path.split("/") if part]
             if method != "GET":
@@ -241,6 +257,32 @@ class ServiceServer:
             await self._send_json(writer, 400, {"error": str(error)})
             return
         await self._send_json(writer, 200, response)
+
+    async def _handle_submit_sweep(self, writer: asyncio.StreamWriter,
+                                   body: bytes) -> None:
+        try:
+            request = json.loads(body.decode("utf-8") or "null")
+        except (UnicodeDecodeError, ValueError):
+            await self._send_json(writer, 400, {"error": "invalid JSON body"})
+            return
+        try:
+            response = await self._call(self.service.submit_sweep, request)
+        except ValueError as error:
+            await self._send_json(writer, 400, {"error": str(error)})
+            return
+        await self._send_json(writer, 200, response)
+
+    async def _handle_sweep_status(self, writer: asyncio.StreamWriter,
+                                   sweep_id: str) -> None:
+        try:
+            status = await self._call(self.service.sweep_status, sweep_id)
+        except ValueError:
+            status = None  # malformed id: same 404 as an unknown one
+        if status is None:
+            await self._send_json(writer, 404,
+                                  {"error": f"unknown sweep {sweep_id}"})
+            return
+        await self._send_json(writer, 200, status)
 
     async def _handle_status(self, writer: asyncio.StreamWriter,
                              job_id: str) -> None:

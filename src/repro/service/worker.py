@@ -25,10 +25,11 @@ mirrors ``_REPRO_BATCH_KILL_WORKER_ONCE`` in :mod:`repro.core.batch`.
 from __future__ import annotations
 
 import os
+import random
 import threading
 import time
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Dict, Optional, Sequence, Tuple, Union
 
 from ..core import BoolEOptions
 from ..store import KIND_CHECKPOINT, ArtifactStore
@@ -44,6 +45,9 @@ from .jobs import (
 from .leases import DEFAULT_TTL, Lease, LeaseManager
 
 _KILL_ENV = "_REPRO_SERVICE_KILL_WORKER_ONCE"
+
+#: Idle back-off cap, as a multiple of ``poll_interval``.
+_MAX_BACKOFF_FACTOR = 8
 
 #: Phase name → the legacy key its runtime is filed under in
 #: ``BoolEResult.timings``.
@@ -90,10 +94,15 @@ class ServiceWorker:
                  owner: Optional[str] = None,
                  ttl: float = DEFAULT_TTL,
                  options: Optional[BoolEOptions] = None,
-                 poll_interval: float = 0.25) -> None:
+                 poll_interval: float = 0.25,
+                 capabilities: Optional[Sequence[str]] = None) -> None:
         self.service = JobService(store, options)
         self.leases = LeaseManager(self.service.store, owner=owner, ttl=ttl)
         self.poll_interval = poll_interval
+        #: Tags this worker offers; jobs requiring others are invisible
+        #: to it.  The empty tuple claims only tag-free jobs.
+        self.capabilities: Tuple[str, ...] = tuple(
+            capabilities if capabilities is not None else ())
         self.jobs_completed = 0
 
     @property
@@ -119,11 +128,13 @@ class ServiceWorker:
     def run_once(self) -> Optional[str]:
         """Claim and execute one job; returns its id, or ``None`` idle.
 
-        Walks the claimable queue oldest-first; keys whose lease another
-        worker holds are simply skipped (the back-off of the losing
-        racer), so concurrent workers drain disjoint shards of a sweep.
+        Walks the claimable queue (highest priority first, then oldest;
+        dependency-blocked and capability-mismatched jobs are already
+        filtered out); keys whose lease another worker holds are simply
+        skipped (the back-off of the losing racer), so concurrent
+        workers drain disjoint shards of a sweep.
         """
-        for record in self.service.claimable():
+        for record in self.service.claimable(self.capabilities):
             lease = self.leases.claim(record.final_key)
             if lease is None:
                 continue
@@ -133,20 +144,36 @@ class ServiceWorker:
                 self.leases.release(lease)
         return None
 
+    def _idle_delay(self, idle_streak: int) -> float:
+        """Jittered exponential back-off for consecutive idle polls.
+
+        Doubles per idle poll up to ``8 × poll_interval``, scaled by a
+        uniform [0.5, 1.0) jitter so a fleet of workers that went idle
+        together does not stampede the store index in lock-step.  The
+        jitter is scheduling noise only — it never touches cache keys or
+        serialized output.  One claim resets the streak to zero.
+        """
+        factor = min(_MAX_BACKOFF_FACTOR, 2 ** idle_streak)
+        return self.poll_interval * factor * random.uniform(0.5, 1.0)
+
     def run_forever(self, *, max_jobs: Optional[int] = None,
                     idle_timeout: Optional[float] = None) -> int:
         """Poll-and-execute until stopped; returns jobs completed.
 
         ``max_jobs`` bounds the number of jobs to run (for tests and
         drain-style CLIs); ``idle_timeout`` exits after that many
-        seconds with nothing claimable.
+        seconds with nothing claimable.  Idle polls back off
+        exponentially with jitter (see :meth:`_idle_delay`); any claim
+        snaps the delay back to ``poll_interval``.
         """
         completed = 0
+        idle_streak = 0
         idle_since = time.monotonic()
         while True:
             job_id = self.run_once()
             if job_id is not None:
                 completed += 1
+                idle_streak = 0
                 idle_since = time.monotonic()
                 if max_jobs is not None and completed >= max_jobs:
                     return completed
@@ -154,7 +181,13 @@ class ServiceWorker:
             if (idle_timeout is not None
                     and time.monotonic() - idle_since >= idle_timeout):
                 return completed
-            time.sleep(self.poll_interval)
+            delay = self._idle_delay(idle_streak)
+            if idle_timeout is not None:
+                # Never oversleep past the idle deadline.
+                remaining = idle_timeout - (time.monotonic() - idle_since)
+                delay = min(delay, max(0.0, remaining))
+            idle_streak += 1
+            time.sleep(delay)
 
     # ------------------------------------------------------------------
     def _execute(self, record: JobRecord, lease: Lease) -> Optional[str]:

@@ -21,6 +21,7 @@ from .codec import (
     KIND_EXTRACTION,
     KIND_JOB,
     KIND_SATURATED,
+    KIND_SWEEP,
     SnapshotError,
     SnapshotVersionError,
     aig_from_wire,
@@ -61,6 +62,7 @@ __all__ = [
     "KIND_EXTRACTION",
     "KIND_JOB",
     "KIND_SATURATED",
+    "KIND_SWEEP",
     "SnapshotError",
     "SnapshotVersionError",
     "aig_from_wire",

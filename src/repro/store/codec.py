@@ -65,6 +65,7 @@ __all__ = [
     "KIND_SATURATED",
     "KIND_EXTRACTION",
     "KIND_JOB",
+    "KIND_SWEEP",
     "SnapshotError",
     "SnapshotVersionError",
     "egraph_to_wire",
@@ -116,6 +117,12 @@ KIND_EXTRACTION = "extraction"
 #: final artifact key, the payload tracks queued→running→done), so job
 #: records are excluded from byte-identity guarantees.
 KIND_JOB = "job"
+#: Durable sweep records (:mod:`repro.service.jobs`): one server-side
+#: planned batch fanned out as a DAG of ``kind="job"`` records.  The key
+#: digests the member jobs' final keys; like job records the payload is
+#: mutable coordination state (terminal rollup), excluded from
+#: byte-identity guarantees.
+KIND_SWEEP = "sweep"
 
 
 class SnapshotError(RuntimeError):

@@ -39,7 +39,7 @@ except ImportError:  # pragma: no cover - non-POSIX hosts skip file locking
     fcntl = None  # type: ignore[assignment]
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Tuple, Union
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 from .codec import KIND_JOB, SnapshotError, read_snapshot, write_snapshot
 
@@ -142,6 +142,20 @@ class ArtifactStore:
             kinds = self.kinds()
         kind = kinds.get(key)
         return kind is None or kind == expected_kind
+
+    def missing_keys(self, keys: Iterable[str]) -> List[str]:
+        """Keys among ``keys`` with no artifact on disk (order preserved).
+
+        A batched :meth:`probe` without the kind check: one ``stat`` per
+        key, no payload decode, no mtime bump.  The worker fleet's
+        dependency gate uses it to decide whether a DAG-scheduled job's
+        prerequisites have landed yet.
+        """
+        return [key for key in keys if not self.path_for(key).exists()]
+
+    def probe_all(self, keys: Iterable[str]) -> bool:
+        """True when every key in ``keys`` has an artifact on disk."""
+        return not self.missing_keys(keys)
 
     def put(self, key: str, payload: Dict, *, kind: str,
             meta: Optional[Dict] = None) -> Path:

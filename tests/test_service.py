@@ -18,8 +18,8 @@ from pathlib import Path
 
 import pytest
 
-from repro.core import BatchItemResult, BatchPipeline, BatchReport, \
-    BoolEOptions, BoolEPipeline
+from repro.core import BatchItemResult, BatchJob, BatchPipeline, \
+    BatchReport, BoolEOptions, BoolEPipeline
 from repro.generators import csa_multiplier, ripple_carry_adder
 from repro.opt import post_mapping_flow
 from repro.service import (
@@ -27,6 +27,9 @@ from repro.service import (
     STATE_DUPLICATE,
     STATE_QUEUED,
     STATE_RUNNING,
+    SWEEP_DONE,
+    SWEEP_RUNNING,
+    JobRecord,
     JobService,
     JobSpec,
     LeaseManager,
@@ -34,9 +37,11 @@ from repro.service import (
     ServiceError,
     ServiceServer,
     ServiceWorker,
+    SweepRecord,
     job_key,
+    sweep_key,
 )
-from repro.store import KIND_JOB, ArtifactStore
+from repro.store import KIND_JOB, KIND_SWEEP, ArtifactStore
 
 SRC_DIR = str(Path(__file__).resolve().parent.parent / "src")
 
@@ -559,6 +564,419 @@ class TestCliParser:
         assert before.root == after.root == ".repro-store"
         defaulted = parser.parse_args(["--root", "/tmp/x", "work"])
         assert defaulted.root == "/tmp/x" and defaulted.port == 8765
+
+
+# ----------------------------------------------------------------------
+# Sweeps: server-side planning, DAG scheduling, fleet sharding
+# ----------------------------------------------------------------------
+def sweep_generator_request(widths=(3,), rounds=(0, 1, 2), **extra):
+    """A generator-style sweep request over ``refine_rounds`` values.
+
+    Same saturated prefix per width, so the planner schedules one cold
+    leader and ``len(rounds) - 1`` dependents per width.
+    """
+    request = {"generator": {"archs": ["csa"], "widths": list(widths),
+                             "options": dict(FAST),
+                             "option_sets": [{"refine_rounds": value}
+                                             for value in rounds]}}
+    request.update(extra)
+    return request
+
+
+class TestSweepExpansion:
+    def test_generator_cross_product_and_unique_names(self, tmp_path):
+        service = JobService(tmp_path / "store")
+        members, priority, requires = service.expand_sweep_request(
+            sweep_generator_request(widths=(2, 3), rounds=(0, 1)))
+        assert priority == 0 and requires == []
+        names = [spec.name for spec, _, _ in members]
+        # Same arch/width twice (two option sets) → uniquified suffixes.
+        assert names == ["csa-2", "csa-2#2", "csa-3", "csa-3#2"]
+        rounds = [spec.options["refine_rounds"] for spec, _, _ in members]
+        assert rounds == [0, 1, 0, 1]
+
+    def test_jobs_list_with_per_job_overrides(self, tmp_path):
+        service = JobService(tmp_path / "store")
+        members, priority, requires = service.expand_sweep_request({
+            "priority": 2, "requires": ["fast-host"],
+            "jobs": [fast_request(width=2),
+                     fast_request(width=3, priority=7, requires=["gpu"])]})
+        assert priority == 2 and requires == ["fast-host"]
+        assert [(p, r) for _, p, r in members] == [
+            (2, ["fast-host"]), (7, ["gpu"])]
+
+    @pytest.mark.parametrize("bad", [
+        "not-an-object",
+        {},  # neither jobs nor generator
+        {"jobs": [], "generator": {}},  # both
+        {"jobs": "nope"},
+        {"jobs": []},
+        {"jobs": [fast_request()], "priority": True},
+        {"jobs": [fast_request()], "priority": "high"},
+        {"jobs": [fast_request()], "requires": "gpu"},
+        {"jobs": [fast_request()], "requires": [""]},
+        {"generator": {"widths": [3]}},  # no archs
+        {"generator": {"archs": ["csa"]}},  # no widths
+        {"generator": {"archs": ["csa"], "widths": [3], "bogus": 1}},
+        {"generator": {"archs": ["csa"], "widths": [3],
+                       "option_sets": []}},
+        {"generator": {"archs": ["csa"], "widths": [3],
+                       "option_sets": ["nope"]}},
+    ])
+    def test_rejects_malformed_sweeps(self, tmp_path, bad):
+        service = JobService(tmp_path / "store")
+        with pytest.raises(ValueError):
+            service.expand_sweep_request(bad)
+
+    def test_expansion_cap(self, tmp_path):
+        service = JobService(tmp_path / "store")
+        with pytest.raises(ValueError, match="cap"):
+            service.expand_sweep_request(
+                {"jobs": [fast_request()] * 257})
+
+
+class TestSweepKey:
+    def test_order_insensitive_and_distinct(self):
+        finals = ["ab" * 32, "cd" * 32]
+        assert sweep_key(finals) == sweep_key(list(reversed(finals)))
+        assert len(sweep_key(finals)) == 64
+        assert sweep_key(finals) != sweep_key(finals[:1])
+
+
+class TestSchedulingWire:
+    def test_job_record_scheduling_fields_round_trip(self):
+        spec = JobSpec.from_request(fast_request(width=2))
+        record = JobRecord(
+            job_id="j" * 64, spec=spec, state=STATE_QUEUED,
+            base_key="b" * 64, final_key="f" * 64, extraction_key=None,
+            created=1.0, updated=2.0, depends_on=["d" * 64], priority=3,
+            requires=["gpu"], sweep_id="s" * 64)
+        clone = JobRecord.from_payload(record.to_payload())
+        assert clone == record
+
+    def test_legacy_job_payload_gets_neutral_defaults(self):
+        spec = JobSpec.from_request(fast_request(width=2))
+        payload = JobRecord(
+            job_id="j" * 64, spec=spec, state=STATE_QUEUED,
+            base_key="b" * 64, final_key="f" * 64, extraction_key=None,
+            created=1.0, updated=2.0).to_payload()
+        for legacy_absent in ("depends_on", "priority", "requires",
+                              "sweep_id"):
+            payload.pop(legacy_absent)
+        record = JobRecord.from_payload(payload)
+        assert record.depends_on == [] and record.priority == 0
+        assert record.requires == [] and record.sweep_id is None
+
+    def test_sweep_record_round_trip(self):
+        record = SweepRecord(
+            sweep_id="s" * 64, state=SWEEP_RUNNING, created=1.0,
+            updated=2.0, priority=1, requires=["gpu"],
+            counts={"pool": 1, "dependent": 2},
+            plan={"jobs": 3},
+            items=[{"name": "a", "job_id": "j" * 64,
+                    "final_key": "f" * 64, "schedule": "pool",
+                    "depends_on": []}])
+        assert SweepRecord.from_payload(record.to_payload()) == record
+
+
+class TestSweepSubmission:
+    def test_shared_prefix_plans_one_leader(self, tmp_path):
+        service = JobService(tmp_path / "store")
+        response = service.submit_sweep(sweep_generator_request())
+        assert response["state"] == SWEEP_RUNNING
+        assert response["duplicate"] is False
+        assert response["counts"] == {"inline": 0, "pool": 1,
+                                      "dependent": 2, "duplicate": 0}
+        # The plan ran the same overlay brain BatchPipeline uses.
+        assert response["plan"]["saturations"] == 1
+        jobs = response["jobs"]
+        leader = jobs[0]
+        assert leader["schedule"] == "pool" and leader["depends_on"] == []
+        for dependent in jobs[1:]:
+            assert dependent["schedule"] == "dependent"
+            assert dependent["depends_on"] == [leader["final_key"]]
+        # Durable: a kind="sweep" artifact plus one record per member.
+        assert service.store.kinds()[response["sweep_id"]] == KIND_SWEEP
+        assert len(service.records()) == 3
+        for record in service.records():
+            assert record.sweep_id == response["sweep_id"]
+
+    def test_duplicate_members_collapse(self, tmp_path):
+        service = JobService(tmp_path / "store")
+        response = service.submit_sweep(
+            {"jobs": [fast_request(width=2), fast_request(width=2)]})
+        assert response["counts"]["duplicate"] == 1
+        assert len(service.records()) == 1
+        first, second = response["jobs"]
+        assert first["job_id"] == second["job_id"]
+        assert second["schedule"] == "duplicate"
+
+    def test_drained_sweep_resubmits_all_inline(self, tmp_path):
+        service = JobService(tmp_path / "store")
+        response = service.submit_sweep(sweep_generator_request())
+        worker = ServiceWorker(service.store, poll_interval=0.01)
+        assert worker.run_forever(idle_timeout=1.0) == 3
+        status = service.sweep_status(response["sweep_id"])
+        assert status["state"] == SWEEP_DONE
+        assert status["result"]["states"] == {STATE_DONE: 3}
+        # The identical sweep again: same sweep id, everything inline.
+        again = service.submit_sweep(sweep_generator_request())
+        assert again["sweep_id"] == response["sweep_id"]
+        assert again["duplicate"] is True
+        assert again["state"] == SWEEP_DONE
+        assert again["counts"] == {"inline": 3, "pool": 0,
+                                   "dependent": 0, "duplicate": 0}
+        # Inline serves executed no saturation bodies at all.
+        assert service.stats()["saturation"]["runs"] == 1
+
+    def test_stats_sweeps_section(self, tmp_path):
+        service = JobService(tmp_path / "store")
+        service.submit_sweep(sweep_generator_request())
+        stats = service.stats()
+        assert stats["sweeps"]["total"] == 1
+        assert stats["sweeps"]["live"] == 1
+        assert stats["sweeps"]["states"] == {SWEEP_RUNNING: 1}
+        assert stats["sweeps"]["schedules"]["pool"] == 1
+        assert stats["sweeps"]["schedules"]["dependent"] == 2
+        # Both dependents are queued behind the un-landed leader key.
+        assert stats["sweeps"]["blocked_on_dependency"] == 2
+        ServiceWorker(service.store,
+                      poll_interval=0.01).run_forever(idle_timeout=1.0)
+        stats = service.stats()
+        assert stats["sweeps"]["live"] == 0
+        assert stats["sweeps"]["states"] == {SWEEP_DONE: 1}
+        assert stats["sweeps"]["blocked_on_dependency"] == 0
+
+
+class TestDependencyGating:
+    def test_dependents_invisible_until_leader_lands(self, tmp_path):
+        service = JobService(tmp_path / "store")
+        response = service.submit_sweep(sweep_generator_request())
+        leader_final = response["jobs"][0]["final_key"]
+        claimable = service.claimable()
+        assert [record.job_id for record in claimable] == [
+            response["jobs"][0]["job_id"]]
+        assert service.store.missing_keys([leader_final]) == [leader_final]
+        # The leader's artifact landing is the *only* unblock signal.
+        worker = ServiceWorker(service.store, poll_interval=0.01)
+        assert worker.run_once() == response["jobs"][0]["job_id"]
+        assert service.store.probe_all([leader_final])
+        unblocked = {record.job_id for record in service.claimable()}
+        assert unblocked == {job["job_id"]
+                             for job in response["jobs"][1:]}
+
+    def test_stale_leader_lease_takeover_unblocks_dependents(
+            self, tmp_path):
+        service = JobService(tmp_path / "store")
+        response = service.submit_sweep(sweep_generator_request())
+        leader = service.load(response["jobs"][0]["job_id"])
+        # Simulate a worker dying mid-leader: live state, dying lease.
+        leader.state = STATE_RUNNING
+        leader.worker = "dead:1"
+        service.save(leader)
+        LeaseManager(service.store, owner="dead",
+                     ttl=0.1).claim(leader.final_key)
+        time.sleep(0.2)
+        # Dependents stay blocked; the stale leader is claimable again.
+        assert [record.job_id for record in service.claimable()] == [
+            leader.job_id]
+        successor = ServiceWorker(service.store, ttl=30.0,
+                                  poll_interval=0.01)
+        assert successor.run_forever(idle_timeout=1.0) == 3
+        status = service.sweep_status(response["sweep_id"])
+        assert status["state"] == SWEEP_DONE
+
+
+class TestPriorityAndCapabilities:
+    def test_priority_orders_claimable(self, tmp_path):
+        service = JobService(tmp_path / "store")
+        response = service.submit_sweep({"jobs": [
+            fast_request(width=2),
+            fast_request(width=3, priority=5)]})
+        ordered = [record.job_id for record in service.claimable()]
+        assert ordered == [response["jobs"][1]["job_id"],
+                           response["jobs"][0]["job_id"]]
+
+    def test_capability_gate_filters_claimable(self, tmp_path):
+        service = JobService(tmp_path / "store")
+        service.submit_sweep({"jobs": [fast_request(width=2)],
+                              "requires": ["gpu"]})
+        assert service.claimable(()) == []
+        assert service.claimable(("cpu",)) == []
+        assert len(service.claimable(("gpu", "cpu"))) == 1
+        # None disables the filter: the admin's whole-queue view.
+        assert len(service.claimable(None)) == 1
+
+    def test_worker_without_capability_never_claims(self, tmp_path):
+        service = JobService(tmp_path / "store")
+        response = service.submit_sweep({"jobs": [fast_request(width=2)],
+                                         "requires": ["gpu"]})
+        plain = ServiceWorker(service.store, poll_interval=0.01)
+        assert plain.run_once() is None
+        tagged = ServiceWorker(service.store, poll_interval=0.01,
+                               capabilities=["gpu", "cpu"])
+        assert tagged.run_once() == response["jobs"][0]["job_id"]
+
+
+class TestWorkerIdleBackoff:
+    def test_delay_doubles_with_jitter_and_caps(self, tmp_path):
+        worker = ServiceWorker(tmp_path / "store", poll_interval=0.1)
+        for streak, factor in [(0, 1), (1, 2), (2, 4), (3, 8), (9, 8)]:
+            ceiling = 0.1 * factor
+            samples = [worker._idle_delay(streak) for _ in range(50)]
+            assert all(0.5 * ceiling <= delay < ceiling
+                       for delay in samples)
+        # Jitter is actually random, not a constant factor.
+        assert len({worker._idle_delay(3) for _ in range(10)}) > 1
+
+    def test_idle_timeout_not_overslept_by_backoff(self, tmp_path):
+        worker = ServiceWorker(tmp_path / "store", poll_interval=0.2)
+        started = time.monotonic()
+        assert worker.run_forever(idle_timeout=0.5) == 0
+        # The clamp keeps the exit near the deadline even though the
+        # raw back-off (up to 1.6s) exceeds the whole budget.
+        assert time.monotonic() - started < 1.2
+
+
+# ----------------------------------------------------------------------
+# Sweeps over HTTP + client deadline semantics
+# ----------------------------------------------------------------------
+class TestSweepHTTP:
+    def test_submit_sweep_roundtrip_and_rollup(self, running_server):
+        client = ServiceClient(running_server.host, running_server.port)
+        response = client.submit_sweep(
+            sweep_generator_request(rounds=(0, 1)))
+        assert response["state"] == SWEEP_RUNNING
+        assert response["counts"]["pool"] == 1
+        assert response["counts"]["dependent"] == 1
+        worker = ServiceWorker(running_server.service.store,
+                               poll_interval=0.01)
+        assert worker.run_forever(idle_timeout=2.0) == 2
+        final = client.wait_sweep(response["sweep_id"], timeout=30)
+        assert final["state"] == SWEEP_DONE
+        assert final["progress"]["states"] == {STATE_DONE: 2}
+        assert final["progress"]["blocked_on_dependency"] == 0
+        stats = client.stats()
+        assert stats["sweeps"]["states"] == {SWEEP_DONE: 1}
+
+    def test_sweep_http_errors(self, running_server):
+        client = ServiceClient(running_server.host, running_server.port)
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit_sweep({"jobs": []})
+        assert excinfo.value.status == 400
+        with pytest.raises(ServiceError) as excinfo:
+            client.sweep_status("ab" * 32)
+        assert excinfo.value.status == 404
+        with pytest.raises(ServiceError) as excinfo:
+            client._request("POST", "/sweeps/" + "ab" * 32)
+        assert excinfo.value.status == 405
+
+
+class TestClientSharedDeadline:
+    def test_sweep_timeout_is_one_wall_clock_budget(self, running_server):
+        """N live jobs share one deadline — the wait can never stretch
+        to N × timeout (the bug this guards against)."""
+        client = ServiceClient(running_server.host, running_server.port)
+        requests = [fast_request(width=2), fast_request(width=3)]
+        started = time.monotonic()
+        with pytest.raises(TimeoutError):
+            client.sweep(requests, timeout=1.0)  # no workers running
+        elapsed = time.monotonic() - started
+        assert elapsed < 1.9  # per-job budgets would take >= 2s
+
+    def test_wait_accepts_explicit_deadline(self, running_server):
+        client = ServiceClient(running_server.host, running_server.port)
+        response = client.submit(fast_request(width=2))
+        with pytest.raises(TimeoutError):
+            client.wait(response["job_id"],
+                        deadline=time.monotonic() + 0.2)
+
+
+# ----------------------------------------------------------------------
+# Two-subprocess-worker fleet drains a shared-prefix sweep
+# ----------------------------------------------------------------------
+class TestTwoWorkerFleetSweep:
+    def test_one_saturation_fleet_wide_and_byte_identical(
+            self, running_server, tmp_path):
+        """The tentpole acceptance: a cold ``refine_rounds`` ∈ {0, 1, 2}
+        sweep POSTed to a two-worker fleet saturates exactly once, and
+        every artifact is byte-identical to an in-process
+        ``BatchPipeline`` run — across different ``PYTHONHASHSEED``
+        values per worker."""
+        client = ServiceClient(running_server.host, running_server.port)
+        response = client.submit_sweep(sweep_generator_request())
+        assert response["counts"] == {"inline": 0, "pool": 1,
+                                      "dependent": 2, "duplicate": 0}
+
+        workers = []
+        for hash_seed in ("0", "31337"):
+            env = subprocess_env()
+            env["PYTHONHASHSEED"] = hash_seed
+            workers.append(subprocess.Popen(
+                [sys.executable, "-m", "repro.service", "--root",
+                 str(running_server.service.store.root), "work",
+                 "--idle-timeout", "10"],
+                env=env, stdout=subprocess.PIPE,
+                stderr=subprocess.STDOUT, text=True))
+        final = client.wait_sweep(response["sweep_id"], timeout=240)
+        for proc in workers:
+            proc.communicate(timeout=240)
+            assert proc.returncode == 0
+        assert final["state"] == SWEEP_DONE
+        assert final["progress"]["states"] == {STATE_DONE: 3}
+
+        # Exactly one saturation across the whole fleet: the dependents
+        # restored the leader's saturated prefix instead of re-matching.
+        stats = client.stats()
+        assert stats["saturation"]["runs"] == 1
+
+        # Byte-identity against the in-process batch engine, fresh store.
+        reference_store = ArtifactStore(tmp_path / "reference")
+        aig = post_mapping_flow(csa_multiplier(3).aig)
+        reference_jobs = [
+            BatchJob(name=f"r{value}", aig=aig,
+                     options=BoolEOptions(
+                         **{**FAST, "refine_rounds": value}))
+            for value in (0, 1, 2)]
+        report = BatchPipeline(FAST_OPTIONS, executor="serial",
+                               store=reference_store).run(reference_jobs)
+        assert all(item.ok for item in report.items)
+        service_store = running_server.service.store
+        for job in response["jobs"]:
+            assert (payload_bytes(service_store, job["final_key"])
+                    == payload_bytes(reference_store, job["final_key"]))
+
+
+class TestSweepCli:
+    def test_submit_sweep_flags_parse(self):
+        from repro.service.__main__ import _build_parser
+        args = _build_parser().parse_args(
+            ["submit", "--sweep", "--archs", "csa,rca",
+             "--widths", "4,8", "--refine-rounds", "0,1,2",
+             "--priority", "2", "--require", "gpu", "--wait"])
+        assert args.sweep and args.archs == "csa,rca"
+        assert args.widths == "4,8" and args.refine_rounds == "0,1,2"
+        assert args.priority == 2 and args.require == ["gpu"]
+
+    def test_sweep_flags_require_sweep_mode(self):
+        from repro.service.__main__ import _build_parser, _cmd_submit
+        args = _build_parser().parse_args(
+            ["submit", "--widths", "4,8"])
+        with pytest.raises(SystemExit):
+            _cmd_submit(args)
+
+    def test_work_capability_and_sweep_subcommand_parse(self):
+        from repro.service.__main__ import _build_parser
+        parser = _build_parser()
+        work = parser.parse_args(["work", "--capability", "gpu",
+                                  "--capability", "fast-host"])
+        assert work.capability == ["gpu", "fast-host"]
+        sweep = parser.parse_args(["sweep", "ab" * 32, "--wait"])
+        assert sweep.sweep_id == "ab" * 32 and sweep.wait is True
+
+    def test_csv_helper(self):
+        from repro.service.__main__ import _csv
+        assert _csv("a, b,,c") == ["a", "b", "c"]
 
 
 # ----------------------------------------------------------------------
